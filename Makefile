@@ -1,0 +1,41 @@
+# Reproduction of Youn, Henschen & Han, SIGMOD 1988.
+# Everything is stdlib-only Go; the module works fully offline.
+
+GO ?= go
+
+.PHONY: all build vet test test-short cover bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per paper figure/example/experiment lives in bench_test.go;
+# per-package micro-benchmarks live next to their packages.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the full experiment report (paper claim vs measured).
+experiments:
+	$(GO) run ./cmd/dlbench | tee dlbench_output.txt
+
+experiments-quick:
+	$(GO) run ./cmd/dlbench -quick
+
+fuzz:
+	$(GO) test -fuzz FuzzParseProgram -fuzztime 30s ./internal/parser/
+
+clean:
+	$(GO) clean ./...

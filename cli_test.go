@@ -1,0 +1,139 @@
+package repro
+
+// End-to-end integration tests: build and drive the command-line tools and
+// the runnable examples exactly as a user would.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, stdin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Dir = "."
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIDlclass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	in := "p(X, Y) :- a(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y).\n"
+	out := runTool(t, in, "run", "./cmd/dlclass", "-query", "?- p(a, Y).", "-resolution", "2", "-dot")
+	for _, want := range []string{
+		"class: A5",
+		"strongly stable: true",
+		"plan: ∪_{k=0}^∞ [ σ(a)^k - E ]",
+		"resolution graph G_2:",
+		"digraph",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dlclass output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIDlclassStableTransformation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	in := `p(X1, X2, X3) :- a(X1, Y3), b(X2, Y1), c(Y2, X3), p(Y1, Y2, Y3).
+p(X1, X2, X3) :- e(X1, X2, X3).
+`
+	out := runTool(t, in, "run", "./cmd/dlclass", "-stable")
+	if !strings.Contains(out, "class: A3") || !strings.Contains(out, "equivalent stable system:") {
+		t.Errorf("dlclass -stable output:\n%s", out)
+	}
+}
+
+func TestCLIDlrun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	in := `p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+e(a, b). e(b, c). e(c, d).
+?- p(a, Y).
+`
+	for _, strategy := range []string{"naive", "seminaive", "magic", "state", "class"} {
+		out := runTool(t, in, "run", "./cmd/dlrun", "-strategy", strategy, "-stats")
+		for _, want := range []string{"(3 answers)", "p(a, b).", "p(a, c).", "p(a, d).", "% stats:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("dlrun -strategy %s missing %q:\n%s", strategy, want, out)
+			}
+		}
+	}
+}
+
+func TestCLIDlrunFactsFileAndREPL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	facts := filepath.Join(dir, "facts.dl")
+	if err := os.WriteFile(facts, []byte("edge(a, b).\nedge(b, c).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := "p(X, Y) :- edge(X, Y).\np(X, Y) :- edge(X, Z), p(Z, Y).\n?- p(a, Y).\n"
+	out := runTool(t, in, "run", "./cmd/dlrun", "-facts", facts, "-i")
+	if !strings.Contains(out, "(2 answers)") || !strings.Contains(out, "p(a, c).") {
+		t.Errorf("REPL output:\n%s", out)
+	}
+}
+
+func TestCLIDlbenchQuickFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	out := runTool(t, "", "run", "./cmd/dlbench", "-quick", "-experiment", "figures")
+	if strings.Contains(out, "FAIL") || !strings.Contains(out, "all checks passed") {
+		t.Errorf("dlbench figures:\n%s", out)
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	cases := []struct {
+		pkg  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{"naive baseline agrees: true", "ancestor(kim, drew)"}},
+		{"./examples/flights", []string{"agree: true", "class A1"}},
+		{"./examples/bom", []string{"naive agrees: true", "costlier(frame, carbonTube)"}},
+		{"./examples/audit", []string{"staleCred(ml, userdb)", "orphan(quarantine)", "naive and semi-naive agree: true"}},
+	}
+	for _, tc := range cases {
+		out := runTool(t, "", "run", tc.pkg)
+		for _, want := range tc.want {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s missing %q", tc.pkg, want)
+			}
+		}
+	}
+}
+
+func TestExampleClassifyTour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; slow")
+	}
+	out := runTool(t, "", "run", "./examples/classifytour")
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("classify tour reported a mismatch:\n%s", out)
+	}
+	if got := strings.Count(out, "MATCHES naive baseline"); got != 13 {
+		t.Errorf("tour validated %d statements, want 13", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Command dlclass classifies linear recursive formulas per Youn, Henschen &
+// Han (SIGMOD 1988): it prints the I-graph, the class (A1–F), the derived
+// properties (stability, transformability, boundedness with rank bound) and,
+// given a query form, the compiled evaluation plan.
+//
+// Usage:
+//
+//	dlclass [-query '?- p(a, Y).'] [-dot] [-resolution k] [-stable] [file]
+//
+// The input (file or stdin) holds one recursive rule plus its exit rules,
+// e.g.:
+//
+//	p(X, Y) :- a(X, Z), p(Z, Y).
+//	p(X, Y) :- e(X, Y).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/igraph"
+	"repro/internal/parser"
+)
+
+func main() {
+	var (
+		queryStr   = flag.String("query", "", "query form, e.g. '?- p(a, Y).'; prints the compiled plan")
+		dot        = flag.Bool("dot", false, "emit the I-graph in Graphviz DOT format")
+		resolution = flag.Int("resolution", 0, "also print the k-th resolution graph")
+		stable     = flag.Bool("stable", false, "print the equivalent stable system (Theorems 2/4) when one exists")
+	)
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	c, err := core.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(c.Explain())
+
+	if *dot {
+		fmt.Println()
+		fmt.Print(c.IGraph.DOT(c.Sys.Pred()))
+	}
+	if *resolution > 0 {
+		r := c.ResolutionGraph(*resolution)
+		fmt.Printf("\nresolution graph G_%d:\n%s", *resolution, r.G)
+		fmt.Printf("frontier: %v\n", r.Frontier)
+		if *dot {
+			fmt.Print(igraph.DOT(r.G, fmt.Sprintf("%s_G%d", c.Sys.Pred(), *resolution)))
+		}
+	}
+	if *stable {
+		sc, err := c.ToStable()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nequivalent stable system:")
+		fmt.Println("  " + sc.Sys.Recursive.String())
+		for _, e := range sc.Sys.Exits {
+			fmt.Println("  " + e.String())
+		}
+	}
+	if *queryStr != "" {
+		q, err := parser.ParseQuery(*queryStr)
+		if err != nil {
+			fatal(fmt.Errorf("bad -query: %w", err))
+		}
+		report, err := c.ExplainQuery(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(report)
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlclass:", err)
+	os.Exit(1)
+}

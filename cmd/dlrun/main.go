@@ -1,0 +1,237 @@
+// Command dlrun evaluates Datalog programs. The input holds rules, ground
+// facts and queries; every query is answered with the chosen strategy.
+//
+// Usage:
+//
+//	dlrun [-strategy naive|seminaive|magic|state|class] [-stats] [file]
+//
+// Example input:
+//
+//	p(X, Y) :- e(X, Y).
+//	p(X, Y) :- e(X, Z), p(Z, Y).
+//	e(a, b). e(b, c). e(c, d).
+//	?- p(a, Y).
+//
+// The compiled strategies (magic, state, class) require the program to be a
+// single linear recursive system (one recursive rule plus exit rules); the
+// bottom-up strategies (naive, seminaive) evaluate arbitrary Datalog.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+func main() {
+	var (
+		strategyName = flag.String("strategy", "class", "evaluation strategy: naive, seminaive, magic, state or class")
+		showStats    = flag.Bool("stats", false, "print evaluation statistics")
+		factsPath    = flag.String("facts", "", "load additional ground facts from this file")
+		interactive  = flag.Bool("i", false, "interactive mode: read clauses and queries from stdin")
+	)
+	flag.Parse()
+
+	strategy, err := parseStrategy(*strategyName)
+	if err != nil {
+		fatal(err)
+	}
+	db := storage.NewDatabase()
+	if *factsPath != "" {
+		f, err := os.Open(*factsPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = db.ReadFacts(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *factsPath, err))
+		}
+	}
+
+	if *interactive {
+		repl(strategy, db, *showStats)
+		return
+	}
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, queries, err := parser.ParseProgram(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(queries) == 0 {
+		fatal(fmt.Errorf("no query in input (write e.g. '?- p(a, Y).')"))
+	}
+	if err := loadFacts(db, prog); err != nil {
+		fatal(err)
+	}
+	rulesOnly := &ast.Program{Rules: prog.Rules}
+	for _, q := range queries {
+		if err := runQuery(strategy, rulesOnly, q, db, *showStats); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadFacts(db *storage.Database, prog *ast.Program) error {
+	for _, f := range prog.Facts {
+		names := make([]string, len(f.Args))
+		for i, t := range f.Args {
+			names[i] = t.Name
+		}
+		if _, err := db.Insert(f.Pred, names...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runQuery(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storage.Database, showStats bool) error {
+	ans, st, err := answer(strategy, prog, q, db)
+	if err != nil {
+		return fmt.Errorf("%v: %w", q, err)
+	}
+	fmt.Printf("%% %v  (%d answers)\n", q, ans.Len())
+	lines := make([]string, 0, ans.Len())
+	ans.Each(func(t storage.Tuple) bool {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = db.Syms.Name(v)
+		}
+		lines = append(lines, q.Atom.Pred+"("+strings.Join(parts, ", ")+").")
+		return true
+	})
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if showStats {
+		fmt.Printf("%% stats: %v\n", st)
+	}
+	return nil
+}
+
+// repl reads clauses interactively: rules and facts accumulate, every query
+// is answered immediately against the current program and database.
+func repl(strategy eval.Strategy, db *storage.Database, showStats bool) {
+	prog := &ast.Program{}
+	fmt.Println("% dlrun interactive — enter rules, facts and '?- query.' lines; Ctrl-D to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			fmt.Print("> ")
+			continue
+		}
+		p, queries, err := parser.ParseProgram(line)
+		if err != nil {
+			fmt.Println("% error:", err)
+			fmt.Print("> ")
+			continue
+		}
+		if err := loadFacts(db, p); err != nil {
+			fmt.Println("% error:", err)
+			fmt.Print("> ")
+			continue
+		}
+		for _, r := range p.Rules {
+			prog.Rules = append(prog.Rules, r)
+			fmt.Println("% rule added:", r)
+		}
+		for _, q := range queries {
+			if err := runQuery(strategy, prog, q, db, showStats); err != nil {
+				fmt.Println("% error:", err)
+			}
+		}
+		fmt.Print("> ")
+	}
+	fmt.Println()
+}
+
+func answer(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storage.Database) (*storage.Relation, eval.Stats, error) {
+	switch strategy {
+	case eval.StrategyNaive:
+		out, st, err := eval.Naive(prog, db)
+		if err != nil {
+			return nil, st, err
+		}
+		ans, err := eval.AnswerQuery(out, q)
+		return ans, st, err
+	case eval.StrategySemiNaive:
+		out, st, err := eval.SemiNaive(prog, db)
+		if err != nil {
+			return nil, st, err
+		}
+		ans, err := eval.AnswerQuery(out, q)
+		return ans, st, err
+	default:
+		sys, err := systemOf(prog)
+		if err != nil {
+			return nil, eval.Stats{}, fmt.Errorf("strategy %v needs a single linear recursive system: %w", strategy, err)
+		}
+		return eval.Answer(strategy, sys, q, db)
+	}
+}
+
+// systemOf extracts the single linear recursive system from the program.
+func systemOf(prog *ast.Program) (*ast.RecursiveSystem, error) {
+	var rec *ast.Rule
+	var exits []ast.Rule
+	for i := range prog.Rules {
+		r := prog.Rules[i]
+		if len(r.RecursiveAtoms()) > 0 {
+			if rec != nil {
+				return nil, fmt.Errorf("multiple recursive rules")
+			}
+			rec = &prog.Rules[i]
+		} else {
+			exits = append(exits, r)
+		}
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("no recursive rule")
+	}
+	for _, e := range exits {
+		if e.Head.Pred != rec.Head.Pred {
+			return nil, fmt.Errorf("rule %v is not an exit rule for %s", e, rec.Head.Pred)
+		}
+	}
+	return ast.NewRecursiveSystem(*rec, exits...)
+}
+
+func parseStrategy(name string) (eval.Strategy, error) {
+	for _, s := range eval.Strategies() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want naive, seminaive, magic, state or class)", name)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Cheong Youn, Lawrence J. Henschen, Jiawei Han:
+//	"Classification of Recursive Formulas in Deductive Databases",
+//	SIGMOD 1988.
+//
+// The library lives under internal/: the deductive-database substrate
+// (ast, parser, storage, ra, eval), the paper's contribution (graph,
+// igraph, classify, rewrite, adorn, plan) and the facade (core). Three
+// commands (cmd/dlclass, cmd/dlrun, cmd/dlbench) and four runnable
+// examples (examples/...) sit on top. bench_test.go in this directory
+// holds one benchmark per figure and worked example of the paper plus the
+// quantitative experiments; see DESIGN.md and EXPERIMENTS.md.
+package repro

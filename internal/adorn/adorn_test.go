@@ -1,0 +1,180 @@
+package adorn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/dlgen"
+	"repro/internal/paper"
+	"repro/internal/parser"
+)
+
+func TestFromQueryAndString(t *testing.T) {
+	q, err := parser.ParseQuery("?- p(a, Y, b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := FromQuery(q)
+	if a.String() != "dvd" {
+		t.Errorf("adornment = %s, want dvd", a)
+	}
+	if a.BoundCount() != 2 {
+		t.Errorf("bound count = %d", a.BoundCount())
+	}
+}
+
+func TestAllAdornments(t *testing.T) {
+	all := AllAdornments(3)
+	if len(all) != 8 {
+		t.Fatalf("adornments = %d", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if seen[a.String()] {
+			t.Errorf("duplicate %s", a)
+		}
+		seen[a.String()] = true
+	}
+}
+
+func TestClosure(t *testing.T) {
+	rule := parser.MustParseRule("p(X, Y) :- a(X, X1), b(Y, Y1), c(X1, Y1), p(X1, Y1).")
+	det := map[string]bool{"X": true}
+	Closure(rule.NonRecursiveAtoms(), det)
+	// X determines X1 (a), X1 determines Y1 (c), Y1 determines Y (b).
+	for _, v := range []string{"X", "X1", "Y1", "Y"} {
+		if !det[v] {
+			t.Errorf("%s not determined", v)
+		}
+	}
+}
+
+func TestStepOnStableFormula(t *testing.T) {
+	rule := paper.S3.Rule // three disjoint unit cycles
+	for _, a := range AllAdornments(3) {
+		if got := Step(rule, a); !got.Equal(a) {
+			t.Errorf("stable formula: Step(%s) = %s", a, got)
+		}
+	}
+}
+
+// TestS12Pattern reproduces the paper's §9 trace for statement (s12):
+// incoming query p(d,v,v); first expansion p(d,d,v); all further
+// expansions p(d,d,v).
+func TestS12Pattern(t *testing.T) {
+	rule := paper.S12.Rule
+	a := Adornment{true, false, false}
+	pat := Pattern(rule, a, 4)
+	want := []string{"dvv", "ddv", "ddv", "ddv", "ddv"}
+	for i, w := range want {
+		if pat[i].String() != w {
+			t.Errorf("pattern[%d] = %s, want %s", i, pat[i], w)
+		}
+	}
+	from, ok := EventuallyStableFor(rule, a)
+	if !ok || from != 1 {
+		t.Errorf("eventually stable from %d (ok=%v), want 1", from, ok)
+	}
+	// For p(v,v,d) the paper says the formula is stable from the beginning.
+	a2 := Adornment{false, false, true}
+	from2, ok2 := EventuallyStableFor(rule, a2)
+	if !ok2 || from2 != 0 {
+		t.Errorf("p(v,v,d): stable from %d (ok=%v), want 0", from2, ok2)
+	}
+}
+
+func TestPatternPeriodPermutational(t *testing.T) {
+	// (s5) p(x,y,z) :- p(y,z,x): the adornment rotates with period 3.
+	rule := paper.S5.Rule
+	a := Adornment{true, false, false}
+	start, period := PatternPeriod(rule, a)
+	if start != 0 || period != 3 {
+		t.Errorf("(start, period) = (%d, %d), want (0, 3)", start, period)
+	}
+	// Fully bound and fully free adornments are fixpoints.
+	for _, fix := range []Adornment{{true, true, true}, {false, false, false}} {
+		if _, period := PatternPeriod(rule, fix); period != 1 {
+			t.Errorf("%s: period = %d, want 1", fix, period)
+		}
+	}
+}
+
+// TestTheorem1SemanticMatchesSyntactic verifies Theorem 1 on the paper
+// corpus: strong stability (the semantic, determined-variable definition)
+// holds exactly when the I-graph consists of disjoint unit cycles (the
+// syntactic classification).
+func TestTheorem1SemanticMatchesSyntactic(t *testing.T) {
+	for _, s := range paper.All() {
+		res := classify.MustClassify(s.Rule)
+		semantic := SemanticallyStable(s.Rule)
+		if semantic != res.Stable {
+			t.Errorf("%s: semantic stable = %v, syntactic = %v", s.ID, semantic, res.Stable)
+		}
+	}
+}
+
+// TestTheorem1OnRandomRules is the property-based version of Theorem 1 over
+// randomly generated admissible rules.
+func TestTheorem1OnRandomRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(1988))
+	for trial := 0; trial < 400; trial++ {
+		rule := dlgen.RandomRule(rng, dlgen.Config{})
+		res, err := classify.Classify(rule)
+		if err != nil {
+			t.Fatalf("generated rule invalid: %v: %v", rule, err)
+		}
+		semantic := SemanticallyStable(rule)
+		if semantic != res.Stable {
+			t.Fatalf("Theorem 1 violated by %v:\nsemantic=%v syntactic=%v\n%s",
+				rule, semantic, res.Stable, res.Explain())
+		}
+	}
+}
+
+// TestStabilizationPeriodMatchesPatterns verifies Theorems 2/4 semantically:
+// for transformable formulas, every adornment's pattern is periodic with a
+// period dividing the LCM of the cycle weights.
+func TestStabilizationPeriodMatchesPatterns(t *testing.T) {
+	for _, s := range paper.All() {
+		res := classify.MustClassify(s.Rule)
+		if !res.Transformable {
+			continue
+		}
+		L := res.StabilizationPeriod
+		n := s.Rule.Head.Arity()
+		for _, a := range AllAdornments(n) {
+			start, period := PatternPeriod(s.Rule, a)
+			if start != 0 {
+				t.Errorf("%s %s: pattern not purely periodic (start %d)", s.ID, a, start)
+			}
+			if L%period != 0 {
+				t.Errorf("%s %s: period %d does not divide L=%d", s.ID, a, period, L)
+			}
+		}
+	}
+}
+
+func TestAdornmentCloneIndependence(t *testing.T) {
+	a := Adornment{true, false}
+	b := a.Clone()
+	b[0] = false
+	if !a[0] {
+		t.Error("clone shares storage")
+	}
+	if a.Equal(Adornment{true}) {
+		t.Error("length mismatch equal")
+	}
+}
+
+func TestStepUnaryDetermination(t *testing.T) {
+	// A unary literal determines nothing new but is determined by its var.
+	rule := parser.MustParseRule("p(X, Y) :- b(Y), c(X, Y1), p(X1, Y1).")
+	got := Step(rule, Adornment{true, false})
+	if got.String() != "vd" {
+		t.Errorf("Step(dv) = %s, want vd (X determines Y1 via c; X1 fresh)", got)
+	}
+}
+
+var _ = ast.V // import anchor

@@ -1,0 +1,34 @@
+package adorn_test
+
+import (
+	"fmt"
+
+	"repro/internal/adorn"
+	"repro/internal/parser"
+)
+
+// ExamplePattern traces the paper's §9 example: for statement (s12) under
+// the query form p(d,v,v), the determined positions follow
+// dvv → ddv → ddv → … (stable from the first expansion on).
+func ExamplePattern() {
+	rule := parser.MustParseRule("p(X, Y, Z) :- a(X, U), b(Y, V), c(U, V), d(W, Z), p(U, V, W).")
+	for _, a := range adorn.Pattern(rule, adorn.Adornment{true, false, false}, 3) {
+		fmt.Println(a)
+	}
+	// Output:
+	// dvv
+	// ddv
+	// ddv
+	// ddv
+}
+
+// ExampleSemanticallyStable shows the semantic side of Theorem 1.
+func ExampleSemanticallyStable() {
+	stable := parser.MustParseRule("p(X, Y) :- a(X, Z), p(Z, Y).")
+	dependent := parser.MustParseRule("p(X, Y) :- a(X, X1), b(Y, Y1), c(X1, Y1), p(X1, Y1).")
+	fmt.Println(adorn.SemanticallyStable(stable))
+	fmt.Println(adorn.SemanticallyStable(dependent))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,190 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTermConstructors(t *testing.T) {
+	v := V("X")
+	if !v.IsVar() || v.Name != "X" {
+		t.Errorf("V(X) = %+v", v)
+	}
+	c := C("alice")
+	if c.IsVar() || c.Name != "alice" {
+		t.Errorf("C(alice) = %+v", c)
+	}
+	if v.String() != "X" || c.String() != "alice" {
+		t.Errorf("term strings: %q %q", v, c)
+	}
+}
+
+func TestAtomBasics(t *testing.T) {
+	a := NewAtom("p", V("X"), C("a"), V("X"))
+	if a.Arity() != 3 {
+		t.Errorf("arity = %d", a.Arity())
+	}
+	if a.IsGround() {
+		t.Error("atom with variables reported ground")
+	}
+	if got := a.String(); got != "p(X, a, X)" {
+		t.Errorf("String = %q", got)
+	}
+	vars := a.Vars()
+	if len(vars) != 1 || vars[0] != "X" {
+		t.Errorf("Vars = %v (repeated variables must dedup)", vars)
+	}
+	g := NewAtom("e", C("a"), C("b"))
+	if !g.IsGround() {
+		t.Error("ground atom not recognized")
+	}
+	if len(g.Vars()) != 0 {
+		t.Error("ground atom has vars")
+	}
+}
+
+func TestAtomZeroArity(t *testing.T) {
+	a := NewAtom("done")
+	if a.Arity() != 0 || !a.IsGround() {
+		t.Errorf("0-ary atom: %v", a)
+	}
+	if a.String() != "done()" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestAtomEqualAndClone(t *testing.T) {
+	a := NewAtom("p", V("X"), C("a"))
+	b := NewAtom("p", V("X"), C("a"))
+	if !a.Equal(b) {
+		t.Error("identical atoms not equal")
+	}
+	if a.Equal(NewAtom("p", V("X"))) {
+		t.Error("different arity equal")
+	}
+	if a.Equal(NewAtom("q", V("X"), C("a"))) {
+		t.Error("different predicate equal")
+	}
+	if a.Equal(NewAtom("p", C("X"), C("a"))) {
+		t.Error("var/const confusion")
+	}
+	c := a.Clone()
+	c.Args[0] = V("Y")
+	if a.Args[0].Name != "X" {
+		t.Error("clone shares argument storage")
+	}
+}
+
+func TestAtomRename(t *testing.T) {
+	a := NewAtom("p", V("X"), V("Y"), C("k"))
+	r := a.Rename(map[string]Term{"X": V("Z"), "k": V("BAD")})
+	if r.String() != "p(Z, Y, k)" {
+		t.Errorf("rename = %v (constants must not rename)", r)
+	}
+	if a.String() != "p(X, Y, k)" {
+		t.Error("rename mutated the original")
+	}
+}
+
+func TestRuleBasics(t *testing.T) {
+	r := NewRule(NewAtom("p", V("X"), V("Y")),
+		NewAtom("a", V("X"), V("Z")),
+		NewAtom("p", V("Z"), V("Y")))
+	if r.IsFact() {
+		t.Error("rule with body reported as fact")
+	}
+	if got := r.String(); got != "p(X, Y) :- a(X, Z), p(Z, Y)." {
+		t.Errorf("String = %q", got)
+	}
+	if !r.IsLinearRecursive() {
+		t.Error("linear recursive rule not recognized")
+	}
+	atom, idx := r.RecursiveAtom()
+	if idx != 1 || atom.Pred != "p" {
+		t.Errorf("RecursiveAtom = %v at %d", atom, idx)
+	}
+	nr := r.NonRecursiveAtoms()
+	if len(nr) != 1 || nr[0].Pred != "a" {
+		t.Errorf("NonRecursiveAtoms = %v", nr)
+	}
+	vars := r.Vars()
+	want := []string{"X", "Y", "Z"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Errorf("Vars[%d] = %s, want %s (first-occurrence order)", i, vars[i], want[i])
+		}
+	}
+}
+
+func TestRuleFactAndString(t *testing.T) {
+	f := NewRule(NewAtom("e", C("a"), C("b")))
+	if !f.IsFact() {
+		t.Error("empty body not a fact")
+	}
+	if f.String() != "e(a, b)." {
+		t.Errorf("fact String = %q", f.String())
+	}
+}
+
+func TestRuleRecursiveAtomPanicsOnNonLinear(t *testing.T) {
+	r := NewRule(NewAtom("p", V("X")),
+		NewAtom("p", V("X")), NewAtom("p", V("X")))
+	defer func() {
+		if recover() == nil {
+			t.Error("RecursiveAtom on non-linear rule did not panic")
+		}
+	}()
+	r.RecursiveAtom()
+}
+
+func TestRuleCloneAndRenameIndependence(t *testing.T) {
+	r := NewRule(NewAtom("p", V("X")), NewAtom("a", V("X"), V("Y")), NewAtom("p", V("Y")))
+	c := r.Clone()
+	c.Body[0].Args[0] = V("MUT")
+	if r.Body[0].Args[0].Name != "X" {
+		t.Error("clone shares body storage")
+	}
+	rn := r.Rename(map[string]Term{"Y": V("W")})
+	if rn.String() != "p(X) :- a(X, W), p(W)." {
+		t.Errorf("rename = %v", rn)
+	}
+	if strings.Contains(r.String(), "W") {
+		t.Error("rename mutated original")
+	}
+}
+
+func TestProgramPredicateSets(t *testing.T) {
+	p := &Program{}
+	p.AddRule(NewRule(NewAtom("p", V("X"), V("Y")),
+		NewAtom("e", V("X"), V("Y"))))
+	p.AddRule(NewRule(NewAtom("p", V("X"), V("Y")),
+		NewAtom("e", V("X"), V("Z")), NewAtom("p", V("Z"), V("Y"))))
+	p.AddRule(NewRule(NewAtom("e", C("a"), C("b")))) // ground fact
+	if len(p.Facts) != 1 || len(p.Rules) != 2 {
+		t.Fatalf("facts=%d rules=%d", len(p.Facts), len(p.Rules))
+	}
+	idb := p.IDBPreds()
+	if len(idb) != 1 || idb[0] != "p" {
+		t.Errorf("IDB = %v", idb)
+	}
+	edb := p.EDBPreds()
+	if len(edb) != 1 || edb[0] != "e" {
+		t.Errorf("EDB = %v", edb)
+	}
+	if got := len(p.RulesFor("p")); got != 2 {
+		t.Errorf("RulesFor(p) = %d", got)
+	}
+	if !strings.Contains(p.String(), "e(a, b).") {
+		t.Errorf("program string missing fact:\n%s", p)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Query{Atom: NewAtom("p", C("a"), V("Y"))}
+	if q.String() != "?- p(a, Y)." {
+		t.Errorf("query = %q", q.String())
+	}
+}

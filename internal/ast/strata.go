@@ -1,0 +1,140 @@
+package ast
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Stratified-negation analysis for the bottom-up substrate. The paper's
+// fragment is pure positive Datalog; these checks admit general programs
+// with negated body literals as long as no recursion passes through
+// negation (the classic stratification condition) and every rule is safe.
+
+// ErrNotStratifiable reports recursion through negation.
+var ErrNotStratifiable = errors.New("program is not stratifiable (recursion through negation)")
+
+// ErrUnsafeNegation reports a negated literal with a variable that no
+// positive literal of the same body binds.
+var ErrUnsafeNegation = errors.New("unsafe negation")
+
+// CheckSafety verifies that every variable of each negated body literal
+// also occurs in a positive body literal of the same rule (so the negated
+// literal can be evaluated as an anti-join over bound values), and that
+// every head variable occurs in a positive body literal.
+func CheckSafety(r Rule) error {
+	positive := make(map[string]bool)
+	for _, a := range r.Body {
+		if a.Neg {
+			continue
+		}
+		for _, t := range a.Args {
+			if t.IsVar() {
+				positive[t.Name] = true
+			}
+		}
+	}
+	for _, a := range r.Body {
+		if !a.Neg {
+			continue
+		}
+		for _, t := range a.Args {
+			if t.IsVar() && !positive[t.Name] {
+				return fmt.Errorf("%w: variable %s of %v not bound positively in %v",
+					ErrUnsafeNegation, t.Name, a, r)
+			}
+		}
+	}
+	for _, t := range r.Head.Args {
+		if t.IsVar() && !positive[t.Name] {
+			return fmt.Errorf("%w: head variable %s of %v not bound positively",
+				ErrUnsafeNegation, t.Name, r)
+		}
+	}
+	return nil
+}
+
+// Stratify partitions the program's rules into strata: every predicate's
+// rules land in one stratum, a positive dependency may stay within a
+// stratum, and a negative dependency must point to a strictly lower
+// stratum. It returns the rule groups in evaluation order, or
+// ErrNotStratifiable when a cycle passes through negation.
+func Stratify(p *Program) ([][]Rule, error) {
+	for _, r := range p.Rules {
+		if err := CheckSafety(r); err != nil {
+			return nil, err
+		}
+	}
+	idb := make(map[string]bool)
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	// stratum numbers per predicate, computed by the classic iterative
+	// algorithm: s(head) ≥ s(positive dep), s(head) ≥ s(negative dep)+1.
+	strat := make(map[string]int)
+	preds := make([]string, 0, len(idb))
+	for p := range idb {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	n := len(preds)
+	for iter := 0; ; iter++ {
+		if iter > n*n+1 {
+			return nil, fmt.Errorf("%w", ErrNotStratifiable)
+		}
+		changed := false
+		for _, r := range p.Rules {
+			h := r.Head.Pred
+			for _, a := range r.Body {
+				if !idb[a.Pred] {
+					continue
+				}
+				need := strat[a.Pred]
+				if a.Neg {
+					need++
+				}
+				if strat[h] < need {
+					strat[h] = need
+					changed = true
+					if strat[h] > n {
+						return nil, fmt.Errorf("%w: predicate %s", ErrNotStratifiable, h)
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	maxS := 0
+	for _, s := range strat {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	out := make([][]Rule, maxS+1)
+	for _, r := range p.Rules {
+		s := strat[r.Head.Pred]
+		out[s] = append(out[s], r)
+	}
+	// Drop empty strata (possible when predicates share levels).
+	var compact [][]Rule
+	for _, g := range out {
+		if len(g) > 0 {
+			compact = append(compact, g)
+		}
+	}
+	return compact, nil
+}
+
+// HasNegation reports whether any rule body contains a negated literal.
+func HasNegation(p *Program) bool {
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if a.Neg {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package ast
+
+import (
+	"errors"
+	"testing"
+)
+
+func rule(head Atom, body ...Atom) Rule { return NewRule(head, body...) }
+
+func TestCheckSafety(t *testing.T) {
+	ok := rule(NewAtom("p", V("X")),
+		NewAtom("q", V("X")), NewAtom("r", V("X")).Not())
+	if err := CheckSafety(ok); err != nil {
+		t.Errorf("safe rule rejected: %v", err)
+	}
+	unsafeNeg := rule(NewAtom("p", V("X")),
+		NewAtom("q", V("X")), NewAtom("r", V("X"), V("Y")).Not())
+	if err := CheckSafety(unsafeNeg); !errors.Is(err, ErrUnsafeNegation) {
+		t.Errorf("unsafe negation: got %v", err)
+	}
+	unsafeHead := rule(NewAtom("p", V("X"), V("Y")), NewAtom("q", V("X")))
+	if err := CheckSafety(unsafeHead); !errors.Is(err, ErrUnsafeNegation) {
+		t.Errorf("unsafe head: got %v", err)
+	}
+	constOK := rule(NewAtom("p", C("k")), NewAtom("q", V("Z")))
+	if err := CheckSafety(constOK); err != nil {
+		t.Errorf("constant head rejected: %v", err)
+	}
+}
+
+func TestStratifyPurePositiveSingleGroup(t *testing.T) {
+	p := &Program{}
+	p.AddRule(rule(NewAtom("a", V("X")), NewAtom("e", V("X"))))
+	p.AddRule(rule(NewAtom("b", V("X")), NewAtom("a", V("X"))))
+	groups, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Errorf("groups = %d (sizes %v)", len(groups), groups)
+	}
+}
+
+func TestStratifyLevels(t *testing.T) {
+	p := &Program{}
+	p.AddRule(rule(NewAtom("a", V("X")), NewAtom("e", V("X"))))
+	p.AddRule(rule(NewAtom("b", V("X")), NewAtom("u", V("X")), NewAtom("a", V("X")).Not()))
+	p.AddRule(rule(NewAtom("c", V("X")), NewAtom("u", V("X")), NewAtom("b", V("X")).Not()))
+	groups, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	order := []string{"a", "b", "c"}
+	for i, g := range groups {
+		if len(g) != 1 || g[0].Head.Pred != order[i] {
+			t.Errorf("group %d = %v", i, g)
+		}
+	}
+}
+
+func TestStratifyMutualRecursionWithinStratum(t *testing.T) {
+	// even/odd mutual positive recursion with a negation above it.
+	p := &Program{}
+	p.AddRule(rule(NewAtom("even", V("X")), NewAtom("zero", V("X"))))
+	p.AddRule(rule(NewAtom("even", V("X")), NewAtom("succ", V("Y"), V("X")), NewAtom("odd", V("Y"))))
+	p.AddRule(rule(NewAtom("odd", V("X")), NewAtom("succ", V("Y"), V("X")), NewAtom("even", V("Y"))))
+	p.AddRule(rule(NewAtom("strange", V("X")), NewAtom("num", V("X")), NewAtom("even", V("X")).Not()))
+	groups, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if len(groups[0]) != 3 || groups[1][0].Head.Pred != "strange" {
+		t.Errorf("stratification wrong: %v", groups)
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	p := &Program{}
+	p.AddRule(rule(NewAtom("win", V("X")),
+		NewAtom("move", V("X"), V("Y")), NewAtom("win", V("Y")).Not()))
+	if _, err := Stratify(p); !errors.Is(err, ErrNotStratifiable) {
+		t.Errorf("got %v, want ErrNotStratifiable", err)
+	}
+	// Longer negative cycle through two predicates.
+	p2 := &Program{}
+	p2.AddRule(rule(NewAtom("a", V("X")), NewAtom("u", V("X")), NewAtom("b", V("X")).Not()))
+	p2.AddRule(rule(NewAtom("b", V("X")), NewAtom("u", V("X")), NewAtom("a", V("X")).Not()))
+	if _, err := Stratify(p2); !errors.Is(err, ErrNotStratifiable) {
+		t.Errorf("two-pred cycle: got %v, want ErrNotStratifiable", err)
+	}
+}
+
+func TestHasNegation(t *testing.T) {
+	p := &Program{}
+	p.AddRule(rule(NewAtom("a", V("X")), NewAtom("e", V("X"))))
+	if HasNegation(p) {
+		t.Error("positive program reported negated")
+	}
+	p.AddRule(rule(NewAtom("b", V("X")), NewAtom("u", V("X")), NewAtom("a", V("X")).Not()))
+	if !HasNegation(p) {
+		t.Error("negation not detected")
+	}
+}
+
+func TestNotAtomRendering(t *testing.T) {
+	a := NewAtom("r", V("X")).Not()
+	if a.String() != "not r(X)" {
+		t.Errorf("rendering = %q", a.String())
+	}
+	if a.Equal(NewAtom("r", V("X"))) {
+		t.Error("negated atom equal to positive")
+	}
+	c := a.Clone()
+	if !c.Neg {
+		t.Error("clone lost negation")
+	}
+}

@@ -1,0 +1,130 @@
+package ast
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestValidateRecursiveAccepts(t *testing.T) {
+	good := []Rule{
+		NewRule(NewAtom("p", V("X"), V("Y")),
+			NewAtom("a", V("X"), V("Z")), NewAtom("p", V("Z"), V("Y"))),
+		NewRule(NewAtom("p", V("X"), V("Y"), V("Z")), NewAtom("p", V("Y"), V("Z"), V("X"))),
+		NewRule(NewAtom("p", V("X")), NewAtom("a", V("X"), V("Y")), NewAtom("p", V("Y"))),
+	}
+	for _, r := range good {
+		if err := ValidateRecursive(r); err != nil {
+			t.Errorf("%v: unexpected error %v", r, err)
+		}
+	}
+}
+
+func TestValidateRecursiveRejects(t *testing.T) {
+	cases := []struct {
+		rule Rule
+		want error
+	}{
+		{
+			// No recursive occurrence.
+			NewRule(NewAtom("p", V("X")), NewAtom("a", V("X"))),
+			ErrNotRecursive,
+		},
+		{
+			// Two recursive occurrences.
+			NewRule(NewAtom("p", V("X")),
+				NewAtom("p", V("X")), NewAtom("p", V("X"))),
+			ErrNotLinear,
+		},
+		{
+			// Constant in the rule.
+			NewRule(NewAtom("p", V("X")),
+				NewAtom("a", V("X"), C("k")), NewAtom("p", V("X"))),
+			ErrConstantInRule,
+		},
+		{
+			// Repeated variable under the consequent occurrence.
+			NewRule(NewAtom("p", V("X"), V("X")),
+				NewAtom("p", V("X"), V("Y")), NewAtom("a", V("X"), V("Y"))),
+			ErrRepeatedRecVar,
+		},
+		{
+			// Repeated variable under the antecedent occurrence.
+			NewRule(NewAtom("p", V("X"), V("Y")),
+				NewAtom("a", V("X"), V("Y"), V("Z")), NewAtom("p", V("Z"), V("Z"))),
+			ErrRepeatedRecVar,
+		},
+		{
+			// Arity mismatch between occurrences.
+			NewRule(NewAtom("p", V("X"), V("Y")),
+				NewAtom("a", V("X"), V("Y")), NewAtom("p", V("X"))),
+			ErrArityMismatch,
+		},
+		{
+			// Head variable missing from the body.
+			NewRule(NewAtom("p", V("X"), V("Y")),
+				NewAtom("a", V("X"), V("Z")), NewAtom("p", V("Z"), V("W"))),
+			ErrNotRangeRestricted,
+		},
+	}
+	for _, tc := range cases {
+		err := ValidateRecursive(tc.rule)
+		if err == nil {
+			t.Errorf("%v: expected error %v, got nil", tc.rule, tc.want)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%v: got %v, want %v", tc.rule, err, tc.want)
+		}
+	}
+}
+
+func TestValidateExit(t *testing.T) {
+	ok := NewRule(NewAtom("p", V("X"), V("Y")), NewAtom("e", V("X"), V("Y")))
+	if err := ValidateExit(ok, "p", 2); err != nil {
+		t.Errorf("valid exit rejected: %v", err)
+	}
+	if err := ValidateExit(ok, "q", 2); err == nil {
+		t.Error("wrong head predicate accepted")
+	}
+	if err := ValidateExit(ok, "p", 3); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	bad := NewRule(NewAtom("p", V("X")), NewAtom("p", V("X")))
+	if err := ValidateExit(bad, "p", 1); err == nil {
+		t.Error("recursive exit body accepted")
+	}
+}
+
+func TestNewRecursiveSystem(t *testing.T) {
+	rec := NewRule(NewAtom("p", V("X"), V("Y")),
+		NewAtom("a", V("X"), V("Z")), NewAtom("p", V("Z"), V("Y")))
+	exit := DefaultExit("p", 2, "e")
+	sys, err := NewRecursiveSystem(rec, exit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Pred() != "p" || sys.Arity() != 2 {
+		t.Errorf("pred/arity = %s/%d", sys.Pred(), sys.Arity())
+	}
+	prog := sys.Program()
+	if len(prog.Rules) != 2 {
+		t.Errorf("program rules = %d", len(prog.Rules))
+	}
+	if _, err := NewRecursiveSystem(exit); err == nil {
+		t.Error("non-recursive rule accepted as recursive")
+	}
+	badExit := NewRule(NewAtom("q", V("X"), V("Y")), NewAtom("e", V("X"), V("Y")))
+	if _, err := NewRecursiveSystem(rec, badExit); err == nil {
+		t.Error("exit for wrong predicate accepted")
+	}
+}
+
+func TestDefaultExit(t *testing.T) {
+	e := DefaultExit("p", 3, "base")
+	if e.String() != "p(x1, x2, x3) :- base(x1, x2, x3)." {
+		t.Errorf("DefaultExit = %v", e)
+	}
+	if err := ValidateExit(e, "p", 3); err != nil {
+		t.Errorf("DefaultExit invalid: %v", err)
+	}
+}

@@ -1,0 +1,50 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dlgen"
+	"repro/internal/paper"
+)
+
+// BenchmarkClassifyCorpus measures one classification pass over the whole
+// paper corpus — the per-rule compilation cost a deductive DBMS would pay
+// at schema-definition time.
+func BenchmarkClassifyCorpus(b *testing.B) {
+	stmts := paper.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range stmts {
+			if _, err := Classify(s.Rule); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkClassifyRandom measures classification over random rules of
+// growing arity (the cycle enumeration dominates).
+func BenchmarkClassifyRandom(b *testing.B) {
+	for _, arity := range []int{2, 4, 6} {
+		rng := rand.New(rand.NewSource(7))
+		cfg := dlgen.Config{MaxArity: arity, MaxAtoms: arity + 1}
+		samples := make([]func() error, 0, 50)
+		for i := 0; i < 50; i++ {
+			rule := dlgen.RandomRule(rng, cfg)
+			samples = append(samples, func() error {
+				_, err := Classify(rule)
+				return err
+			})
+		}
+		b.Run("arity"+string(rune('0'+arity)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, f := range samples {
+					if err := f(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,411 @@
+// Package classify implements the paper's classification of linear recursive
+// formulas (§3): every formula falls into exactly one of the classes
+//
+//	(A1) unit rotational cycles        (A2) unit permutational cycles
+//	(A3) non-unit rotational cycles    (A4) non-unit permutational cycles
+//	(A5) disjoint combinations of different Ai
+//	(B)  bounded cycles                (C)  unbounded cycles
+//	(D)  no non-trivial cycles         (E)  dependent cycles
+//	(F)  mixed: disjoint combinations of different classes
+//
+// plus the derived semantic properties: strong stability (Theorem 1),
+// transformability to a stable formula with the stabilization period
+// (Theorems 2 and 4), and boundedness with rank bounds (Ioannidis's theorem
+// and Theorems 10 and 11).
+package classify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/graph"
+	"repro/internal/igraph"
+)
+
+// Class identifies a formula or component class from §3 of the paper.
+type Class uint8
+
+// Formula and component classes. ClassTrivial marks a component with no
+// directed edge; it never classifies a whole formula.
+const (
+	ClassA1 Class = iota // unit, rotational cycle
+	ClassA2              // unit, permutational cycle (self-loop)
+	ClassA3              // non-unit, rotational cycle
+	ClassA4              // non-unit, permutational cycle
+	ClassA5              // disjoint combination of different Ai
+	ClassB               // bounded cycle (independent, multi-directional, weight 0)
+	ClassC               // unbounded cycle (independent, multi-directional, weight ≠ 0)
+	ClassD               // no non-trivial cycle
+	ClassE               // dependent cycles
+	ClassF               // mixed classes
+	ClassTrivial
+)
+
+// String returns the paper's name of the class.
+func (c Class) String() string {
+	switch c {
+	case ClassA1:
+		return "A1 (unit, rotational)"
+	case ClassA2:
+		return "A2 (unit, permutational)"
+	case ClassA3:
+		return "A3 (non-unit, rotational)"
+	case ClassA4:
+		return "A4 (non-unit, permutational)"
+	case ClassA5:
+		return "A5 (disjoint one-directional combination)"
+	case ClassB:
+		return "B (bounded cycle)"
+	case ClassC:
+		return "C (unbounded cycle)"
+	case ClassD:
+		return "D (no non-trivial cycle)"
+	case ClassE:
+		return "E (dependent cycles)"
+	case ClassF:
+		return "F (mixed)"
+	case ClassTrivial:
+		return "trivial (no directed edge)"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Code returns the short class code ("A1" … "F").
+func (c Class) Code() string {
+	switch c {
+	case ClassA1:
+		return "A1"
+	case ClassA2:
+		return "A2"
+	case ClassA3:
+		return "A3"
+	case ClassA4:
+		return "A4"
+	case ClassA5:
+		return "A5"
+	case ClassB:
+		return "B"
+	case ClassC:
+		return "C"
+	case ClassD:
+		return "D"
+	case ClassE:
+		return "E"
+	case ClassF:
+		return "F"
+	case ClassTrivial:
+		return "trivial"
+	}
+	return "?"
+}
+
+// IsOneDirectional reports whether the class is one of A1–A4 (a single
+// independent one-directional cycle).
+func (c Class) IsOneDirectional() bool {
+	return c == ClassA1 || c == ClassA2 || c == ClassA3 || c == ClassA4
+}
+
+// Component describes one connected component of the I-graph.
+type Component struct {
+	// G is the component subgraph of the original I-graph (the evaluation
+	// engines need the full variable membership).
+	G *graph.Graph
+	// Reduced is the component after the paper's §3 compression (parallel
+	// undirected edges merged, trivial vertices eliminated); the cycle
+	// analysis runs on this form.
+	Reduced *graph.Graph
+	// Class is the component's class: one of A1–A4, B, C, D, E or Trivial.
+	Class Class
+	// Cycle is the independent non-trivial cycle when Class is A1–A4, B or C.
+	Cycle *graph.Cycle
+	// Weight is the absolute cycle weight for independent cycles (the number
+	// of directed edges for one-directional cycles), 0 otherwise.
+	Weight int
+	// NonTrivialCycles holds every simple cycle with a directed edge, for
+	// reporting.
+	NonTrivialCycles []graph.Cycle
+	// DirectedEdgeCount is the number of directed edges in the component.
+	DirectedEdgeCount int
+}
+
+// Result is the complete classification of a linear recursive formula.
+type Result struct {
+	IG         *igraph.IGraph
+	Components []Component
+	// Class is the formula's class per §3.
+	Class Class
+	// Stable reports strong stability: only disjoint unit cycles (Theorem 1).
+	Stable bool
+	// Transformable reports that the formula can be transformed into an
+	// equivalent unit-cycle (stable) formula: every non-trivial component is
+	// an independent one-directional cycle (Corollary 3).
+	Transformable bool
+	// StabilizationPeriod is the LCM of the one-directional cycle weights
+	// (Theorems 2 and 4): the formula becomes stable after each such number
+	// of expansions. Zero when not transformable.
+	StabilizationPeriod int
+	// Permutational reports that every non-trivial component is a
+	// permutational cycle (Theorem 3).
+	Permutational bool
+	// Bounded reports that the formula has a data-independent finite rank.
+	Bounded bool
+	// RankBound is an upper bound on the rank when Bounded. It is tight for
+	// the cases the paper states: Ioannidis's max-path-weight bound when no
+	// cycle has non-zero weight, and LCM−1 for purely permutational formulas
+	// (Theorem 10). For other {A2,A4,B,D} combinations (Theorem 11) a safe
+	// but conservative bound is reported and RankBoundTight is false.
+	RankBound int
+	// RankBoundTight reports whether RankBound is the paper's tight bound.
+	RankBoundTight bool
+}
+
+// Classify builds the I-graph of the rule and classifies it.
+func Classify(rule ast.Rule) (*Result, error) {
+	ig, err := igraph.Build(rule)
+	if err != nil {
+		return nil, err
+	}
+	return ClassifyIGraph(ig), nil
+}
+
+// MustClassify is Classify that panics on error.
+func MustClassify(rule ast.Rule) *Result {
+	r, err := Classify(rule)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ClassifyIGraph classifies an already-built I-graph.
+func ClassifyIGraph(ig *igraph.IGraph) *Result {
+	res := &Result{IG: ig}
+	for _, comp := range ig.G.Components() {
+		res.Components = append(res.Components, classifyComponent(comp))
+	}
+	res.Class = combine(res.Components)
+	res.deriveProperties()
+	return res
+}
+
+// classifyComponent decides the class of one component (§3 definitions).
+// The cycle analysis runs on the component's reduced form, per the paper's
+// compression remark.
+func classifyComponent(orig *graph.Graph) Component {
+	g := orig.Reduce()
+	c := Component{G: orig, Reduced: g, DirectedEdgeCount: len(g.DirectedEdges())}
+	c.NonTrivialCycles = g.NonTrivialCycles()
+	switch {
+	case c.DirectedEdgeCount == 0:
+		c.Class = ClassTrivial
+	case len(c.NonTrivialCycles) == 0:
+		c.Class = ClassD
+	case len(c.NonTrivialCycles) == 1 && c.NonTrivialCycles[0].DirectedCount() == c.DirectedEdgeCount:
+		// Independent cycle: the unique non-trivial cycle carries every
+		// directed edge of the component.
+		cyc := c.NonTrivialCycles[0]
+		c.Cycle = &cyc
+		c.Weight = cyc.AbsWeight()
+		switch {
+		case !cyc.IsOneDirectional():
+			if cyc.Weight() == 0 {
+				c.Class = ClassB
+			} else {
+				c.Class = ClassC
+			}
+		case cyc.IsUnit():
+			if cyc.IsRotational() {
+				c.Class = ClassA1
+			} else {
+				c.Class = ClassA2
+			}
+		default: // one-directional, weight > 1
+			if cyc.IsRotational() {
+				c.Class = ClassA3
+			} else {
+				c.Class = ClassA4
+			}
+		}
+	default:
+		// Several non-trivial cycles sharing connectivity, or a directed
+		// edge attached off-cycle: dependent.
+		c.Class = ClassE
+	}
+	return c
+}
+
+// combine aggregates component classes into the formula class (§3 and
+// Theorems 9/12): a uniform non-trivial class is the formula's class;
+// different Ai's combine to A5; anything else mixes to F.
+func combine(comps []Component) Class {
+	kinds := make(map[Class]bool)
+	for _, c := range comps {
+		if c.Class != ClassTrivial {
+			kinds[c.Class] = true
+		}
+	}
+	switch len(kinds) {
+	case 0:
+		// Cannot happen for a validated recursive rule (directed edges
+		// always exist), but be safe.
+		return ClassTrivial
+	case 1:
+		for k := range kinds {
+			return k
+		}
+	}
+	allA := true
+	for k := range kinds {
+		if !k.IsOneDirectional() {
+			allA = false
+			break
+		}
+	}
+	if allA {
+		return ClassA5
+	}
+	return ClassF
+}
+
+func (r *Result) deriveProperties() {
+	r.Stable = true
+	r.Transformable = true
+	r.Permutational = true
+	boundedCombo := true // all components in {A2, A4, B, D}
+	period := 1
+	for _, c := range r.Components {
+		switch c.Class {
+		case ClassTrivial:
+			continue
+		case ClassA1, ClassA2:
+			// unit cycles keep everything true
+		default:
+			r.Stable = false
+		}
+		if c.Class.IsOneDirectional() {
+			period = lcm(period, c.Weight)
+		} else {
+			r.Transformable = false
+		}
+		if c.Class != ClassA2 && c.Class != ClassA4 {
+			r.Permutational = false
+		}
+		switch c.Class {
+		case ClassA2, ClassA4, ClassB, ClassD, ClassTrivial:
+		default:
+			boundedCombo = false
+		}
+	}
+	if r.Transformable {
+		r.StabilizationPeriod = period
+	}
+
+	// Boundedness (Ioannidis's theorem, Theorems 10 and 11), analyzed on
+	// the reduced components: compression preserves the weight structure
+	// while exposing exactly the determined-variable connectivity.
+	hasNonZeroCycle := false
+	maxPath := 0
+	for _, c := range r.Components {
+		if c.Reduced == nil {
+			continue
+		}
+		if c.Reduced.HasNonZeroWeightCycle() {
+			hasNonZeroCycle = true
+		}
+		if w := c.Reduced.MaxPathWeight(); w > maxPath {
+			maxPath = w
+		}
+	}
+	switch {
+	case !hasNonZeroCycle:
+		// No permutational patterns either (those cycles have weight ≥ 1),
+		// so Ioannidis's theorem applies with its tight max-path bound.
+		r.Bounded = true
+		r.RankBound = maxPath
+		r.RankBoundTight = true
+	case r.Permutational:
+		// Theorem 10: tight bound LCM − 1.
+		r.Bounded = true
+		r.RankBound = r.StabilizationPeriod - 1
+		r.RankBoundTight = true
+	case boundedCombo:
+		// Theorem 11: bounded; the paper gives no closed bound for the
+		// mixture, so report a safe conservative one: within every window of
+		// L expansions the permutational part revisits each alignment while
+		// the zero-weight part is contained within its Ioannidis bound.
+		r.Bounded = true
+		L := 1
+		maxPath := 0
+		for _, c := range r.Components {
+			switch c.Class {
+			case ClassA2, ClassA4:
+				L = lcm(L, c.Weight)
+			case ClassB, ClassD:
+				if w := c.Reduced.MaxPathWeight(); w > maxPath {
+					maxPath = w
+				}
+			}
+		}
+		r.RankBound = (maxPath+1)*L - 1
+		r.RankBoundTight = false
+	default:
+		r.Bounded = false
+		r.RankBound = -1
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd(a, b) * b
+}
+
+// LCM returns the least common multiple of the arguments (LCM() = 1).
+func LCM(ns ...int) int {
+	out := 1
+	for _, n := range ns {
+		out = lcm(out, n)
+	}
+	return out
+}
+
+// Explain renders a human-readable classification report.
+func (r *Result) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule: %s\n", r.IG.Rule)
+	fmt.Fprintf(&b, "dimension: %d\n", r.IG.Dimension())
+	fmt.Fprintf(&b, "class: %s\n", r.Class)
+	for i, c := range r.Components {
+		fmt.Fprintf(&b, "component %d: %s", i+1, c.Class)
+		if c.Cycle != nil {
+			fmt.Fprintf(&b, " | cycle %s | weight %d", c.Cycle, c.Weight)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "strongly stable: %v\n", r.Stable)
+	fmt.Fprintf(&b, "transformable to stable: %v", r.Transformable)
+	if r.Transformable {
+		fmt.Fprintf(&b, " (stabilization period %d)", r.StabilizationPeriod)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "permutational: %v\n", r.Permutational)
+	if r.Bounded {
+		tight := "tight"
+		if !r.RankBoundTight {
+			tight = "conservative"
+		}
+		fmt.Fprintf(&b, "bounded: true (rank bound %d, %s)\n", r.RankBound, tight)
+	} else {
+		fmt.Fprintf(&b, "bounded: false\n")
+	}
+	return b.String()
+}

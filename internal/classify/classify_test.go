@@ -1,0 +1,66 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func mustRule(t *testing.T, src string) (r struct{}) { t.Helper(); return }
+
+func TestPaperCorpusClasses(t *testing.T) {
+	// Expectations straight from the paper (erratum for s12 noted in the
+	// paper package).
+	cases := []struct {
+		id, rule, wantClass string
+		stable              bool
+		transformable       bool
+		period              int
+		bounded             bool
+		rank                int // -1 when unbounded or when we don't check
+	}{
+		{"s1a", "p(X,Y) :- a(X,Z), p(Z,Y).", "A5", true, true, 1, false, -1},
+		{"s1b", "p(X,Y,Z) :- a(X,Y), p(U,Z,V), b(U,V).", "C", false, false, 0, false, -1},
+		{"s2a", "p(X,Y) :- a(X,Z), p(Z,U), b(U,Y).", "A1", true, true, 1, false, -1},
+		{"s3", "p(X,Y,Z) :- a(X,U), b(Y,V), p(U,V,W), c(W,Z).", "A1", true, true, 1, false, -1},
+		{"s4a", "p(X1,X2,X3) :- a(X1,Y3), b(X2,Y1), c(Y2,X3), p(Y1,Y2,Y3).", "A3", false, true, 3, false, -1},
+		{"s5", "p(X,Y,Z) :- p(Y,Z,X).", "A4", false, true, 3, true, 2},
+		{"s6", "p(X,Y,Z,U,V,W) :- p(Z,Y,U,X,W,V).", "A5", false, true, 6, true, 5},
+		{"s7", "p(X,Y,Z,U,W,S,V) :- a(X,T), p(T,Z,Y,W,S,R,V), b(U,R).", "A5", false, true, 6, false, -1},
+		{"s8", "p(X,Y,Z,U) :- a(X,Y), b(Y1,U), c(Z1,U1), p(Z,Y1,Z1,U1).", "B", false, false, 0, true, 2},
+		{"s9", "p(X,Y,Z) :- a(X,Y), b(U,V), p(U,Z,V).", "C", false, false, 0, false, -1},
+		{"s10", "p(X,Y) :- b(Y), c(X,Y1), p(X1,Y1).", "D", false, false, 0, true, 2},
+		{"s11", "p(X,Y) :- a(X,X1), b(Y,Y1), c(X1,Y1), p(X1,Y1).", "E", false, false, 0, false, -1},
+		{"s12", "p(X,Y,Z) :- a(X,U), b(Y,V), c(U,V), d(W,Z), p(U,V,W).", "F", false, false, 0, false, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.id, func(t *testing.T) {
+			rule, err := parser.ParseRule(tc.rule)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res, err := Classify(rule)
+			if err != nil {
+				t.Fatalf("classify: %v", err)
+			}
+			if got := res.Class.Code(); got != tc.wantClass {
+				t.Errorf("class = %s, want %s\n%s", got, tc.wantClass, res.Explain())
+			}
+			if res.Stable != tc.stable {
+				t.Errorf("stable = %v, want %v\n%s", res.Stable, tc.stable, res.Explain())
+			}
+			if res.Transformable != tc.transformable {
+				t.Errorf("transformable = %v, want %v", res.Transformable, tc.transformable)
+			}
+			if res.Transformable && res.StabilizationPeriod != tc.period {
+				t.Errorf("period = %d, want %d", res.StabilizationPeriod, tc.period)
+			}
+			if res.Bounded != tc.bounded {
+				t.Errorf("bounded = %v, want %v\n%s", res.Bounded, tc.bounded, res.Explain())
+			}
+			if tc.bounded && tc.rank >= 0 && res.RankBound != tc.rank {
+				t.Errorf("rank bound = %d, want %d", res.RankBound, tc.rank)
+			}
+		})
+	}
+}

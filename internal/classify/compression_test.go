@@ -1,0 +1,62 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adorn"
+	"repro/internal/dlgen"
+	"repro/internal/parser"
+)
+
+// TestCompressionRemarkExample reproduces the paper's §3 Remark:
+// p(X,Y) :- a(X,U), b(X,Z), c(Z,U), p(U,Y) compresses to abc(X,U) and
+// "the formula has two independent cycles" — i.e., it is strongly stable.
+func TestCompressionRemarkExample(t *testing.T) {
+	rule := parser.MustParseRule("p(X, Y) :- a(X, U), b(X, Z), c(Z, U), p(U, Y).")
+	res := MustClassify(rule)
+	if !res.Stable {
+		t.Fatalf("remark example not stable:\n%s", res.Explain())
+	}
+	if res.Class.Code() != "A5" { // unit rotational on {x,u} ⊎ self-loop on y
+		t.Errorf("class = %s", res.Class.Code())
+	}
+	if !adorn.SemanticallyStable(rule) {
+		t.Error("semantic stability disagrees")
+	}
+}
+
+// TestCompressionRegressionTrivialVertexPath is the random counterexample
+// the theorem sweep found before trivial-vertex elimination was
+// implemented: a redundant undirected connection through a trivial variable
+// (Z1) must compress away, leaving a single unit cycle.
+func TestCompressionRegressionTrivialVertexPath(t *testing.T) {
+	rule := parser.MustParseRule("p(X1) :- a(Z1), b(X1, Z1), g(Y1, X1), b(Y1, Z1), p(Y1).")
+	res := MustClassify(rule)
+	if !res.Stable {
+		t.Fatalf("not stable after reduction:\n%s", res.Explain())
+	}
+	if got := adorn.SemanticallyStable(rule); got != res.Stable {
+		t.Fatalf("Theorem 1 violated: semantic=%v syntactic=%v", got, res.Stable)
+	}
+}
+
+// TestTheorem1LargeSweep hammers Theorem 1 with many seeds — the sweep that
+// originally exposed the missing compression.
+func TestTheorem1LargeSweep(t *testing.T) {
+	trials := 3000
+	if testing.Short() {
+		trials = 300
+	}
+	for _, seed := range []int64{1, 2, 3, 1988} {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < trials; i++ {
+			rule := dlgen.RandomRule(rng, dlgen.Config{MaxArity: 3})
+			res := MustClassify(rule)
+			if adorn.SemanticallyStable(rule) != res.Stable {
+				t.Fatalf("seed %d trial %d: Theorem 1 violated by %v\n%s",
+					seed, i, rule, res.Explain())
+			}
+		}
+	}
+}

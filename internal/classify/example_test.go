@@ -1,0 +1,39 @@
+package classify_test
+
+import (
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/parser"
+)
+
+// ExampleClassify analyzes the paper's statement (s3): three disjoint unit
+// cycles, hence strongly stable.
+func ExampleClassify() {
+	rule := parser.MustParseRule("p(X, Y, Z) :- a(X, U), b(Y, V), p(U, V, W), c(W, Z).")
+	res, err := classify.Classify(rule)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("class:", res.Class.Code())
+	fmt.Println("components:", len(res.Components))
+	fmt.Println("strongly stable:", res.Stable)
+	fmt.Println("bounded:", res.Bounded)
+	// Output:
+	// class: A1
+	// components: 3
+	// strongly stable: true
+	// bounded: false
+}
+
+// ExampleClassify_bounded analyzes the paper's statement (s8): a
+// multi-directional cycle of weight 0, bounded with Ioannidis's rank 2.
+func ExampleClassify_bounded() {
+	rule := parser.MustParseRule("p(X, Y, Z, U) :- a(X, Y), b(Y1, U), c(Z1, U1), p(Z, Y1, Z1, U1).")
+	res := classify.MustClassify(rule)
+	fmt.Println("class:", res.Class.Code())
+	fmt.Printf("bounded: %v (rank %d)\n", res.Bounded, res.RankBound)
+	// Output:
+	// class: B
+	// bounded: true (rank 2)
+}

@@ -1,0 +1,251 @@
+package classify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dlgen"
+	"repro/internal/parser"
+)
+
+// TestTheorem12Completeness: every admissible random rule receives exactly
+// one well-defined class, and the per-component classes are from the
+// component taxonomy.
+func TestTheorem12Completeness(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 500; trial++ {
+		rule := dlgen.RandomRule(rng, dlgen.Config{})
+		res, err := Classify(rule)
+		if err != nil {
+			t.Fatalf("%v: %v", rule, err)
+		}
+		switch res.Class {
+		case ClassA1, ClassA2, ClassA3, ClassA4, ClassA5, ClassB, ClassC, ClassD, ClassE, ClassF:
+		default:
+			t.Fatalf("%v: formula class %v outside the taxonomy", rule, res.Class)
+		}
+		nontrivial := 0
+		for _, c := range res.Components {
+			switch c.Class {
+			case ClassA1, ClassA2, ClassA3, ClassA4, ClassB, ClassC, ClassD, ClassE:
+				nontrivial++
+			case ClassTrivial:
+			default:
+				t.Fatalf("%v: component class %v not allowed", rule, c.Class)
+			}
+		}
+		if nontrivial == 0 {
+			t.Fatalf("%v: no non-trivial component in a recursive rule", rule)
+		}
+		// Consistency of derived flags.
+		if res.Stable && !res.Transformable {
+			t.Fatalf("%v: stable but not transformable", rule)
+		}
+		if res.Stable && res.StabilizationPeriod != 1 {
+			t.Fatalf("%v: stable with period %d", rule, res.StabilizationPeriod)
+		}
+		if res.Permutational && !res.Bounded {
+			t.Fatalf("%v: permutational must be bounded (Theorem 10)", rule)
+		}
+		if res.Bounded && res.RankBound < 0 {
+			t.Fatalf("%v: bounded with negative rank", rule)
+		}
+	}
+}
+
+// TestClassAggregation covers the combination rules of §3 and Theorem 9.
+func TestClassAggregation(t *testing.T) {
+	cases := []struct {
+		rule string
+		want string
+	}{
+		// Two components, both A1 → A1.
+		{"p(X, Y) :- a(X, X1), b(Y, Y1), p(X1, Y1).", "A1"},
+		// A1 ⊎ A2 → A5.
+		{"p(X, Y) :- a(X, X1), p(X1, Y).", "A5"},
+		// A2 ⊎ A4 → A5 (permutational, bounded by Theorem 10).
+		{"p(X, Y, Z) :- p(X, Z, Y).", "A5"},
+		// A1 ⊎ D → F (Theorem 9: mixed cannot be unit-cycle).
+		{"p(X, Y) :- a(X, X1), b(Y, W), p(X1, Y1), c(Y1).", "F"},
+		// Two unit rotational cycles in opposite chain directions: still A1.
+		{"p(X, Y) :- a(X, Y1), p(Y1, X1), b(X1, Y).", "A1"},
+		// B alone: single multi-directional cycle of weight 0.
+		{"p(X, Y) :- a(X, Y), p(X1, Y1), b(X1, Y1).", "B"},
+		// E: directed edge hanging off a unit cycle (dependent).
+		{"p(X, Y) :- a(X, X1), b(X, Y1), c(Y), p(X1, Y1).", "E"},
+	}
+	for _, tc := range cases {
+		rule := parser.MustParseRule(tc.rule)
+		res, err := Classify(rule)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.rule, err)
+		}
+		if res.Class.Code() != tc.want {
+			t.Errorf("%s: class %s, want %s\n%s", tc.rule, res.Class.Code(), tc.want, res.Explain())
+		}
+	}
+}
+
+// TestDependentCycleCases covers the three cases of Theorem 8's proof.
+func TestDependentCycleCases(t *testing.T) {
+	cases := []struct {
+		name, rule string
+	}{
+		// CASE 1: an undirected edge whose both nodes are tails.
+		{"tails-shared", "p(X, Y) :- a(X, Y), p(X1, Y1), b(X1, Y1), c(X, X1), d(Y, Y1)."},
+		// CASE 3: extra undirected edge across a one-directional cycle of
+		// weight 2 making it dependent.
+		{"chord", "p(X, Y) :- a(X, Y1), b(Y, X1), c(X, X1), p(X1, Y1)."},
+	}
+	for _, tc := range cases {
+		rule := parser.MustParseRule(tc.rule)
+		res, err := Classify(rule)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Transformable {
+			t.Errorf("%s (%s): dependent formula marked transformable\n%s", tc.name, tc.rule, res.Explain())
+		}
+		hasE := false
+		for _, c := range res.Components {
+			if c.Class == ClassE {
+				hasE = true
+			}
+		}
+		if !hasE {
+			t.Errorf("%s (%s): no dependent component found\n%s", tc.name, tc.rule, res.Explain())
+		}
+	}
+}
+
+// TestTheorem10TightBound: pure permutations have rank bound LCM−1.
+func TestTheorem10TightBound(t *testing.T) {
+	cases := []struct {
+		rule string
+		want int
+	}{
+		{"p(X, Y) :- p(Y, X).", 1},                         // swap: lcm 2
+		{"p(X, Y, Z) :- p(Y, Z, X).", 2},                   // 3-cycle
+		{"p(X, Y, Z, U, V, W) :- p(Z, Y, U, X, W, V).", 5}, // s6: lcm(3,1,2)=6
+		{"p(X) :- p(X).", 0},                               // identity
+	}
+	for _, tc := range cases {
+		res := MustClassify(parser.MustParseRule(tc.rule))
+		if !res.Bounded || !res.RankBoundTight {
+			t.Errorf("%s: bounded=%v tight=%v", tc.rule, res.Bounded, res.RankBoundTight)
+		}
+		if res.RankBound != tc.want {
+			t.Errorf("%s: rank = %d, want %d", tc.rule, res.RankBound, tc.want)
+		}
+	}
+}
+
+// TestTheorem11MixedBoundedCombination: {A2, A4, B, D} combinations are
+// bounded; the reported (conservative) bound must be at least each part's.
+func TestTheorem11MixedBoundedCombination(t *testing.T) {
+	// A4 (swap on X,Y) ⊎ D (dangling directed edge Z -> W1).
+	rule := parser.MustParseRule("p(X, Y, Z) :- a(Z), p(Y, X, W1), b(W1).")
+	res := MustClassify(rule)
+	if !res.Bounded {
+		t.Fatalf("Theorem 11 combination not bounded:\n%s", res.Explain())
+	}
+	if res.RankBoundTight {
+		t.Error("mixed combination bound must be flagged conservative")
+	}
+	if res.RankBound < 1 {
+		t.Errorf("conservative bound %d too small", res.RankBound)
+	}
+	if res.Class.Code() != "F" {
+		t.Errorf("class = %s, want F", res.Class.Code())
+	}
+}
+
+// TestIoannidisTheoremOnRandomRules: a random rule with no permutational
+// pattern is bounded iff its I-graph has no non-zero-weight cycle.
+func TestIoannidisTheoremOnRandomRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for trial := 0; trial < 400; trial++ {
+		rule := dlgen.RandomRule(rng, dlgen.Config{})
+		res := MustClassify(rule)
+		if res.Permutational {
+			continue // Theorem 10 territory
+		}
+		hasPermComponent := false
+		for _, c := range res.Components {
+			if c.Class == ClassA2 || c.Class == ClassA4 {
+				hasPermComponent = true
+			}
+		}
+		if hasPermComponent {
+			continue // mixed Theorem 11 territory
+		}
+		noNonZero := !res.IG.G.HasNonZeroWeightCycle()
+		if noNonZero != res.Bounded {
+			t.Fatalf("Ioannidis violated by %v: noNonZeroCycle=%v bounded=%v\n%s",
+				rule, noNonZero, res.Bounded, res.Explain())
+		}
+		if res.Bounded && res.RankBound != res.IG.G.MaxPathWeight() {
+			t.Fatalf("%v: rank %d != max path weight %d", rule, res.RankBound, res.IG.G.MaxPathWeight())
+		}
+	}
+}
+
+func TestExplainMentionsEverything(t *testing.T) {
+	res := MustClassify(parser.MustParseRule("p(X, Y) :- a(X, Z), p(Z, Y)."))
+	out := res.Explain()
+	for _, want := range []string{"class:", "component 1", "strongly stable", "bounded", "dimension: 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClassStringAndCode(t *testing.T) {
+	all := []Class{ClassA1, ClassA2, ClassA3, ClassA4, ClassA5, ClassB, ClassC, ClassD, ClassE, ClassF, ClassTrivial}
+	seen := map[string]bool{}
+	for _, c := range all {
+		if c.String() == "" || c.Code() == "" || c.Code() == "?" {
+			t.Errorf("class %d renders badly: %q %q", c, c.String(), c.Code())
+		}
+		if seen[c.Code()] {
+			t.Errorf("duplicate code %s", c.Code())
+		}
+		seen[c.Code()] = true
+	}
+	if Class(99).Code() != "?" {
+		t.Error("unknown class code")
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want int
+	}{
+		{nil, 1},
+		{[]int{3}, 3},
+		{[]int{2, 3}, 6},
+		{[]int{4, 6}, 12},
+		{[]int{1, 2, 3, 1}, 6}, // s7's cycle weights
+		{[]int{0, 5}, 0},
+	}
+	for _, tc := range cases {
+		if got := LCM(tc.in...); got != tc.want {
+			t.Errorf("LCM(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyRejectsInvalid(t *testing.T) {
+	rule := parser.MustParseRule("p(X) :- a(X).")
+	if _, err := Classify(rule); err == nil {
+		t.Error("non-recursive rule classified")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustClassify did not panic")
+		}
+	}()
+	MustClassify(rule)
+}

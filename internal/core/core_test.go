@@ -1,0 +1,178 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+const tcSrc = `
+	p(X, Y) :- a(X, Z), p(Z, Y).
+	p(X, Y) :- e(X, Y).
+`
+
+func TestParseHappyPath(t *testing.T) {
+	c, err := Parse(tcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sys.Pred() != "p" || c.Sys.Arity() != 2 {
+		t.Errorf("system = %s/%d", c.Sys.Pred(), c.Sys.Arity())
+	}
+	if got := c.Class().Code(); got != "A5" {
+		t.Errorf("class = %s", got)
+	}
+	if !c.Result.Stable {
+		t.Error("TC shape not stable")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"syntax", "p(X :- ."},
+		{"no recursion", "p(X, Y) :- e(X, Y)."},
+		{"two recursive rules", `
+			p(X, Y) :- a(X, Z), p(Z, Y).
+			p(X, Y) :- b(X, Z), p(Z, Y).
+			p(X, Y) :- e(X, Y).`},
+		{"no exits", "p(X, Y) :- a(X, Z), p(Z, Y)."},
+		{"foreign rule", `
+			p(X, Y) :- a(X, Z), p(Z, Y).
+			p(X, Y) :- e(X, Y).
+			q(X) :- r(X).`},
+		{"fact in text", tcSrc + "\na(x, y)."},
+		{"query in text", tcSrc + "\n?- p(X, Y)."},
+		{"invalid recursion", "p(X, Y) :- a(X, k), p(X, Y).\np(X, Y) :- e(X, Y)."},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("nope")
+}
+
+func TestExplainContainsSections(t *testing.T) {
+	c := MustParse(tcSrc)
+	out := c.Explain()
+	for _, want := range []string{"recursive rule:", "exit rules:", "I-graph:", "class:", "strongly stable: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q", want)
+		}
+	}
+}
+
+func TestAnswerAndAnswerWith(t *testing.T) {
+	c := MustParse(tcSrc)
+	db := storage.NewDatabase()
+	storage.GenChain(db, "a", 7)
+	db.Set("e", db.Rel("a").Clone())
+	q, _ := parser.ParseQuery("?- p(n0, Y).")
+	ans, _, err := c.Answer(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 6 {
+		t.Errorf("answers = %d, want 6", ans.Len())
+	}
+	for _, s := range eval.Strategies() {
+		got, _, err := c.AnswerWith(s, q, db)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !got.Equal(ans) {
+			t.Errorf("%v differs", s)
+		}
+	}
+}
+
+func TestPlanForValidation(t *testing.T) {
+	c := MustParse(tcSrc)
+	q, _ := parser.ParseQuery("?- p(n0, Y).")
+	f, err := c.PlanFor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Closed == "" {
+		t.Error("stable formula without closed plan")
+	}
+	bad, _ := parser.ParseQuery("?- q(n0).")
+	if _, err := c.PlanFor(bad); err == nil {
+		t.Error("mismatched query accepted")
+	}
+	if _, err := c.ExplainQuery(bad); err == nil {
+		t.Error("ExplainQuery accepted bad query")
+	}
+	report, err := c.ExplainQuery(q)
+	if err != nil || !strings.Contains(report, "plan:") {
+		t.Errorf("ExplainQuery = %q, %v", report, err)
+	}
+}
+
+func TestToStableOnTransformable(t *testing.T) {
+	c := MustParse(`
+		p(X1, X2, X3) :- a(X1, Y3), b(X2, Y1), c(Y2, X3), p(Y1, Y2, Y3).
+		p(X1, X2, X3) :- e(X1, X2, X3).
+	`)
+	if c.Class().Code() != "A3" {
+		t.Fatalf("class = %s", c.Class().Code())
+	}
+	sc, err := c.ToStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Result.Stable {
+		t.Error("transformed compilation not stable")
+	}
+	if len(sc.Sys.Exits) != 3 {
+		t.Errorf("exits = %d", len(sc.Sys.Exits))
+	}
+	// Non-transformable systems refuse.
+	c2 := MustParse(`
+		p(X, Y) :- a(X, X1), b(Y, Y1), c(X1, Y1), p(X1, Y1).
+		p(X, Y) :- e(X, Y).
+	`)
+	if _, err := c2.ToStable(); err == nil {
+		t.Error("dependent system transformed")
+	}
+}
+
+func TestNonRecursiveOnBounded(t *testing.T) {
+	c := MustParse(`
+		p(X, Y) :- b(Y), c(X, Y1), p(X1, Y1).
+		p(X, Y) :- e(X, Y).
+	`)
+	rules, err := c.NonRecursive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Errorf("rules = %d, want 3", len(rules))
+	}
+	tc := MustParse(tcSrc)
+	if _, err := tc.NonRecursive(); err == nil {
+		t.Error("unbounded system expanded")
+	}
+}
+
+func TestResolutionGraphAccessor(t *testing.T) {
+	c := MustParse(tcSrc)
+	r := c.ResolutionGraph(3)
+	if r.K != 3 {
+		t.Errorf("K = %d", r.K)
+	}
+	if r.G.NumEdges() != c.IGraph.G.NumEdges()*3 {
+		t.Errorf("G3 edges = %d", r.G.NumEdges())
+	}
+}

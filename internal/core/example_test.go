@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// ExampleParse shows the basic pipeline: parse a linear recursive system,
+// inspect its class, and read off the compiled plan for a query form.
+func ExampleParse() {
+	c, err := core.Parse(`
+		p(X, Y) :- a(X, Z), p(Z, Y).
+		p(X, Y) :- e(X, Y).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("class:", c.Class().Code())
+	fmt.Println("stable:", c.Result.Stable)
+
+	q, _ := parser.ParseQuery("?- p(a, Y).")
+	f, _ := c.PlanFor(q)
+	fmt.Println("plan:", f.Closed)
+	// Output:
+	// class: A5
+	// stable: true
+	// plan: ∪_{k=0}^∞ [ σ(a)^k - E ]
+}
+
+// ExampleCompilation_Answer evaluates a bound transitive-closure query with
+// the class-appropriate compiled engine.
+func ExampleCompilation_Answer() {
+	c := core.MustParse(`
+		p(X, Y) :- a(X, Z), p(Z, Y).
+		p(X, Y) :- a(X, Y).
+	`)
+	db := storage.NewDatabase()
+	for _, e := range [][2]string{{"a1", "a2"}, {"a2", "a3"}, {"a3", "a4"}} {
+		if _, err := db.Insert("a", e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	q, _ := parser.ParseQuery("?- p(a1, Y).")
+	ans, _, err := c.Answer(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("answers:", ans.Len())
+	// Output:
+	// answers: 3
+}
+
+// ExampleCompilation_ToStable unfolds a weight-3 one-directional cycle into
+// an equivalent strongly stable system (Theorem 2).
+func ExampleCompilation_ToStable() {
+	c := core.MustParse(`
+		p(X1, X2, X3) :- a(X1, Y3), b(X2, Y1), c(Y2, X3), p(Y1, Y2, Y3).
+		p(X1, X2, X3) :- e(X1, X2, X3).
+	`)
+	fmt.Println("class:", c.Class().Code())
+	fmt.Println("period:", c.Result.StabilizationPeriod)
+	sc, err := c.ToStable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stable:", sc.Result.Stable, "with", len(sc.Sys.Exits), "exit rules")
+	// Output:
+	// class: A3
+	// period: 3
+	// stable: true with 3 exit rules
+}
+
+// ExampleCompilation_NonRecursive eliminates a bounded ("pseudo") recursion.
+func ExampleCompilation_NonRecursive() {
+	c := core.MustParse(`
+		p(X, Y) :- b(Y), c(X, Y1), p(X1, Y1).
+		p(X, Y) :- e(X, Y).
+	`)
+	fmt.Println("bounded with rank:", c.Result.RankBound)
+	rules, err := c.NonRecursive()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rules {
+		fmt.Println(r)
+	}
+	// Output:
+	// bounded with rank: 2
+	// p(X, Y) :- e(X, Y).
+	// p(X, Y) :- b(Y), c(X, Y1), e(X1, Y1).
+	// p(X, Y) :- b(Y), c(X, Y1), b(Y1), c(X1, Y1#2), e(X1#2, Y1#2).
+}

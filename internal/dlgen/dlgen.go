@@ -1,0 +1,190 @@
+// Package dlgen generates random linear recursive systems satisfying the
+// paper's §2 restrictions, plus matching random databases. It powers the
+// property-based tests (theorem checks over random formulas) and the
+// robustness benchmarks.
+package dlgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// Config bounds the shape of generated rules.
+type Config struct {
+	// MaxArity bounds the recursive predicate's arity (≥ 1). Default 4.
+	MaxArity int
+	// MaxExtraVars bounds the fresh variables used only by non-recursive
+	// literals. Default 2.
+	MaxExtraVars int
+	// MaxAtoms bounds the number of non-recursive body literals. Default 4.
+	MaxAtoms int
+	// EDBPreds is the pool of non-recursive predicate names. Default a..f.
+	EDBPreds []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxArity <= 0 {
+		c.MaxArity = 4
+	}
+	if c.MaxExtraVars < 0 {
+		c.MaxExtraVars = 0
+	} else if c.MaxExtraVars == 0 {
+		c.MaxExtraVars = 2
+	}
+	if c.MaxAtoms <= 0 {
+		c.MaxAtoms = 4
+	}
+	if len(c.EDBPreds) == 0 {
+		c.EDBPreds = []string{"a", "b", "c", "d", "f", "g"}
+	}
+	return c
+}
+
+// RandomRule generates a random rule satisfying every restriction of §2:
+// linear recursion, no constants, no repeated variable under either
+// occurrence of the recursive predicate, and range restriction. The result
+// always passes ast.ValidateRecursive.
+func RandomRule(rng *rand.Rand, cfg Config) ast.Rule {
+	cfg = cfg.withDefaults()
+	n := 1 + rng.Intn(cfg.MaxArity)
+	headVars := make([]string, n)
+	for i := range headVars {
+		headVars[i] = fmt.Sprintf("X%d", i+1)
+	}
+
+	// The recursive literal's arguments: an injective assignment where each
+	// position holds either a head variable (used at most once) or a fresh
+	// variable.
+	recVars := make([]string, n)
+	headPerm := rng.Perm(n)
+	used := 0
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) > 0 && used < n {
+			recVars[i] = headVars[headPerm[used]]
+			used++
+		} else {
+			recVars[i] = fmt.Sprintf("Y%d", i+1)
+		}
+	}
+
+	// Variable pool for the non-recursive literals.
+	pool := append([]string{}, headVars...)
+	pool = append(pool, recVars...)
+	extra := rng.Intn(cfg.MaxExtraVars + 1)
+	for i := 0; i < extra; i++ {
+		pool = append(pool, fmt.Sprintf("Z%d", i+1))
+	}
+
+	// Assign every EDB predicate a fixed arity so the same predicate is
+	// never used inconsistently within (or across) rules.
+	arities := make(map[string]int, len(cfg.EDBPreds))
+	for i, p := range cfg.EDBPreds {
+		arities[p] = 1 + i%2 // alternate unary / binary, like the paper's examples
+	}
+	var body []ast.Atom
+	nAtoms := rng.Intn(cfg.MaxAtoms + 1)
+	for i := 0; i < nAtoms; i++ {
+		pred := cfg.EDBPreds[rng.Intn(len(cfg.EDBPreds))]
+		args := make([]ast.Term, arities[pred])
+		for j := range args {
+			args[j] = ast.V(pool[rng.Intn(len(pool))])
+		}
+		body = append(body, ast.NewAtom(pred, args...))
+	}
+
+	// Range restriction: every head variable must appear in the body. Head
+	// variables used in the recursive literal already do; cover the rest
+	// with extra unary or binary literals.
+	inBody := make(map[string]bool)
+	for _, v := range recVars {
+		inBody[v] = true
+	}
+	for _, a := range body {
+		for _, t := range a.Args {
+			inBody[t.Name] = true
+		}
+	}
+	for _, h := range headVars {
+		if inBody[h] {
+			continue
+		}
+		pred := cfg.EDBPreds[rng.Intn(len(cfg.EDBPreds))]
+		args := make([]ast.Term, arities[pred])
+		args[0] = ast.V(h)
+		for j := 1; j < len(args); j++ {
+			args[j] = ast.V(pool[rng.Intn(len(pool))])
+		}
+		body = append(body, ast.NewAtom(pred, args...))
+		inBody[h] = true
+	}
+
+	recArgs := make([]ast.Term, n)
+	for i, v := range recVars {
+		recArgs[i] = ast.V(v)
+	}
+	headArgs := make([]ast.Term, n)
+	for i, v := range headVars {
+		headArgs[i] = ast.V(v)
+	}
+	// Insert the recursive literal at a random body position.
+	rec := ast.NewAtom("p", recArgs...)
+	pos := 0
+	if len(body) > 0 {
+		pos = rng.Intn(len(body) + 1)
+	}
+	full := make([]ast.Atom, 0, len(body)+1)
+	full = append(full, body[:pos]...)
+	full = append(full, rec)
+	full = append(full, body[pos:]...)
+	return ast.NewRule(ast.NewAtom("p", headArgs...), full...)
+}
+
+// RandomSystem wraps RandomRule with the generic exit rule p(..) :- e(..).
+func RandomSystem(rng *rand.Rand, cfg Config) *ast.RecursiveSystem {
+	rule := RandomRule(rng, cfg)
+	sys, err := ast.NewRecursiveSystem(rule, ast.DefaultExit("p", rule.Head.Arity(), "e"))
+	if err != nil {
+		// RandomRule guarantees validity; a failure here is a generator bug.
+		panic(fmt.Sprintf("dlgen: generated invalid rule %v: %v", rule, err))
+	}
+	return sys
+}
+
+// RandomDB builds a database covering every EDB predicate of the system
+// with random relations over the given domain.
+func RandomDB(sys *ast.RecursiveSystem, domain, perRelation int, seed int64) (*storage.Database, error) {
+	db := storage.NewDatabase()
+	prog := sys.Program()
+	for _, pred := range prog.EDBPreds() {
+		arity := 0
+		for _, r := range prog.Rules {
+			for _, a := range r.Body {
+				if a.Pred == pred {
+					arity = a.Arity()
+				}
+			}
+		}
+		if err := storage.GenRandomRelation(db, pred, arity, domain, perRelation, seed+int64(len(pred))+int64(pred[0])); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// RandomQuery builds a query over the system's predicate with each position
+// independently bound (to a domain constant) or free.
+func RandomQuery(rng *rand.Rand, sys *ast.RecursiveSystem, domain int) ast.Query {
+	n := sys.Arity()
+	args := make([]ast.Term, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			args[i] = ast.C(fmt.Sprintf("n%d", rng.Intn(domain)))
+		} else {
+			args[i] = ast.V(fmt.Sprintf("Q%d", i))
+		}
+	}
+	return ast.Query{Atom: ast.NewAtom(sys.Pred(), args...)}
+}

@@ -1,0 +1,100 @@
+package dlgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestRandomRuleAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		rule := RandomRule(rng, Config{})
+		if err := ast.ValidateRecursive(rule); err != nil {
+			t.Fatalf("trial %d: %v: %v", i, rule, err)
+		}
+	}
+}
+
+func TestRandomRuleArityConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		rule := RandomRule(rng, Config{})
+		arities := map[string]int{}
+		for _, a := range rule.NonRecursiveAtoms() {
+			if prev, ok := arities[a.Pred]; ok && prev != a.Arity() {
+				t.Fatalf("trial %d: predicate %s used at arities %d and %d in %v",
+					i, a.Pred, prev, a.Arity(), rule)
+			}
+			arities[a.Pred] = a.Arity()
+		}
+	}
+}
+
+func TestRandomRuleRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		rule := RandomRule(rng, Config{MaxArity: 2, MaxAtoms: 1, MaxExtraVars: -1})
+		if rule.Head.Arity() > 2 {
+			t.Fatalf("arity %d > 2", rule.Head.Arity())
+		}
+	}
+}
+
+func TestRandomRuleDiversity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	shapes := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		shapes[RandomRule(rng, Config{}).String()] = true
+	}
+	if len(shapes) < 150 {
+		t.Errorf("only %d distinct rules out of 300", len(shapes))
+	}
+}
+
+func TestRandomSystemAndDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sys := RandomSystem(rng, Config{})
+	db, err := RandomDB(sys, 5, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range sys.Program().EDBPreds() {
+		if db.Rel(pred) == nil {
+			t.Errorf("EDB predicate %s missing from database", pred)
+		}
+	}
+	// Determinism.
+	db2, err := RandomDB(sys, 5, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range sys.Program().EDBPreds() {
+		if !db.Rel(pred).Equal(db2.Rel(pred)) {
+			t.Errorf("%s: same seed, different relation", pred)
+		}
+	}
+}
+
+func TestRandomQueryShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sys := RandomSystem(rng, Config{})
+	sawBound, sawFree := false, false
+	for i := 0; i < 50; i++ {
+		q := RandomQuery(rng, sys, 5)
+		if q.Atom.Pred != sys.Pred() || q.Atom.Arity() != sys.Arity() {
+			t.Fatalf("query %v does not match system", q)
+		}
+		for _, a := range q.Atom.Args {
+			if a.IsVar() {
+				sawFree = true
+			} else {
+				sawBound = true
+			}
+		}
+	}
+	if !sawBound || !sawFree {
+		t.Error("queries not diverse")
+	}
+}

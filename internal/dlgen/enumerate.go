@@ -1,0 +1,128 @@
+package dlgen
+
+import (
+	"repro/internal/ast"
+)
+
+// EnumerateRules generates every admissible linear recursive rule (§2
+// restrictions) of the small fragment: recursive predicate p of the given
+// arity, recursive-literal arguments drawn from head variables (injectively)
+// or fresh variables, and up to maxAtoms non-recursive literals over the
+// predicate pool a/1 and b/2 with variables from the rule's pool. Rules
+// violating range restriction are completed or skipped depending on
+// `complete`: when true, missing head variables are covered with extra b/2
+// literals; when false such rules are dropped.
+//
+// The enumeration is exhaustive over the fragment (up to the naming of
+// fresh variables), which makes it suitable for exhaustive theorem checks
+// where random sampling could miss corner cases.
+func EnumerateRules(arity, maxAtoms int, complete bool) []ast.Rule {
+	headVars := make([]string, arity)
+	for i := range headVars {
+		headVars[i] = []string{"X1", "X2", "X3"}[i]
+	}
+	freshVars := make([]string, arity)
+	for i := range freshVars {
+		freshVars[i] = []string{"Y1", "Y2", "Y3"}[i]
+	}
+
+	// Recursive-literal argument assignments: position i gets either a head
+	// variable (each used at most once across positions) or its fresh
+	// variable Y_{i+1}.
+	var recChoices [][]string
+	var buildRec func(pos int, used map[string]bool, cur []string)
+	buildRec = func(pos int, used map[string]bool, cur []string) {
+		if pos == arity {
+			recChoices = append(recChoices, append([]string(nil), cur...))
+			return
+		}
+		for _, h := range headVars {
+			if used[h] {
+				continue
+			}
+			used[h] = true
+			buildRec(pos+1, used, append(cur, h))
+			delete(used, h)
+		}
+		buildRec(pos+1, used, append(cur, freshVars[pos]))
+	}
+	buildRec(0, map[string]bool{}, nil)
+
+	// Variable pool for non-recursive literals: head vars, fresh rec vars
+	// and one extra join variable.
+	pool := append(append([]string{}, headVars...), freshVars...)
+	pool = append(pool, "Z1")
+
+	// Literal pool: a/1 and b/2 over the pool.
+	var lits []ast.Atom
+	for _, v := range pool {
+		lits = append(lits, ast.NewAtom("a", ast.V(v)))
+	}
+	for _, u := range pool {
+		for _, v := range pool {
+			lits = append(lits, ast.NewAtom("b", ast.V(u), ast.V(v)))
+		}
+	}
+
+	// Bodies: all multisets of size 0..maxAtoms (combinations with
+	// repetition, order canonical).
+	var bodies [][]ast.Atom
+	var buildBody func(start, remaining int, cur []ast.Atom)
+	buildBody = func(start, remaining int, cur []ast.Atom) {
+		bodies = append(bodies, append([]ast.Atom(nil), cur...))
+		if remaining == 0 {
+			return
+		}
+		for i := start; i < len(lits); i++ {
+			buildBody(i, remaining-1, append(cur, lits[i]))
+		}
+	}
+	buildBody(0, maxAtoms, nil)
+
+	var out []ast.Rule
+	headArgs := make([]ast.Term, arity)
+	for i, v := range headVars {
+		headArgs[i] = ast.V(v)
+	}
+	for _, rec := range recChoices {
+		recArgs := make([]ast.Term, arity)
+		inRec := map[string]bool{}
+		for i, v := range rec {
+			recArgs[i] = ast.V(v)
+			inRec[v] = true
+		}
+		for _, body := range bodies {
+			full := make([]ast.Atom, 0, len(body)+1+arity)
+			covered := map[string]bool{}
+			for v := range inRec {
+				covered[v] = true
+			}
+			for _, a := range body {
+				full = append(full, a.Clone())
+				for _, tm := range a.Args {
+					covered[tm.Name] = true
+				}
+			}
+			missing := false
+			for _, h := range headVars {
+				if covered[h] {
+					continue
+				}
+				if !complete {
+					missing = true
+					break
+				}
+				full = append(full, ast.NewAtom("b", ast.V(h), ast.V("Z1")))
+			}
+			if missing {
+				continue
+			}
+			full = append(full, ast.NewAtom("p", recArgs...))
+			rule := ast.NewRule(ast.NewAtom("p", headArgs...), full...)
+			if ast.ValidateRecursive(rule) == nil {
+				out = append(out, rule)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package dlgen
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestEnumerateRulesValidAndDistinct(t *testing.T) {
+	rules := EnumerateRules(2, 2, false)
+	if len(rules) == 0 {
+		t.Fatal("empty enumeration")
+	}
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if err := ast.ValidateRecursive(r); err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if seen[r.String()] {
+			t.Fatalf("duplicate rule %v", r)
+		}
+		seen[r.String()] = true
+	}
+	t.Logf("enumerated %d rules (arity 2, ≤2 atoms, strict)", len(rules))
+}
+
+func TestEnumerateCompleteCoversMore(t *testing.T) {
+	strict := len(EnumerateRules(2, 1, false))
+	completed := len(EnumerateRules(2, 1, true))
+	if completed <= strict {
+		t.Errorf("completion should add rules: strict=%d completed=%d", strict, completed)
+	}
+}
+
+func TestEnumerateContainsCanonicalShapes(t *testing.T) {
+	rules := EnumerateRules(2, 1, false)
+	want := map[string]bool{
+		// Transitive closure (s1a shape).
+		"p(X1, X2) :- b(X1, Y1), p(Y1, X2).": true,
+		// Pure swap permutation (A4).
+		"p(X1, X2) :- p(X2, X1).": true,
+	}
+	for _, r := range rules {
+		delete(want, r.String())
+	}
+	for w := range want {
+		t.Errorf("enumeration missing %s", w)
+	}
+}

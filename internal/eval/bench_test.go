@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// BenchmarkConjEval measures the conjunctive-body evaluator on a three-way
+// join with a pushed selection.
+func BenchmarkConjEval(b *testing.B) {
+	db := storage.NewDatabase()
+	storage.GenRandomRelation(db, "r1", 2, 100, 2000, 1)
+	storage.GenRandomRelation(db, "r2", 2, 100, 2000, 2)
+	storage.GenRandomRelation(db, "r3", 2, 100, 2000, 3)
+	rule := parser.MustParseRule("q(W) :- r1(X, Y), r2(Y, Z), r3(Z, W).")
+	conj := CompileConj(db.Syms, rule.Body)
+	x := conj.VarID("X")
+	v, _ := db.Syms.Lookup("n1")
+	rels := DBRels(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binding := conj.NewBinding()
+		binding[x] = v
+		conj.Eval(rels, binding, func([]storage.Value) bool { return true })
+	}
+}
+
+// BenchmarkEngines measures the five strategies on one mid-size bound TC
+// query (per-op numbers for cross-strategy comparison).
+func BenchmarkEngines(b *testing.B) {
+	sys := mustStatement(b, "s1a").System()
+	db := storage.NewDatabase()
+	storage.GenRandomGraph(db, "a", 256, 512, 5)
+	db.Set("e", db.Rel("a").Clone())
+	q, _ := parser.ParseQuery("?- p(n0, Y).")
+	for _, s := range Strategies() {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Answer(s, sys, q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMaterializeExit measures exit-relation materialization with a
+// join body.
+func BenchmarkMaterializeExit(b *testing.B) {
+	rec := parser.MustParseRule("p(X, Y) :- a(X, Z), p(Z, Y).")
+	exit := parser.MustParseRule("p(X, Y) :- l(X, W), r(W, Y).")
+	sys, err := ast.NewRecursiveSystem(rec, exit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := storage.NewDatabase()
+	storage.GenRandomRelation(db, "l", 2, 200, 2000, 1)
+	storage.GenRandomRelation(db, "r", 2, 200, 2000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaterializeExit(sys, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStableDepth measures the per-depth cost of the stable σ-chain
+// iterate as the chain length grows.
+func BenchmarkStableDepth(b *testing.B) {
+	sys := mustStatement(b, "s1a").System()
+	for _, n := range []int{100, 1000} {
+		db := storage.NewDatabase()
+		storage.GenChain(db, "a", n)
+		db.Set("e", db.Rel("a").Clone())
+		q, _ := parser.ParseQuery("?- p(n0, Y).")
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ClassEval(sys, q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStableParallel compares serial and parallel per-cycle frontier
+// advancement (the paper's brace notation) on a 3-cycle stable system with
+// large frontiers. On a single-CPU host the two are expected to tie; the
+// parallel path's value shows on multi-core hardware (it is race-detector
+// verified either way).
+func BenchmarkStableParallel(b *testing.B) {
+	sys := mustStatement(b, "s3").System()
+	res := classify.MustClassify(sys.Recursive)
+	db := storage.NewDatabase()
+	storage.GenRandomGraph(db, "a", 150, 600, 1)
+	storage.GenRandomGraph(db, "b", 150, 600, 2)
+	storage.GenRandomGraph(db, "c", 150, 600, 3)
+	storage.GenRandomRelation(db, "e", 3, 150, 250, 4)
+	db.BuildIndexes()
+	q, _ := parser.ParseQuery("?- p(n0, n1, Z).")
+	for _, parallel := range []bool{false, true} {
+		name := "serial"
+		if parallel {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				se, err := NewStableEval(sys, res, db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				se.Parallel = parallel
+				if _, _, err := se.Answer(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

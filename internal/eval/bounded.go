@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+// BoundedEval evaluates a query over a bounded system (§5, §7: classes B, D
+// and the bounded combinations of Theorems 10 and 11) by materializing the
+// equivalent finite set of non-recursive formulas — the expansions 0..rank
+// with the recursive literal replaced by the exit relation — and evaluating
+// each as a conjunctive query with the query's selections pushed in. No
+// fixpoint is ever computed: the work is independent of how much deeper the
+// naive evaluation would iterate.
+func BoundedEval(sys *ast.RecursiveSystem, rank int, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	if rank < 0 {
+		return nil, Stats{}, fmt.Errorf("eval: negative rank %d", rank)
+	}
+	n := sys.Arity()
+	if q.Atom.Pred != sys.Pred() || q.Atom.Arity() != n {
+		return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/%d", q, sys.Pred(), n)
+	}
+	rules := rewrite.NonRecursiveExpansions(sys, rank)
+	answers := storage.NewRelation(n)
+	var st Stats
+	rels := DBRels(db)
+	for _, r := range rules {
+		st.Rounds++
+		c := CompileConj(db.Syms, r.Body)
+		binding := c.NewBinding()
+		slots := make([]int, n)
+		fixed := make(storage.Tuple, n)
+		ok := true
+		for i, t := range r.Head.Args {
+			if !t.IsVar() {
+				return nil, Stats{}, fmt.Errorf("eval: constant in expansion head %v", r.Head)
+			}
+			qa := q.Atom.Args[i]
+			slot := c.VarID(t.Name)
+			if !qa.IsVar() {
+				// Push the query constant into the body binding.
+				v, found := db.Syms.Lookup(qa.Name)
+				if !found {
+					ok = false
+					break
+				}
+				if slot >= 0 {
+					if binding[slot] != Unbound && binding[slot] != v {
+						ok = false
+						break
+					}
+					binding[slot] = v
+				}
+				slots[i] = -1
+				fixed[i] = v
+			} else {
+				if slot < 0 {
+					return nil, Stats{}, fmt.Errorf("eval: head variable %s unbound in expansion %v", t.Name, r)
+				}
+				slots[i] = slot
+			}
+		}
+		if !ok {
+			continue
+		}
+		st.Derived += c.EvalProject(rels, binding, slots, fixed, answers)
+	}
+	return answers, st, nil
+}

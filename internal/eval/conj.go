@@ -1,0 +1,312 @@
+// Package eval implements the query-evaluation engines of the reproduction:
+//
+//   - bottom-up naive and semi-naive fixpoint evaluation (the baselines),
+//   - a magic-sets baseline specialized to the paper's linear systems,
+//   - the generic compiled expansion evaluator driven by resolution-graph
+//     state (the uniform strategy of the paper's §6–§9 examples),
+//   - the class-specific stable-cycle evaluator (§4.1), the bounded
+//     evaluator (§5, §7) and the transformation-based evaluator (§4.2–§4.4).
+//
+// All engines answer the same (system, query, database) triple and are
+// cross-checked against each other in the tests.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// Unbound marks an unassigned variable in a binding vector. Interned values
+// are non-negative, so −1 is free.
+const Unbound storage.Value = -1
+
+// argSpec is a compiled atom argument: either a variable slot or a constant.
+type argSpec struct {
+	isVar bool
+	varID int
+	val   storage.Value
+}
+
+// compiledAtom is an atom whose variables are resolved to slots and whose
+// constants are interned.
+type compiledAtom struct {
+	pred string
+	args []argSpec
+	// idx is the atom's position in the source body, used by delta overrides.
+	idx int
+	// neg marks a negated literal, evaluated as an anti-join once all its
+	// variables are bound (stratified-negation substrate extension).
+	neg bool
+}
+
+// Conj is a compiled conjunctive body sharing one variable slot space.
+type Conj struct {
+	atoms    []compiledAtom
+	varNames []string
+	varIdx   map[string]int
+}
+
+// CompileConj compiles the atoms against the symbol table (constants are
+// interned so they compare by Value).
+func CompileConj(syms *storage.Symbols, atoms []ast.Atom) *Conj {
+	c := &Conj{varIdx: make(map[string]int)}
+	for i, a := range atoms {
+		ca := compiledAtom{pred: a.Pred, idx: i, neg: a.Neg, args: make([]argSpec, len(a.Args))}
+		for j, t := range a.Args {
+			if t.IsVar() {
+				id, ok := c.varIdx[t.Name]
+				if !ok {
+					id = len(c.varNames)
+					c.varIdx[t.Name] = id
+					c.varNames = append(c.varNames, t.Name)
+				}
+				ca.args[j] = argSpec{isVar: true, varID: id}
+			} else {
+				ca.args[j] = argSpec{val: syms.Intern(t.Name)}
+			}
+		}
+		c.atoms = append(c.atoms, ca)
+	}
+	return c
+}
+
+// NumVars returns the number of variable slots.
+func (c *Conj) NumVars() int { return len(c.varNames) }
+
+// VarID returns the slot of the named variable, or −1.
+func (c *Conj) VarID(name string) int {
+	if id, ok := c.varIdx[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// NewBinding returns an all-Unbound binding vector for the conjunction.
+func (c *Conj) NewBinding() []storage.Value {
+	b := make([]storage.Value, len(c.varNames))
+	for i := range b {
+		b[i] = Unbound
+	}
+	return b
+}
+
+// RelFunc resolves the relation an atom reads from; returning nil means the
+// relation is empty. The atom's body index is passed so that semi-naive
+// evaluation can substitute a delta relation for one occurrence.
+type RelFunc func(pred string, atomIdx int) *storage.Relation
+
+// DBRels adapts a database to a RelFunc.
+func DBRels(db *storage.Database) RelFunc {
+	return func(pred string, _ int) *storage.Relation { return db.Rel(pred) }
+}
+
+// Eval enumerates all satisfying bindings of the conjunction, starting from
+// the initial binding (which is mutated during the search and restored).
+// Atoms are ordered dynamically: at each step the engine picks the remaining
+// atom with the most bound arguments, breaking ties toward the smaller
+// relation — the paper's "selections before joins" principle. yield may
+// return false to stop early. Eval reports whether enumeration ran to
+// completion (true) or was stopped by yield (false).
+func (c *Conj) Eval(rels RelFunc, binding []storage.Value, yield func([]storage.Value) bool) bool {
+	return c.eval(rels, binding, yield, true)
+}
+
+// EvalOrdered is Eval without the dynamic bound-first ordering: atoms are
+// processed strictly in source order. It exists as the ablation baseline
+// for the paper's evaluation principle (selections before joins); see
+// BenchmarkAblationJoinOrder.
+func (c *Conj) EvalOrdered(rels RelFunc, binding []storage.Value, yield func([]storage.Value) bool) bool {
+	return c.eval(rels, binding, yield, false)
+}
+
+func (c *Conj) eval(rels RelFunc, binding []storage.Value, yield func([]storage.Value) bool, dynamic bool) bool {
+	done := make([]bool, len(c.atoms))
+	var step func(remaining int) bool
+	step = func(remaining int) bool {
+		if remaining == 0 {
+			return yield(binding)
+		}
+		best := -1
+		if dynamic {
+			bestBound, bestSize := -1, -1
+			for i, a := range c.atoms {
+				if done[i] {
+					continue
+				}
+				bound := 0
+				for _, s := range a.args {
+					if !s.isVar || binding[s.varID] != Unbound {
+						bound++
+					}
+				}
+				if a.neg {
+					if bound < len(a.args) {
+						continue // anti-joins wait until fully bound
+					}
+					// A fully bound negated literal is a constant-time
+					// filter: apply it immediately.
+					best = i
+					break
+				}
+				rel := rels(a.pred, a.idx)
+				size := 0
+				if rel != nil {
+					size = rel.Len()
+				}
+				if best == -1 || bound > bestBound || (bound == bestBound && size < bestSize) {
+					best, bestBound, bestSize = i, bound, size
+				}
+			}
+		} else {
+			for i, a := range c.atoms {
+				if done[i] {
+					continue
+				}
+				if a.neg {
+					bound := 0
+					for _, s := range a.args {
+						if !s.isVar || binding[s.varID] != Unbound {
+							bound++
+						}
+					}
+					if bound < len(a.args) {
+						continue // defer until positives bind it
+					}
+				}
+				best = i
+				break
+			}
+		}
+		if best == -1 {
+			// Only negated literals with unbound variables remain: the rule
+			// failed the safety check upstream.
+			panic("eval: unsafe negation reached the evaluator")
+		}
+		a := c.atoms[best]
+		if a.neg {
+			rel := rels(a.pred, a.idx)
+			if rel != nil && rel.Arity() != len(a.args) {
+				panic(fmt.Sprintf("eval: negated literal %s/%d read against relation of arity %d",
+					a.pred, len(a.args), rel.Arity()))
+			}
+			vals := make(storage.Tuple, len(a.args))
+			for j, s := range a.args {
+				if s.isVar {
+					vals[j] = binding[s.varID]
+				} else {
+					vals[j] = s.val
+				}
+			}
+			if rel != nil && rel.Contains(vals) {
+				return true // literal falsified: this branch yields nothing
+			}
+			done[best] = true
+			cont := step(remaining - 1)
+			done[best] = false
+			return cont
+		}
+		rel := rels(a.pred, a.idx)
+		if rel == nil || rel.Len() == 0 {
+			return true // empty relation: no matches, enumeration complete
+		}
+		if rel.Arity() != len(a.args) {
+			panic(fmt.Sprintf("eval: literal %s/%d read against relation of arity %d",
+				a.pred, len(a.args), rel.Arity()))
+		}
+		done[best] = true
+		defer func() { done[best] = false }()
+
+		boundCols := make([]bool, len(a.args))
+		vals := make(storage.Tuple, len(a.args))
+		for j, s := range a.args {
+			if !s.isVar {
+				boundCols[j] = true
+				vals[j] = s.val
+			} else if binding[s.varID] != Unbound {
+				boundCols[j] = true
+				vals[j] = binding[s.varID]
+			}
+		}
+		cont := true
+		rel.EachMatch(boundCols, vals, func(t storage.Tuple) bool {
+			// Bind free columns; handle repeated free variables in the atom.
+			var assigned []int
+			okTuple := true
+			for j, s := range a.args {
+				if boundCols[j] || !s.isVar {
+					continue
+				}
+				if binding[s.varID] == Unbound {
+					binding[s.varID] = t[j]
+					assigned = append(assigned, s.varID)
+				} else if binding[s.varID] != t[j] {
+					okTuple = false
+					break
+				}
+			}
+			if okTuple {
+				cont = step(remaining - 1)
+			}
+			for _, id := range assigned {
+				binding[id] = Unbound
+			}
+			return cont
+		})
+		return cont
+	}
+	return step(len(c.atoms))
+}
+
+// EvalProject evaluates the conjunction and inserts, for each satisfying
+// binding, the projection onto the given variable slots into out. Slots may
+// be −1 to emit a fixed constant from fixed. Returns the number of new
+// tuples inserted.
+func (c *Conj) EvalProject(rels RelFunc, binding []storage.Value, slots []int, fixed storage.Tuple, out *storage.Relation) int {
+	added := 0
+	buf := make(storage.Tuple, len(slots))
+	c.Eval(rels, binding, func(b []storage.Value) bool {
+		for i, s := range slots {
+			if s >= 0 {
+				buf[i] = b[s]
+			} else {
+				buf[i] = fixed[i]
+			}
+		}
+		if out.Insert(buf) {
+			added++
+		}
+		return true
+	})
+	return added
+}
+
+// HeadSlots maps the head atom's arguments to conjunction slots: for a
+// variable argument its slot id, for a constant −1 with the constant placed
+// in the fixed tuple.
+func HeadSlots(c *Conj, syms *storage.Symbols, head ast.Atom) (slots []int, fixed storage.Tuple, err error) {
+	slots = make([]int, len(head.Args))
+	fixed = make(storage.Tuple, len(head.Args))
+	for i, t := range head.Args {
+		if t.IsVar() {
+			id := c.VarID(t.Name)
+			if id < 0 {
+				return nil, nil, fmt.Errorf("eval: head variable %s not bound by body", t.Name)
+			}
+			slots[i] = id
+		} else {
+			slots[i] = -1
+			fixed[i] = syms.Intern(t.Name)
+		}
+	}
+	return slots, fixed, nil
+}
+
+// SortedVarNames returns the conjunction's variables sorted, for diagnostics.
+func (c *Conj) SortedVarNames() []string {
+	out := append([]string(nil), c.varNames...)
+	sort.Strings(out)
+	return out
+}

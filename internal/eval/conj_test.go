@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dlgen"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// TestEvalOrderedMatchesDynamic: the ablation evaluation mode (source
+// order) must produce exactly the same satisfying bindings as the
+// bound-first dynamic ordering.
+func TestEvalOrderedMatchesDynamic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		sys := dlgen.RandomSystem(rng, dlgen.Config{MaxArity: 3, MaxAtoms: 4})
+		db, err := dlgen.RandomDB(sys, 4, 8, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conj := CompileConj(db.Syms, sys.Recursive.NonRecursiveAtoms())
+		rels := DBRels(db)
+		collect := func(ordered bool) map[string]int {
+			out := map[string]int{}
+			binding := conj.NewBinding()
+			f := func(b []storage.Value) bool {
+				out[storage.Tuple(b).Key()]++
+				return true
+			}
+			if ordered {
+				conj.EvalOrdered(rels, binding, f)
+			} else {
+				conj.Eval(rels, binding, f)
+			}
+			return out
+		}
+		a, b := collect(false), collect(true)
+		if len(a) != len(b) {
+			t.Fatalf("%v: dynamic %d bindings, ordered %d", sys.Recursive, len(a), len(b))
+		}
+		for k := range a {
+			if _, ok := b[k]; !ok {
+				t.Fatalf("%v: binding missing under source order", sys.Recursive)
+			}
+		}
+	}
+}
+
+// TestEvalEarlyStop: yield returning false must abort enumeration and Eval
+// must report the interruption.
+func TestEvalEarlyStop(t *testing.T) {
+	db := storage.NewDatabase()
+	for i := 0; i < 10; i++ {
+		db.Insert("r", "a", "b")
+		db.Insert("r", "x"+string(rune('0'+i)), "y")
+	}
+	rule := parser.MustParseRule("q(X) :- r(X, Y).")
+	conj := CompileConj(db.Syms, rule.Body)
+	n := 0
+	complete := conj.Eval(DBRels(db), conj.NewBinding(), func([]storage.Value) bool {
+		n++
+		return n < 3
+	})
+	if complete {
+		t.Error("Eval reported completion despite early stop")
+	}
+	if n != 3 {
+		t.Errorf("visited %d bindings, want 3", n)
+	}
+}
+
+// TestEvalRepeatedVariableInAtom: an atom using the same variable twice
+// must only match tuples with equal columns.
+func TestEvalRepeatedVariableInAtom(t *testing.T) {
+	db := storage.NewDatabase()
+	db.Insert("r", "a", "a")
+	db.Insert("r", "a", "b")
+	db.Insert("r", "c", "c")
+	rule := parser.MustParseRule("q(X) :- r(X, X).")
+	conj := CompileConj(db.Syms, rule.Body)
+	n := 0
+	conj.Eval(DBRels(db), conj.NewBinding(), func([]storage.Value) bool { n++; return true })
+	if n != 2 {
+		t.Errorf("diagonal matches = %d, want 2", n)
+	}
+}
+
+// TestEvalConstantArgs: interned constants in atoms act as selections.
+func TestEvalConstantArgs(t *testing.T) {
+	db := storage.NewDatabase()
+	db.Insert("r", "a", "b")
+	db.Insert("r", "a", "c")
+	db.Insert("r", "d", "e")
+	rule := parser.MustParseRule("q(Y) :- r(a, Y).")
+	conj := CompileConj(db.Syms, rule.Body)
+	n := 0
+	conj.Eval(DBRels(db), conj.NewBinding(), func([]storage.Value) bool { n++; return true })
+	if n != 2 {
+		t.Errorf("matches = %d, want 2", n)
+	}
+}
+
+// TestEvalArityMismatchPanics: reading a literal against a relation of the
+// wrong arity is a programming error and must fail loudly.
+func TestEvalArityMismatchPanics(t *testing.T) {
+	db := storage.NewDatabase()
+	db.Insert("r", "a")
+	rule := parser.MustParseRule("q(X, Y) :- r(X, Y).")
+	conj := CompileConj(db.Syms, rule.Body)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on arity mismatch")
+		}
+	}()
+	conj.Eval(DBRels(db), conj.NewBinding(), func([]storage.Value) bool { return true })
+}

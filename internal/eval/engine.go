@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+// Strategy selects one of the engines.
+type Strategy uint8
+
+const (
+	// StrategyNaive is bottom-up full re-evaluation.
+	StrategyNaive Strategy = iota
+	// StrategySemiNaive is bottom-up delta evaluation.
+	StrategySemiNaive
+	// StrategyMagic is the magic-sets rewriting baseline.
+	StrategyMagic
+	// StrategyState is the generic compiled expansion evaluator.
+	StrategyState
+	// StrategyClass dispatches on the paper's classification: stable plans
+	// for class A formulas (after the Theorem 2/4 transformation when
+	// needed), bounded unrolling for bounded formulas, and the generic
+	// compiled evaluator for classes C, E and F.
+	StrategyClass
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNaive:
+		return "naive"
+	case StrategySemiNaive:
+		return "seminaive"
+	case StrategyMagic:
+		return "magic"
+	case StrategyState:
+		return "state"
+	case StrategyClass:
+		return "class"
+	}
+	return fmt.Sprintf("Strategy(%d)", uint8(s))
+}
+
+// Strategies lists every strategy, for cross-checking loops.
+func Strategies() []Strategy {
+	return []Strategy{StrategyNaive, StrategySemiNaive, StrategyMagic, StrategyState, StrategyClass}
+}
+
+// Answer evaluates the query over the database with the chosen strategy and
+// returns the answer relation (arity = the recursive predicate's).
+func Answer(strategy Strategy, sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	switch strategy {
+	case StrategyNaive:
+		out, st, err := Naive(sys.Program(), db)
+		if err != nil {
+			return nil, st, err
+		}
+		ans, err := AnswerQuery(out, q)
+		return ans, st, err
+	case StrategySemiNaive:
+		out, st, err := SemiNaive(sys.Program(), db)
+		if err != nil {
+			return nil, st, err
+		}
+		ans, err := AnswerQuery(out, q)
+		return ans, st, err
+	case StrategyMagic:
+		return MagicSets(sys, q, db)
+	case StrategyState:
+		return StateEval(sys, q, db)
+	case StrategyClass:
+		return ClassEval(sys, q, db)
+	default:
+		return nil, Stats{}, fmt.Errorf("eval: unknown strategy %v", strategy)
+	}
+}
+
+// ClassEval classifies the system and dispatches to the most specific
+// evaluator the paper's analysis licenses.
+func ClassEval(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	res, err := classify.Classify(sys.Recursive)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return ClassEvalWith(sys, res, q, db)
+}
+
+// ClassEvalWith is ClassEval with a precomputed classification (so callers
+// can amortize the compilation across queries — the paper's compiled-query
+// setting).
+func ClassEvalWith(sys *ast.RecursiveSystem, res *classify.Result, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	switch {
+	case res.Bounded:
+		// Classes B, D and the bounded combinations (Theorems 10, 11):
+		// finitely many non-recursive expansions.
+		return BoundedEval(sys, res.RankBound, q, db)
+	case res.Stable:
+		se, err := NewStableEval(sys, res, db)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return se.Answer(q)
+	case res.Transformable:
+		// Theorem 2/4: unfold to an equivalent stable system, then run the
+		// stable plan.
+		stableSys, err := rewrite.ToStableClassified(sys, res)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		stableRes, err := classify.Classify(stableSys.Recursive)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		se, err := NewStableEval(stableSys, stableRes, db)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return se.Answer(q)
+	default:
+		// Classes C, E, F: the paper gives no general closed plan; the
+		// resolution-graph-driven compiled evaluator is the uniform method.
+		return StateEval(sys, q, db)
+	}
+}

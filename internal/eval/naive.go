@@ -1,0 +1,326 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// Stats accumulates work counters so the benchmarks can report logical cost
+// alongside wall-clock time.
+type Stats struct {
+	// Rounds is the number of fixpoint iterations (or expansion depths).
+	Rounds int
+	// Derived is the number of new tuples inserted.
+	Derived int
+	// Facts is the number of tuple insertions attempted (including
+	// duplicates) — the naive evaluator's wasted-rederivation measure.
+	Facts int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d derived=%d attempted=%d", s.Rounds, s.Derived, s.Facts)
+}
+
+// compiledRule pairs a rule with its compiled body and head projection.
+type compiledRule struct {
+	rule  ast.Rule
+	conj  *Conj
+	slots []int
+	fixed storage.Tuple
+}
+
+func compileRules(syms *storage.Symbols, rules []ast.Rule) ([]compiledRule, error) {
+	out := make([]compiledRule, 0, len(rules))
+	for _, r := range rules {
+		c := CompileConj(syms, r.Body)
+		slots, fixed, err := HeadSlots(c, syms, r.Head)
+		if err != nil {
+			return nil, fmt.Errorf("rule %v: %w", r, err)
+		}
+		out = append(out, compiledRule{rule: r, conj: c, slots: slots, fixed: fixed})
+	}
+	return out, nil
+}
+
+// prepare returns a working database that shares EDB relations with db but
+// owns fresh (or cloned) relations for every IDB predicate, plus the list
+// of IDB predicates. Program facts are inserted into the working database.
+func prepare(prog *ast.Program, db *storage.Database) (*storage.Database, map[string]bool, error) {
+	work := storage.NewDatabaseWithSymbols(db.Syms)
+	idb := make(map[string]bool)
+	for _, r := range prog.Rules {
+		idb[r.Head.Pred] = true
+	}
+	// Share EDB relations; clone or create IDB relations.
+	for _, pred := range db.Preds() {
+		if idb[pred] {
+			work.Set(pred, db.Rel(pred).Clone())
+		} else {
+			work.Set(pred, db.Rel(pred))
+		}
+	}
+	for _, r := range prog.Rules {
+		if _, err := work.Ensure(r.Head.Pred, r.Head.Arity()); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, f := range prog.Facts {
+		names := make([]string, len(f.Args))
+		for i, t := range f.Args {
+			names[i] = t.Name
+		}
+		if idb[f.Pred] {
+			if _, err := work.Insert(f.Pred, names...); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			// EDB facts belong to the caller's database; inserting here
+			// would mutate a shared relation, so clone first.
+			r := work.Rel(f.Pred)
+			if r == nil {
+				if _, err := work.Ensure(f.Pred, len(f.Args)); err != nil {
+					return nil, nil, err
+				}
+			} else if db.Rel(f.Pred) == r {
+				work.Set(f.Pred, r.Clone())
+			}
+			if _, err := work.Insert(f.Pred, names...); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return work, idb, nil
+}
+
+// strataOf returns the evaluation groups of the program: a single group
+// holding every rule for pure positive programs, or the stratification for
+// programs with negated literals (ast.Stratify errors on recursion through
+// negation or unsafe rules).
+func strataOf(prog *ast.Program) ([][]ast.Rule, error) {
+	if !ast.HasNegation(prog) {
+		if len(prog.Rules) == 0 {
+			return nil, nil
+		}
+		return [][]ast.Rule{prog.Rules}, nil
+	}
+	return ast.Stratify(prog)
+}
+
+// Naive computes the bottom-up fixpoint of the program over db by full
+// re-evaluation each round — the textbook baseline. Programs with negated
+// body literals are evaluated stratum by stratum (stratified semantics).
+// The returned database shares EDB relations with db and holds the
+// materialized IDB relations.
+func Naive(prog *ast.Program, db *storage.Database) (*storage.Database, Stats, error) {
+	work, _, err := prepare(prog, db)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	strata, err := strataOf(prog)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	for _, group := range strata {
+		rules, err := compileRules(db.Syms, group)
+		if err != nil {
+			return nil, st, err
+		}
+		if err := naiveFixpoint(work, rules, &st); err != nil {
+			return nil, st, err
+		}
+	}
+	return work, st, nil
+}
+
+// naiveFixpoint runs full re-evaluation rounds of the rule group to
+// saturation within work.
+func naiveFixpoint(work *storage.Database, rules []compiledRule, st *Stats) error {
+	rels := DBRels(work)
+	for {
+		st.Rounds++
+		added := 0
+		for _, cr := range rules {
+			head := work.Rel(cr.rule.Head.Pred)
+			buf := make(storage.Tuple, len(cr.slots))
+			cr.conj.Eval(rels, cr.conj.NewBinding(), func(b []storage.Value) bool {
+				for i, s := range cr.slots {
+					if s >= 0 {
+						buf[i] = b[s]
+					} else {
+						buf[i] = cr.fixed[i]
+					}
+				}
+				st.Facts++
+				if head.Insert(buf) {
+					added++
+				}
+				return true
+			})
+		}
+		st.Derived += added
+		if added == 0 {
+			return nil
+		}
+	}
+}
+
+// SemiNaive computes the same fixpoint with delta relations: each round,
+// every rule is evaluated once per recursive body literal with that literal
+// restricted to the previous round's delta. For the paper's linear rules
+// this is the classic one-delta evaluation. Programs with negated body
+// literals are evaluated stratum by stratum; within a stratum, negated
+// literals and lower-strata predicates read fully materialized relations.
+func SemiNaive(prog *ast.Program, db *storage.Database) (*storage.Database, Stats, error) {
+	work, _, err := prepare(prog, db)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	strata, err := strataOf(prog)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	for _, group := range strata {
+		rules, err := compileRules(db.Syms, group)
+		if err != nil {
+			return nil, st, err
+		}
+		// Delta bookkeeping is scoped to the predicates this stratum
+		// defines; everything below is already saturated and acts as EDB.
+		local := make(map[string]bool)
+		for _, r := range group {
+			local[r.Head.Pred] = true
+		}
+		if err := semiNaiveFixpoint(work, rules, local, &st); err != nil {
+			return nil, st, err
+		}
+	}
+	return work, st, nil
+}
+
+// semiNaiveFixpoint saturates one rule group with delta evaluation over the
+// group's own head predicates.
+func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[string]bool, st *Stats) error {
+	delta := make(map[string]*storage.Relation)
+	for pred := range local {
+		delta[pred] = storage.NewRelation(work.Rel(pred).Arity())
+		// Seed with anything already present (program facts).
+		delta[pred].InsertAll(work.Rel(pred))
+	}
+	full := DBRels(work)
+
+	// Round 0: rules with no positive local literal run once in full.
+	for _, cr := range rules {
+		hasLocal := false
+		for _, a := range cr.rule.Body {
+			if !a.Neg && local[a.Pred] {
+				hasLocal = true
+				break
+			}
+		}
+		if hasLocal {
+			continue
+		}
+		st.Rounds++
+		head := work.Rel(cr.rule.Head.Pred)
+		buf := make(storage.Tuple, len(cr.slots))
+		cr.conj.Eval(full, cr.conj.NewBinding(), func(b []storage.Value) bool {
+			for i, s := range cr.slots {
+				if s >= 0 {
+					buf[i] = b[s]
+				} else {
+					buf[i] = cr.fixed[i]
+				}
+			}
+			st.Facts++
+			if head.Insert(buf) {
+				st.Derived++
+				delta[cr.rule.Head.Pred].Insert(buf)
+			}
+			return true
+		})
+	}
+
+	for {
+		st.Rounds++
+		next := make(map[string]*storage.Relation)
+		for pred := range local {
+			next[pred] = storage.NewRelation(work.Rel(pred).Arity())
+		}
+		added := 0
+		for _, cr := range rules {
+			for bi, a := range cr.rule.Body {
+				if a.Neg || !local[a.Pred] {
+					continue
+				}
+				deltaIdx := bi
+				deltaPred := a.Pred
+				if delta[deltaPred].Len() == 0 {
+					continue
+				}
+				rels := func(pred string, atomIdx int) *storage.Relation {
+					if atomIdx == deltaIdx {
+						return delta[deltaPred]
+					}
+					return work.Rel(pred)
+				}
+				head := work.Rel(cr.rule.Head.Pred)
+				buf := make(storage.Tuple, len(cr.slots))
+				cr.conj.Eval(rels, cr.conj.NewBinding(), func(b []storage.Value) bool {
+					for i, s := range cr.slots {
+						if s >= 0 {
+							buf[i] = b[s]
+						} else {
+							buf[i] = cr.fixed[i]
+						}
+					}
+					st.Facts++
+					if head.Insert(buf) {
+						added++
+						next[cr.rule.Head.Pred].Insert(buf)
+					}
+					return true
+				})
+			}
+		}
+		st.Derived += added
+		if added == 0 {
+			return nil
+		}
+		delta = next
+	}
+}
+
+// AnswerQuery selects from the materialized database the tuples matching the
+// query atom's constants and returns them as a relation of the query's
+// arity.
+func AnswerQuery(db *storage.Database, q ast.Query) (*storage.Relation, error) {
+	rel := db.Rel(q.Atom.Pred)
+	out := storage.NewRelation(q.Atom.Arity())
+	if rel == nil {
+		return out, nil
+	}
+	if rel.Arity() != q.Atom.Arity() {
+		return nil, fmt.Errorf("eval: query arity %d vs relation %d", q.Atom.Arity(), rel.Arity())
+	}
+	bound := make([]bool, q.Atom.Arity())
+	vals := make(storage.Tuple, q.Atom.Arity())
+	for i, t := range q.Atom.Args {
+		if !t.IsVar() {
+			bound[i] = true
+			v, ok := db.Syms.Lookup(t.Name)
+			if !ok {
+				return out, nil // constant not in the database: no answers
+			}
+			vals[i] = v
+		}
+	}
+	rel.EachMatch(bound, vals, func(t storage.Tuple) bool {
+		out.Insert(t)
+		return true
+	})
+	return out, nil
+}

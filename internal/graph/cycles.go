@@ -1,0 +1,299 @@
+package graph
+
+import (
+	"sort"
+	"strings"
+)
+
+// Step is one traversal step of a walk: the edge taken and the weight it
+// contributed in the traversal direction (+1 directed forward, −1 directed
+// backward, 0 undirected).
+type Step struct {
+	Edge   Edge
+	From   string
+	To     string
+	Weight int
+}
+
+// Cycle is a simple cycle of a hybrid graph: a closed walk with no repeated
+// vertex (and no repeated edge). The traversal orientation is the one found
+// first; Weight and direction classification account for it.
+type Cycle struct {
+	Steps []Step
+}
+
+// Vertices returns the cycle's vertices in traversal order.
+func (c Cycle) Vertices() []string {
+	out := make([]string, len(c.Steps))
+	for i, s := range c.Steps {
+		out[i] = s.From
+	}
+	return out
+}
+
+// Weight is the sum of the step weights (§2 of the paper). Note the weight
+// of the reverse traversal is the negation; AbsWeight is orientation-free.
+func (c Cycle) Weight() int {
+	w := 0
+	for _, s := range c.Steps {
+		w += s.Weight
+	}
+	return w
+}
+
+// AbsWeight is |Weight|, the orientation-independent cycle weight used for
+// classification.
+func (c Cycle) AbsWeight() int {
+	w := c.Weight()
+	if w < 0 {
+		return -w
+	}
+	return w
+}
+
+// DirectedCount returns the number of directed edges on the cycle.
+func (c Cycle) DirectedCount() int {
+	n := 0
+	for _, s := range c.Steps {
+		if s.Edge.Kind == Directed {
+			n++
+		}
+	}
+	return n
+}
+
+// UndirectedCount returns the number of undirected edges on the cycle.
+func (c Cycle) UndirectedCount() int { return len(c.Steps) - c.DirectedCount() }
+
+// IsNonTrivial reports whether the cycle contains at least one directed edge
+// (§3: a non-trivial cycle).
+func (c Cycle) IsNonTrivial() bool { return c.DirectedCount() > 0 }
+
+// IsOneDirectional reports whether every directed edge on the cycle is
+// traversed in the same direction (§3). Trivial cycles are vacuously
+// one-directional; callers should test IsNonTrivial separately.
+func (c Cycle) IsOneDirectional() bool {
+	sign := 0
+	for _, s := range c.Steps {
+		if s.Edge.Kind != Directed {
+			continue
+		}
+		if sign == 0 {
+			sign = s.Weight
+		} else if s.Weight != sign {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPermutational reports whether the cycle consists solely of directed
+// edges (§3: a one-directional cycle with no undirected edge part). A unit
+// permutational cycle is a self-loop.
+func (c Cycle) IsPermutational() bool { return c.UndirectedCount() == 0 }
+
+// IsRotational reports whether the cycle contains at least one undirected
+// edge (§3) — meaningful for one-directional cycles.
+func (c Cycle) IsRotational() bool { return c.UndirectedCount() > 0 }
+
+// IsUnit reports whether the cycle is one-directional with absolute weight 1
+// (§3: a unit cycle).
+func (c Cycle) IsUnit() bool { return c.IsOneDirectional() && c.AbsWeight() == 1 }
+
+// EdgeIDs returns the sorted IDs of the cycle's edges; two simple cycles are
+// equal iff their edge sets are equal.
+func (c Cycle) EdgeIDs() []int {
+	ids := make([]int, len(c.Steps))
+	for i, s := range c.Steps {
+		ids[i] = s.Edge.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// String renders the cycle as a walk, e.g. "x ->(P) z --(A) x".
+func (c Cycle) String() string {
+	if len(c.Steps) == 0 {
+		return "(empty cycle)"
+	}
+	var b strings.Builder
+	for _, s := range c.Steps {
+		b.WriteString(s.From)
+		switch {
+		case s.Edge.Kind == Undirected:
+			b.WriteString(" --")
+		case s.Weight >= 0:
+			b.WriteString(" ->")
+		default:
+			b.WriteString(" <-")
+		}
+		if s.Edge.Label != "" {
+			b.WriteString("(" + s.Edge.Label + ")")
+		}
+		b.WriteString(" ")
+	}
+	b.WriteString(c.Steps[0].From)
+	return b.String()
+}
+
+func cycleKey(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		b.WriteByte('e')
+		b.WriteString(itoa(id))
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// SimpleCycles enumerates every simple cycle of the graph, where directed
+// edges may be traversed in either direction (contributing +1 or −1 to the
+// weight) and undirected edges contribute 0. Each cycle is reported once,
+// regardless of starting vertex or orientation. Self-loops are length-1
+// cycles. The graphs arising from recursive formulas are small, so a
+// straightforward DFS enumeration is used.
+func (g *Graph) SimpleCycles() []Cycle {
+	var cycles []Cycle
+	seen := make(map[string]bool)
+
+	// Self-loops first.
+	for _, e := range g.edges {
+		if e.IsSelfLoop() {
+			w := 0
+			if e.Kind == Directed {
+				w = 1
+			}
+			c := Cycle{Steps: []Step{{Edge: e, From: e.From, To: e.To, Weight: w}}}
+			k := cycleKey(c.EdgeIDs())
+			if !seen[k] {
+				seen[k] = true
+				cycles = append(cycles, c)
+			}
+		}
+	}
+
+	// DFS from each start vertex; only visit vertices with index >= start to
+	// canonicalize, and record cycles closing back at start.
+	var (
+		path    []Step
+		onPath  = make(map[string]bool)
+		usedEdg = make(map[int]bool)
+	)
+	var dfs func(start, cur string, startIdx int)
+	dfs = func(start, cur string, startIdx int) {
+		for _, h := range g.adj[cur] {
+			e := g.edges[h.edge]
+			if e.IsSelfLoop() || usedEdg[h.edge] {
+				continue
+			}
+			next := h.to
+			if g.vindex[next] < startIdx {
+				continue
+			}
+			if next == start {
+				if len(path) >= 1 { // closing edge makes length >= 2
+					steps := make([]Step, len(path)+1)
+					copy(steps, path)
+					steps[len(path)] = Step{Edge: e, From: cur, To: next, Weight: h.weight}
+					c := Cycle{Steps: steps}
+					k := cycleKey(c.EdgeIDs())
+					if !seen[k] {
+						seen[k] = true
+						cycles = append(cycles, c)
+					}
+				}
+				continue
+			}
+			if onPath[next] {
+				continue
+			}
+			onPath[next] = true
+			usedEdg[h.edge] = true
+			path = append(path, Step{Edge: e, From: cur, To: next, Weight: h.weight})
+			dfs(start, next, startIdx)
+			path = path[:len(path)-1]
+			usedEdg[h.edge] = false
+			onPath[next] = false
+		}
+	}
+	for i, v := range g.vertices {
+		onPath[v] = true
+		dfs(v, v, i)
+		onPath[v] = false
+	}
+	return cycles
+}
+
+// NonTrivialCycles returns the simple cycles containing at least one
+// directed edge.
+func (g *Graph) NonTrivialCycles() []Cycle {
+	var out []Cycle
+	for _, c := range g.SimpleCycles() {
+		if c.IsNonTrivial() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MaxPathWeight returns the maximum weight over all simple paths of the
+// graph (Ioannidis's tight rank bound for formulas whose I-graph has no
+// cycle of non-zero weight). The empty path has weight 0, so the result is
+// never negative.
+func (g *Graph) MaxPathWeight() int {
+	best := 0
+	onPath := make(map[string]bool)
+	var dfs func(cur string, w int)
+	dfs = func(cur string, w int) {
+		if w > best {
+			best = w
+		}
+		for _, h := range g.adj[cur] {
+			if g.edges[h.edge].IsSelfLoop() || onPath[h.to] {
+				continue
+			}
+			onPath[h.to] = true
+			dfs(h.to, w+h.weight)
+			onPath[h.to] = false
+		}
+	}
+	for _, v := range g.vertices {
+		onPath[v] = true
+		dfs(v, 0)
+		onPath[v] = false
+	}
+	return best
+}
+
+// HasNonZeroWeightCycle reports whether some simple cycle has non-zero
+// weight — the condition in Ioannidis's theorem separating bounded from
+// potentially unbounded recursion.
+func (g *Graph) HasNonZeroWeightCycle() bool {
+	for _, c := range g.SimpleCycles() {
+		if c.Weight() != 0 {
+			return true
+		}
+	}
+	return false
+}

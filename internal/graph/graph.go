@@ -1,0 +1,362 @@
+// Package graph implements the labeled, weighted hybrid graphs (directed and
+// undirected edges coexisting) that underlie the paper's I-graph model:
+// construction, connected components, simple-cycle enumeration with
+// traversal-direction weights, and path-weight analysis.
+//
+// Weights follow §2 of the paper: a directed edge has weight +1 traversed
+// with the arrow and −1 against it (the "implicit reverse edge"); an
+// undirected edge has weight 0 either way.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EdgeKind distinguishes directed from undirected edges.
+type EdgeKind uint8
+
+const (
+	// Directed is an arc with weight +1 forward and −1 backward.
+	Directed EdgeKind = iota
+	// Undirected is a weight-0 edge.
+	Undirected
+)
+
+// Edge is one edge of a hybrid graph. For undirected edges the From/To
+// order carries no meaning. Label records the predicate that induced the
+// edge (the paper's L component).
+type Edge struct {
+	ID    int
+	Kind  EdgeKind
+	From  string
+	To    string
+	Label string
+}
+
+// IsSelfLoop reports whether both endpoints coincide.
+func (e Edge) IsSelfLoop() bool { return e.From == e.To }
+
+// Weight returns the forward weight: +1 for directed edges, 0 for undirected.
+func (e Edge) Weight() int {
+	if e.Kind == Directed {
+		return 1
+	}
+	return 0
+}
+
+// String renders the edge, e.g. "x -> y [P]" or "u -- v [A]".
+func (e Edge) String() string {
+	arrow := " -- "
+	if e.Kind == Directed {
+		arrow = " -> "
+	}
+	if e.Label == "" {
+		return e.From + arrow + e.To
+	}
+	return e.From + arrow + e.To + " [" + e.Label + "]"
+}
+
+// Graph is a hybrid graph over string-named vertices. The zero value is not
+// usable; construct with New.
+type Graph struct {
+	vertices []string
+	vindex   map[string]int
+	edges    []Edge
+	adj      map[string][]halfEdge
+}
+
+// halfEdge is an edge as seen from one endpoint: neighbor plus the weight
+// contributed by traversing the edge in that direction.
+type halfEdge struct {
+	edge   int // index into edges
+	to     string
+	weight int // +1 forward directed, -1 reverse directed, 0 undirected
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{vindex: make(map[string]int), adj: make(map[string][]halfEdge)}
+}
+
+// AddVertex ensures v exists; adding twice is a no-op.
+func (g *Graph) AddVertex(v string) {
+	if _, ok := g.vindex[v]; ok {
+		return
+	}
+	g.vindex[v] = len(g.vertices)
+	g.vertices = append(g.vertices, v)
+}
+
+// HasVertex reports whether v is in the graph.
+func (g *Graph) HasVertex(v string) bool { _, ok := g.vindex[v]; return ok }
+
+// AddDirected adds a directed edge from -> to with the given label and
+// returns its ID. Endpoints are added as needed.
+func (g *Graph) AddDirected(from, to, label string) int {
+	return g.addEdge(Edge{Kind: Directed, From: from, To: to, Label: label})
+}
+
+// AddUndirected adds an undirected edge and returns its ID. Endpoints are
+// added as needed.
+func (g *Graph) AddUndirected(a, b, label string) int {
+	return g.addEdge(Edge{Kind: Undirected, From: a, To: b, Label: label})
+}
+
+func (g *Graph) addEdge(e Edge) int {
+	g.AddVertex(e.From)
+	g.AddVertex(e.To)
+	e.ID = len(g.edges)
+	g.edges = append(g.edges, e)
+	if e.Kind == Directed {
+		if e.IsSelfLoop() {
+			g.adj[e.From] = append(g.adj[e.From], halfEdge{edge: e.ID, to: e.To, weight: 1})
+		} else {
+			g.adj[e.From] = append(g.adj[e.From], halfEdge{edge: e.ID, to: e.To, weight: 1})
+			g.adj[e.To] = append(g.adj[e.To], halfEdge{edge: e.ID, to: e.From, weight: -1})
+		}
+	} else {
+		g.adj[e.From] = append(g.adj[e.From], halfEdge{edge: e.ID, to: e.To, weight: 0})
+		if !e.IsSelfLoop() {
+			g.adj[e.To] = append(g.adj[e.To], halfEdge{edge: e.ID, to: e.From, weight: 0})
+		}
+	}
+	return e.ID
+}
+
+// Vertices returns the vertices in insertion order (copy).
+func (g *Graph) Vertices() []string {
+	out := make([]string, len(g.vertices))
+	copy(out, g.vertices)
+	return out
+}
+
+// Edges returns all edges (copy).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// DirectedEdges returns the directed edges only.
+func (g *Graph) DirectedEdges() []Edge {
+	var out []Edge
+	for _, e := range g.edges {
+		if e.Kind == Directed {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// UndirectedEdges returns the undirected edges only.
+func (g *Graph) UndirectedEdges() []Edge {
+	var out []Edge
+	for _, e := range g.edges {
+		if e.Kind == Undirected {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders vertices and edges deterministically, one edge per line.
+func (g *Graph) String() string {
+	var b strings.Builder
+	vs := g.Vertices()
+	sort.Strings(vs)
+	fmt.Fprintf(&b, "vertices: %s\n", strings.Join(vs, " "))
+	lines := make([]string, 0, len(g.edges))
+	for _, e := range g.edges {
+		lines = append(lines, e.String())
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Components partitions the graph into connected components, treating every
+// edge (directed or not) as connecting its endpoints. Each component is
+// returned as a sub-Graph preserving edge kinds, labels and IDs of the
+// parent graph; component order follows the smallest contained vertex in the
+// parent's insertion order.
+func (g *Graph) Components() []*Graph {
+	comp := make([]int, len(g.vertices))
+	for i := range comp {
+		comp[i] = -1
+	}
+	var order []int
+	n := 0
+	for i := range g.vertices {
+		if comp[i] != -1 {
+			continue
+		}
+		// BFS.
+		queue := []int{i}
+		comp[i] = n
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, h := range g.adj[g.vertices[v]] {
+				j := g.vindex[h.to]
+				if comp[j] == -1 {
+					comp[j] = n
+					queue = append(queue, j)
+				}
+			}
+		}
+		order = append(order, n)
+		n++
+	}
+	subs := make([]*Graph, n)
+	for _, c := range order {
+		subs[c] = New()
+	}
+	for i, v := range g.vertices {
+		subs[comp[i]].AddVertex(v)
+	}
+	for _, e := range g.edges {
+		sub := subs[comp[g.vindex[e.From]]]
+		// Preserve the parent's edge ID.
+		ecopy := e
+		sub.AddVertex(e.From)
+		sub.AddVertex(e.To)
+		ecopy.ID = len(sub.edges)
+		sub.edges = append(sub.edges, ecopy)
+		if e.Kind == Directed {
+			sub.adj[e.From] = append(sub.adj[e.From], halfEdge{edge: ecopy.ID, to: e.To, weight: 1})
+			if !e.IsSelfLoop() {
+				sub.adj[e.To] = append(sub.adj[e.To], halfEdge{edge: ecopy.ID, to: e.From, weight: -1})
+			}
+		} else {
+			sub.adj[e.From] = append(sub.adj[e.From], halfEdge{edge: ecopy.ID, to: e.To, weight: 0})
+			if !e.IsSelfLoop() {
+				sub.adj[e.To] = append(sub.adj[e.To], halfEdge{edge: ecopy.ID, to: e.From, weight: 0})
+			}
+		}
+	}
+	return subs
+}
+
+// Reduce returns the paper's fully compressed form of the graph (§3
+// Remark): undirected self-loops are dropped, parallel undirected edges
+// between the same pair of vertices merge into one, and every trivial
+// vertex — one with no incident directed edge — is eliminated by directly
+// connecting its undirected neighbours (the paper's
+// P(x,y) :- A(x,u) ∧ B(x,z) ∧ C(z,u) ∧ P(u,y)  ⇒  ABC(x,u) example).
+// The reduction runs to fixpoint. Semantically the compressed edges record
+// exactly the determined-variable connectivity between the variables of the
+// recursive predicate, so cycle classification is performed on this form.
+func (g *Graph) Reduce() *Graph {
+	cur := g.CompressParallelUndirected()
+	for {
+		// Find a trivial vertex: no incident directed edge.
+		hasDirected := make(map[string]bool)
+		for _, e := range cur.edges {
+			if e.Kind == Directed {
+				hasDirected[e.From] = true
+				hasDirected[e.To] = true
+			}
+		}
+		victim := ""
+		for _, v := range cur.vertices {
+			if !hasDirected[v] {
+				victim = v
+				break
+			}
+		}
+		if victim == "" {
+			return cur
+		}
+		// Rebuild without the victim, cliquing its undirected neighbours.
+		next := New()
+		for _, v := range cur.vertices {
+			if v != victim {
+				next.AddVertex(v)
+			}
+		}
+		var neighbours []string
+		var labels []string
+		seenN := make(map[string]bool)
+		for _, e := range cur.edges {
+			switch {
+			case e.From != victim && e.To != victim:
+				if e.Kind == Directed {
+					next.AddDirected(e.From, e.To, e.Label)
+				} else {
+					next.AddUndirected(e.From, e.To, e.Label)
+				}
+			case e.Kind == Undirected:
+				other := e.From
+				if other == victim {
+					other = e.To
+				}
+				if other != victim && !seenN[other] {
+					seenN[other] = true
+					neighbours = append(neighbours, other)
+				}
+				labels = append(labels, e.Label)
+			}
+		}
+		label := strings.Join(labels, "")
+		for i := 0; i < len(neighbours); i++ {
+			for j := i + 1; j < len(neighbours); j++ {
+				next.AddUndirected(neighbours[i], neighbours[j], label)
+			}
+		}
+		cur = next.CompressParallelUndirected()
+	}
+}
+
+// CompressParallelUndirected returns a copy of the graph in which multiple
+// undirected edges between the same pair of vertices are merged into a
+// single undirected edge whose label concatenates the originals, and
+// undirected self-loops (trivial cycles on one variable) are dropped.
+// Directed edges are kept as is. Reduce applies this together with
+// trivial-vertex elimination; most callers want Reduce.
+func (g *Graph) CompressParallelUndirected() *Graph {
+	out := New()
+	for _, v := range g.vertices {
+		out.AddVertex(v)
+	}
+	type pair struct{ a, b string }
+	merged := make(map[pair][]string) // labels in order
+	var orderKeys []pair
+	for _, e := range g.edges {
+		if e.Kind == Directed || e.IsSelfLoop() {
+			continue
+		}
+		a, b := e.From, e.To
+		if b < a {
+			a, b = b, a
+		}
+		k := pair{a, b}
+		if _, ok := merged[k]; !ok {
+			orderKeys = append(orderKeys, k)
+		}
+		merged[k] = append(merged[k], e.Label)
+	}
+	for _, e := range g.edges {
+		if e.Kind == Directed {
+			out.AddDirected(e.From, e.To, e.Label)
+		}
+		// Undirected self-loops are trivial cycles: dropped.
+	}
+	for _, k := range orderKeys {
+		out.AddUndirected(k.a, k.b, strings.Join(merged[k], ""))
+	}
+	return out
+}

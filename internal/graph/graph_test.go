@@ -1,0 +1,295 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAndQueryEdges(t *testing.T) {
+	g := New()
+	id1 := g.AddDirected("x", "y", "p")
+	id2 := g.AddUndirected("x", "z", "a")
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("vertices=%d edges=%d", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasVertex("x") || g.HasVertex("w") {
+		t.Error("HasVertex wrong")
+	}
+	e1, e2 := g.Edge(id1), g.Edge(id2)
+	if e1.Kind != Directed || e1.Weight() != 1 || e1.String() != "x -> y [p]" {
+		t.Errorf("directed edge = %v", e1)
+	}
+	if e2.Kind != Undirected || e2.Weight() != 0 || e2.String() != "x -- z [a]" {
+		t.Errorf("undirected edge = %v", e2)
+	}
+	if len(g.DirectedEdges()) != 1 || len(g.UndirectedEdges()) != 1 {
+		t.Error("edge kind filters wrong")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	g := New()
+	g.AddDirected("b", "a", "p")
+	g.AddUndirected("c", "a", "q")
+	s1 := g.String()
+	s2 := g.String()
+	if s1 != s2 {
+		t.Error("String not deterministic")
+	}
+	if !strings.Contains(s1, "vertices: a b c") {
+		t.Errorf("vertices line missing or unsorted:\n%s", s1)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New()
+	g.AddDirected("x", "y", "p")
+	g.AddUndirected("y", "z", "a")
+	g.AddDirected("u", "v", "p")
+	g.AddVertex("lonely")
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[c.NumVertices()]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("component sizes = %v", sizes)
+	}
+	// Directed edges connect their endpoints for component purposes.
+	for _, c := range comps {
+		if c.HasVertex("x") && !c.HasVertex("z") {
+			t.Error("x and z must share a component via y")
+		}
+	}
+}
+
+func TestCompressParallelUndirected(t *testing.T) {
+	g := New()
+	g.AddUndirected("x", "u", "a")
+	g.AddUndirected("x", "u", "b")
+	g.AddUndirected("u", "x", "c") // opposite order still parallel
+	g.AddDirected("u", "x", "p")   // directed edge is kept
+	c := g.CompressParallelUndirected()
+	if got := len(c.UndirectedEdges()); got != 1 {
+		t.Fatalf("undirected after compression = %d, want 1", got)
+	}
+	if got := c.UndirectedEdges()[0].Label; got != "abc" {
+		t.Errorf("merged label = %q, want abc", got)
+	}
+	if len(c.DirectedEdges()) != 1 {
+		t.Error("directed edge lost")
+	}
+	// The original graph is untouched.
+	if g.NumEdges() != 4 {
+		t.Error("compression mutated the source graph")
+	}
+}
+
+func TestSelfLoopCycle(t *testing.T) {
+	g := New()
+	g.AddDirected("y", "y", "p")
+	cycles := g.SimpleCycles()
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(cycles))
+	}
+	c := cycles[0]
+	if c.Weight() != 1 || !c.IsNonTrivial() || !c.IsPermutational() || !c.IsUnit() {
+		t.Errorf("self-loop cycle properties wrong: %v (w=%d)", c, c.Weight())
+	}
+}
+
+func TestUnitRotationalCycle(t *testing.T) {
+	// x -> z with A(x, z) back: the transitive-closure shape.
+	g := New()
+	g.AddDirected("x", "z", "p")
+	g.AddUndirected("x", "z", "a")
+	cycles := g.NonTrivialCycles()
+	if len(cycles) != 1 {
+		t.Fatalf("non-trivial cycles = %d, want 1", len(cycles))
+	}
+	c := cycles[0]
+	if c.AbsWeight() != 1 || !c.IsOneDirectional() || !c.IsRotational() || !c.IsUnit() {
+		t.Errorf("cycle properties wrong: %v", c)
+	}
+	if c.DirectedCount() != 1 || c.UndirectedCount() != 1 {
+		t.Errorf("edge counts: %d directed, %d undirected", c.DirectedCount(), c.UndirectedCount())
+	}
+}
+
+func TestPermutationalSwapCycle(t *testing.T) {
+	// p(X, Y) :- p(Y, X): x -> y and y -> x, a weight-2 permutation.
+	g := New()
+	g.AddDirected("x", "y", "p")
+	g.AddDirected("y", "x", "p")
+	cycles := g.NonTrivialCycles()
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1 (each cycle reported once)", len(cycles))
+	}
+	c := cycles[0]
+	if c.AbsWeight() != 2 || !c.IsOneDirectional() || !c.IsPermutational() {
+		t.Errorf("swap cycle properties wrong: %v (w=%d)", c, c.Weight())
+	}
+}
+
+func TestMultiDirectionalCycle(t *testing.T) {
+	// Statement (s8) shape: a weight-0 multi-directional cycle.
+	g := New()
+	g.AddDirected("x", "z", "p")
+	g.AddDirected("y", "y1", "p")
+	g.AddDirected("z", "z1", "p")
+	g.AddDirected("u", "u1", "p")
+	g.AddUndirected("x", "y", "a")
+	g.AddUndirected("y1", "u", "b")
+	g.AddUndirected("z1", "u1", "c")
+	cycles := g.NonTrivialCycles()
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(cycles))
+	}
+	c := cycles[0]
+	if c.IsOneDirectional() {
+		t.Error("multi-directional cycle reported one-directional")
+	}
+	if c.Weight() != 0 {
+		t.Errorf("weight = %d, want 0", c.Weight())
+	}
+	if c.DirectedCount() != 4 {
+		t.Errorf("directed edges on cycle = %d, want 4", c.DirectedCount())
+	}
+}
+
+func TestWeightThreeCycle(t *testing.T) {
+	// Statement (s4a): one-directional cycle of weight 3.
+	g := New()
+	g.AddDirected("x1", "y1", "p")
+	g.AddDirected("x2", "y2", "p")
+	g.AddDirected("x3", "y3", "p")
+	g.AddUndirected("x1", "y3", "a")
+	g.AddUndirected("x2", "y1", "b")
+	g.AddUndirected("y2", "x3", "c")
+	cycles := g.NonTrivialCycles()
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(cycles))
+	}
+	c := cycles[0]
+	if c.AbsWeight() != 3 || !c.IsOneDirectional() || !c.IsRotational() {
+		t.Errorf("cycle = %v, |w| = %d", c, c.AbsWeight())
+	}
+}
+
+func TestTrivialCycleIgnoredByNonTrivial(t *testing.T) {
+	g := New()
+	g.AddUndirected("a", "b", "r")
+	g.AddUndirected("b", "c", "s")
+	g.AddUndirected("c", "a", "t")
+	if got := len(g.SimpleCycles()); got != 1 {
+		t.Fatalf("simple cycles = %d, want 1", got)
+	}
+	if got := len(g.NonTrivialCycles()); got != 0 {
+		t.Errorf("non-trivial cycles = %d, want 0", got)
+	}
+}
+
+func TestTwoCyclesSharingVertex(t *testing.T) {
+	// Figure-eight: two unit cycles sharing x. Both must be found.
+	g := New()
+	g.AddDirected("x", "y", "p")
+	g.AddUndirected("y", "x", "a")
+	g.AddDirected("x", "z", "p")
+	g.AddUndirected("z", "x", "b")
+	cycles := g.NonTrivialCycles()
+	if len(cycles) != 2 {
+		t.Fatalf("cycles = %d, want 2", len(cycles))
+	}
+}
+
+func TestMaxPathWeight(t *testing.T) {
+	// Chain of two directed edges: max path weight 2.
+	g := New()
+	g.AddDirected("x", "y", "p")
+	g.AddDirected("y", "z", "p")
+	if got := g.MaxPathWeight(); got != 2 {
+		t.Errorf("max path weight = %d, want 2", got)
+	}
+	// Traversing backwards subtracts: adding a reverse edge changes nothing.
+	g2 := New()
+	g2.AddDirected("x", "y", "p")
+	g2.AddDirected("z", "y", "p") // converging arrows: best single edge = 1
+	if got := g2.MaxPathWeight(); got != 1 {
+		t.Errorf("max path weight = %d, want 1", got)
+	}
+	// Undirected bridges contribute 0.
+	g3 := New()
+	g3.AddDirected("a", "b", "p")
+	g3.AddUndirected("b", "c", "r")
+	g3.AddDirected("c", "d", "p")
+	if got := g3.MaxPathWeight(); got != 2 {
+		t.Errorf("max path weight = %d, want 2", got)
+	}
+	if got := New().MaxPathWeight(); got != 0 {
+		t.Errorf("empty graph max path weight = %d", got)
+	}
+}
+
+func TestHasNonZeroWeightCycle(t *testing.T) {
+	g := New()
+	g.AddDirected("x", "y", "p")
+	g.AddUndirected("x", "y", "a")
+	if !g.HasNonZeroWeightCycle() {
+		t.Error("unit cycle not detected as non-zero")
+	}
+	// s8-style zero-weight cycle only.
+	g2 := New()
+	g2.AddDirected("x", "y", "p")
+	g2.AddDirected("u", "v", "p")
+	g2.AddUndirected("x", "u", "a")
+	g2.AddUndirected("y", "v", "b")
+	if g2.HasNonZeroWeightCycle() {
+		t.Error("zero-weight cycle reported non-zero")
+	}
+	if New().HasNonZeroWeightCycle() {
+		t.Error("empty graph has a cycle?")
+	}
+}
+
+func TestCycleStringRendering(t *testing.T) {
+	g := New()
+	g.AddDirected("x", "z", "p")
+	g.AddUndirected("x", "z", "a")
+	c := g.NonTrivialCycles()[0]
+	s := c.String()
+	if !strings.Contains(s, "(p)") || !strings.Contains(s, "(a)") {
+		t.Errorf("cycle rendering missing labels: %q", s)
+	}
+}
+
+func TestCycleEdgeIDsSorted(t *testing.T) {
+	g := New()
+	g.AddUndirected("x", "z", "a")
+	g.AddDirected("x", "z", "p")
+	c := g.NonTrivialCycles()[0]
+	ids := c.EdgeIDs()
+	if len(ids) != 2 || ids[0] > ids[1] {
+		t.Errorf("EdgeIDs = %v", ids)
+	}
+}
+
+func TestComponentsPreserveEdges(t *testing.T) {
+	g := New()
+	g.AddDirected("x", "y", "p")
+	g.AddUndirected("x", "y", "a")
+	g.AddDirected("u", "u", "p")
+	comps := g.Components()
+	total := 0
+	for _, c := range comps {
+		total += c.NumEdges()
+		// Each component must be analyzable on its own.
+		_ = c.SimpleCycles()
+		_ = c.MaxPathWeight()
+	}
+	if total != g.NumEdges() {
+		t.Errorf("edges across components = %d, want %d", total, g.NumEdges())
+	}
+}

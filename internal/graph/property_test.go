@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a small random hybrid graph from the seed.
+func randomGraph(rng *rand.Rand) *Graph {
+	g := New()
+	n := 2 + rng.Intn(5)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		g.AddVertex(names[i])
+	}
+	edges := rng.Intn(8)
+	for i := 0; i < edges; i++ {
+		u := names[rng.Intn(n)]
+		v := names[rng.Intn(n)]
+		if rng.Intn(2) == 0 {
+			g.AddDirected(u, v, "p")
+		} else if u != v {
+			g.AddUndirected(u, v, "q")
+		}
+	}
+	return g
+}
+
+// TestQuickCycleInvariants checks structural invariants of SimpleCycles on
+// random graphs: closed simple walks, consistent weights, no duplicate edge
+// sets, and non-trivial classification consistency.
+func TestQuickCycleInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		cycles := g.SimpleCycles()
+		seen := make(map[string]bool)
+		for _, c := range cycles {
+			if len(c.Steps) == 0 {
+				t.Logf("empty cycle reported")
+				return false
+			}
+			// Closed walk: consecutive steps connect, last returns to first.
+			for i, s := range c.Steps {
+				next := c.Steps[(i+1)%len(c.Steps)]
+				if s.To != next.From {
+					t.Logf("cycle not closed at step %d: %v", i, c)
+					return false
+				}
+			}
+			// Simple: vertices distinct (except the closure).
+			verts := make(map[string]bool)
+			for _, v := range c.Vertices() {
+				if verts[v] {
+					t.Logf("repeated vertex in cycle %v", c)
+					return false
+				}
+				verts[v] = true
+			}
+			// Edge set must be unique across reported cycles.
+			key := cycleKey(c.EdgeIDs())
+			if seen[key] {
+				t.Logf("duplicate cycle %v", c)
+				return false
+			}
+			seen[key] = true
+			// Weight equals recomputed sum; AbsWeight is its magnitude.
+			w := 0
+			for _, s := range c.Steps {
+				w += s.Weight
+			}
+			if w != c.Weight() {
+				return false
+			}
+			if c.AbsWeight() != max(w, -w) {
+				return false
+			}
+			// Non-trivial iff a directed edge occurs.
+			hasDir := false
+			for _, s := range c.Steps {
+				if s.Edge.Kind == Directed {
+					hasDir = true
+				}
+			}
+			if hasDir != c.IsNonTrivial() {
+				return false
+			}
+			// A one-directional non-trivial cycle's |weight| equals its
+			// directed edge count.
+			if c.IsNonTrivial() && c.IsOneDirectional() && c.AbsWeight() != c.DirectedCount() {
+				t.Logf("one-directional weight mismatch: %v", c)
+				return false
+			}
+			// Steps may only use edges of the graph.
+			for _, s := range c.Steps {
+				if s.Edge.ID < 0 || s.Edge.ID >= g.NumEdges() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickComponentsPartition checks that Components is a partition
+// preserving all vertices and edges.
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		comps := g.Components()
+		verts, edges := 0, 0
+		seenV := make(map[string]bool)
+		for _, c := range comps {
+			verts += c.NumVertices()
+			edges += c.NumEdges()
+			for _, v := range c.Vertices() {
+				if seenV[v] {
+					t.Logf("vertex %s in two components", v)
+					return false
+				}
+				seenV[v] = true
+			}
+			// Every edge's endpoints belong to this component.
+			for _, e := range c.Edges() {
+				if !c.HasVertex(e.From) || !c.HasVertex(e.To) {
+					return false
+				}
+			}
+		}
+		return verts == g.NumVertices() && edges == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCompressionPreservesCycleClassification: merging parallel
+// undirected edges must not change the non-trivial cycle count beyond
+// collapsing trivial multi-edges, nor any weight reachable by non-trivial
+// cycles.
+func TestQuickCompressionPreservesCycleClassification(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		c := g.CompressParallelUndirected()
+		// Non-zero-cycle existence is invariant: undirected edges carry
+		// weight 0, so merging them cannot create or destroy weight.
+		if g.HasNonZeroWeightCycle() != c.HasNonZeroWeightCycle() {
+			return false
+		}
+		if g.MaxPathWeight() != c.MaxPathWeight() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

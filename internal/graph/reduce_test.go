@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReducePaperRemark(t *testing.T) {
+	// P(x,y) :- A(x,u) ∧ B(x,z) ∧ C(z,u) ∧ P(u,y): z is trivial; the result
+	// must be a single undirected x–u edge plus the two arrows.
+	g := New()
+	g.AddDirected("x", "u", "p")
+	g.AddDirected("y", "y", "p")
+	g.AddUndirected("x", "u", "a")
+	g.AddUndirected("x", "z", "b")
+	g.AddUndirected("z", "u", "c")
+	r := g.Reduce()
+	if r.HasVertex("z") {
+		t.Error("trivial vertex z not eliminated")
+	}
+	if got := len(r.UndirectedEdges()); got != 1 {
+		t.Fatalf("undirected edges = %d, want 1 (merged abc)", got)
+	}
+	if got := len(r.NonTrivialCycles()); got != 2 {
+		t.Errorf("non-trivial cycles = %d, want 2 (unit cycle + self-loop)", got)
+	}
+	for _, c := range r.NonTrivialCycles() {
+		if !c.IsUnit() {
+			t.Errorf("cycle %v not unit", c)
+		}
+	}
+}
+
+func TestReduceChainOfTrivialVertices(t *testing.T) {
+	// x -A- t1 -B- t2 -C- u with directed x->u: reduces to one edge.
+	g := New()
+	g.AddDirected("x", "u", "p")
+	g.AddUndirected("x", "t1", "a")
+	g.AddUndirected("t1", "t2", "b")
+	g.AddUndirected("t2", "u", "c")
+	r := g.Reduce()
+	if r.NumVertices() != 2 {
+		t.Fatalf("vertices = %d, want 2", r.NumVertices())
+	}
+	if len(r.UndirectedEdges()) != 1 {
+		t.Fatalf("undirected = %d, want 1", len(r.UndirectedEdges()))
+	}
+	cycles := r.NonTrivialCycles()
+	if len(cycles) != 1 || !cycles[0].IsUnit() || !cycles[0].IsRotational() {
+		t.Errorf("cycles = %v", cycles)
+	}
+}
+
+func TestReduceDanglingTrivialVertex(t *testing.T) {
+	// A pendant trivial vertex just disappears.
+	g := New()
+	g.AddDirected("x", "y", "p")
+	g.AddUndirected("x", "y", "a")
+	g.AddUndirected("y", "w", "b") // w pendant, trivial
+	r := g.Reduce()
+	if r.HasVertex("w") {
+		t.Error("pendant trivial vertex kept")
+	}
+	if len(r.NonTrivialCycles()) != 1 {
+		t.Errorf("cycles = %d", len(r.NonTrivialCycles()))
+	}
+}
+
+func TestReduceStarTrivialVertex(t *testing.T) {
+	// A trivial hub connecting three anchors cliquifies them.
+	g := New()
+	g.AddDirected("a", "b", "p")
+	g.AddDirected("c", "d", "p")
+	g.AddUndirected("a", "z", "r")
+	g.AddUndirected("b", "z", "s")
+	g.AddUndirected("c", "z", "t")
+	r := g.Reduce()
+	if r.HasVertex("z") {
+		t.Error("hub kept")
+	}
+	// a, b, c pairwise connected.
+	und := 0
+	for _, e := range r.UndirectedEdges() {
+		und++
+		_ = e
+	}
+	if und != 3 {
+		t.Errorf("clique edges = %d, want 3", und)
+	}
+}
+
+func TestReduceKeepsAnchors(t *testing.T) {
+	// Vertices with directed edges are never eliminated even with no
+	// undirected edges at all.
+	g := New()
+	g.AddDirected("x", "y", "p")
+	r := g.Reduce()
+	if !r.HasVertex("x") || !r.HasVertex("y") {
+		t.Error("anchors eliminated")
+	}
+}
+
+func TestReduceFullyTrivialGraph(t *testing.T) {
+	g := New()
+	g.AddUndirected("a", "b", "r")
+	g.AddUndirected("b", "c", "s")
+	r := g.Reduce()
+	if r.NumVertices() != 0 || r.NumEdges() != 0 {
+		t.Errorf("fully trivial graph must vanish: %d vertices, %d edges",
+			r.NumVertices(), r.NumEdges())
+	}
+}
+
+// TestQuickReduceInvariants: reduction never changes the directed edges,
+// never keeps trivial vertices, and preserves anchor connectivity.
+func TestQuickReduceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		r := g.Reduce()
+		// Directed edges unchanged (as a multiset of endpoint pairs).
+		countDir := func(gr *Graph) map[[2]string]int {
+			m := map[[2]string]int{}
+			for _, e := range gr.DirectedEdges() {
+				m[[2]string{e.From, e.To}]++
+			}
+			return m
+		}
+		a, b := countDir(g), countDir(r)
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		// No trivial vertices survive.
+		anchors := map[string]bool{}
+		for _, e := range r.DirectedEdges() {
+			anchors[e.From] = true
+			anchors[e.To] = true
+		}
+		for _, v := range r.Vertices() {
+			if !anchors[v] {
+				t.Logf("trivial vertex %s survived", v)
+				return false
+			}
+		}
+		// Anchor-pair connectivity preserved: two anchors in the same
+		// component before iff after.
+		compOf := func(gr *Graph) map[string]int {
+			m := map[string]int{}
+			for ci, c := range gr.Components() {
+				for _, v := range c.Vertices() {
+					m[v] = ci
+				}
+			}
+			return m
+		}
+		ca, cb := compOf(g), compOf(r)
+		var anchorList []string
+		for v := range anchors {
+			anchorList = append(anchorList, v)
+		}
+		for i := 0; i < len(anchorList); i++ {
+			for j := i + 1; j < len(anchorList); j++ {
+				u, v := anchorList[i], anchorList[j]
+				if (ca[u] == ca[v]) != (cb[u] == cb[v]) {
+					t.Logf("connectivity of %s,%s changed", u, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

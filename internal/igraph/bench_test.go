@@ -1,0 +1,33 @@
+package igraph
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/paper"
+)
+
+// BenchmarkBuildCorpus measures I-graph construction over the paper corpus.
+func BenchmarkBuildCorpus(b *testing.B) {
+	stmts := paper.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range stmts {
+			if _, err := Build(s.Rule); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkResolutionExpansion measures k-th resolution graph construction.
+func BenchmarkResolutionExpansion(b *testing.B) {
+	ig := MustBuild(paper.S3.Rule)
+	for _, k := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = ResolutionGraph(ig, k)
+			}
+		})
+	}
+}

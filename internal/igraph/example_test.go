@@ -1,0 +1,37 @@
+package igraph_test
+
+import (
+	"fmt"
+
+	"repro/internal/igraph"
+	"repro/internal/parser"
+)
+
+// ExampleBuild constructs Figure 1(a): the I-graph of statement (s1a).
+func ExampleBuild() {
+	rule := parser.MustParseRule("p(X, Y) :- a(X, Z), p(Z, Y).")
+	ig, err := igraph.Build(rule)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(ig)
+	// Output:
+	// vertices: X Y Z
+	// X -- Z [a]
+	// X -> Z [p]
+	// Y -> Y [p]
+}
+
+// ExampleNewResolution expands to the 2nd resolution graph of statement
+// (s2a) and checks the paper's weight-2 claim (Figure 2(c)).
+func ExampleNewResolution() {
+	rule := parser.MustParseRule("p(X, Y) :- a(X, Z), p(Z, U), b(U, Y).")
+	r := igraph.NewResolution(igraph.MustBuild(rule))
+	r.Expand(2)
+	w, ok := igraph.DirectedPathWeight(r.G, "X", "Z#2")
+	fmt.Println("frontier:", r.Frontier)
+	fmt.Println("weight x -> z1:", w, ok)
+	// Output:
+	// frontier: [Z#2 U#2]
+	// weight x -> z1: 2 true
+}

@@ -1,0 +1,270 @@
+// Package igraph builds the paper's I-graphs and resolution graphs from
+// linear recursive rules.
+//
+// The I-graph of a rule P(x…) :- A(u,v) ∧ … ∧ P(y…) ∧ … is the hybrid graph
+// G = (V, Eu, Ed, W, L) with one vertex per variable, an undirected weight-0
+// edge labeled A between every pair of variables co-occurring in a
+// non-recursive predicate A, and a directed weight-1 edge labeled P from
+// each consequent variable of P to the antecedent variable in the same
+// position (§2).
+package igraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/graph"
+)
+
+// IGraph couples a validated linear recursive rule with its I-graph.
+type IGraph struct {
+	Rule ast.Rule
+	G    *graph.Graph
+	// HeadVars and BodyVars are the variables of the consequent and
+	// antecedent occurrences of the recursive predicate, by position.
+	HeadVars []string
+	BodyVars []string
+}
+
+// Build validates the rule against the paper's restrictions and constructs
+// its I-graph.
+func Build(rule ast.Rule) (*IGraph, error) {
+	if err := ast.ValidateRecursive(rule); err != nil {
+		return nil, err
+	}
+	g := graph.New()
+	recAtom, _ := rule.RecursiveAtom()
+	ig := &IGraph{Rule: rule.Clone(), G: g}
+	for _, t := range rule.Head.Args {
+		ig.HeadVars = append(ig.HeadVars, t.Name)
+	}
+	for _, t := range recAtom.Args {
+		ig.BodyVars = append(ig.BodyVars, t.Name)
+	}
+	addRuleEdges(g, rule)
+	return ig, nil
+}
+
+// MustBuild is Build that panics on error; for fixtures and tests.
+func MustBuild(rule ast.Rule) *IGraph {
+	ig, err := Build(rule)
+	if err != nil {
+		panic(err)
+	}
+	return ig
+}
+
+// addRuleEdges adds the I-graph edges of one rule instance into g: the
+// directed position edges labeled with the recursive predicate and the
+// pairwise undirected edges of every non-recursive literal.
+func addRuleEdges(g *graph.Graph, rule ast.Rule) {
+	recAtom, _ := rule.RecursiveAtom()
+	for _, a := range rule.NonRecursiveAtoms() {
+		vars := a.Vars()
+		for _, v := range vars {
+			g.AddVertex(v)
+		}
+		for i := 0; i < len(vars); i++ {
+			for j := i + 1; j < len(vars); j++ {
+				g.AddUndirected(vars[i], vars[j], a.Pred)
+			}
+		}
+	}
+	for i := range rule.Head.Args {
+		g.AddDirected(rule.Head.Args[i].Name, recAtom.Args[i].Name, rule.Head.Pred)
+	}
+}
+
+// Dimension returns the paper's D: the arity of the recursive predicate.
+func (ig *IGraph) Dimension() int { return len(ig.HeadVars) }
+
+// String renders the I-graph deterministically.
+func (ig *IGraph) String() string { return ig.G.String() }
+
+// DOT renders the I-graph in Graphviz format: solid arrows for directed
+// edges, dashed lines for undirected edges, edge labels carrying predicates.
+func (ig *IGraph) DOT(name string) string { return DOT(ig.G, name) }
+
+// DOT renders any hybrid graph in Graphviz format.
+func DOT(g *graph.Graph, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	vs := g.Vertices()
+	sort.Strings(vs)
+	for _, v := range vs {
+		fmt.Fprintf(&b, "  %q;\n", v)
+	}
+	for _, e := range g.Edges() {
+		if e.Kind == graph.Directed {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.From, e.To, e.Label)
+		} else {
+			fmt.Fprintf(&b, "  %q -> %q [dir=none, style=dashed, label=%q];\n", e.From, e.To, e.Label)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// RenameVar returns the fresh name used for variable v introduced at
+// expansion k (k ≥ 2): "v#k". Expansion 1 keeps the original names.
+func RenameVar(v string, k int) string {
+	if k <= 1 {
+		return v
+	}
+	return fmt.Sprintf("%s#%d", v, k)
+}
+
+// Resolution incrementally builds the k-th resolution graphs of a rule
+// (Definition, §2): G₁ is the I-graph; G_k is obtained from G_{k−1} by
+// renaming the rule's variables, unifying the renamed head with the
+// antecedent recursive occurrence of G_{k−1}, and appending the renamed
+// I-graph. All arrows of earlier I-graphs are retained.
+type Resolution struct {
+	ig *IGraph
+	// G is the current resolution graph G_k.
+	G *graph.Graph
+	// K is the number of expansions applied so far (G = G_K); starts at 1.
+	K int
+	// Frontier holds, by position, the variables of the recursive
+	// predicate's antecedent occurrence in the current expansion.
+	Frontier []string
+	// FrontierHistory[i] is the frontier after expansion i+1 (so
+	// FrontierHistory[0] is the I-graph's antecedent variables).
+	FrontierHistory [][]string
+}
+
+// NewResolution starts a resolution-graph derivation at G₁ = the I-graph.
+func NewResolution(ig *IGraph) *Resolution {
+	g := graph.New()
+	addRuleEdges(g, ig.Rule)
+	frontier := make([]string, len(ig.BodyVars))
+	copy(frontier, ig.BodyVars)
+	return &Resolution{
+		ig:              ig,
+		G:               g,
+		K:               1,
+		Frontier:        frontier,
+		FrontierHistory: [][]string{append([]string(nil), frontier...)},
+	}
+}
+
+// Step performs one expansion: it forms the (K+1)-st I-graph by renumbering
+// variables, unifies it with the current antecedent occurrence, and appends
+// it to the resolution graph.
+func (r *Resolution) Step() {
+	r.K++
+	sub := make(map[string]ast.Term)
+	head := r.ig.Rule.Head
+	for i, t := range head.Args {
+		sub[t.Name] = ast.V(r.Frontier[i])
+	}
+	for _, v := range r.ig.Rule.Vars() {
+		if _, ok := sub[v]; !ok {
+			sub[v] = ast.V(RenameVar(v, r.K))
+		}
+	}
+	renamed := r.ig.Rule.Rename(sub)
+	addRuleEdges(r.G, renamed)
+	recAtom, _ := renamed.RecursiveAtom()
+	frontier := make([]string, len(recAtom.Args))
+	for i, t := range recAtom.Args {
+		frontier[i] = t.Name
+	}
+	r.Frontier = frontier
+	r.FrontierHistory = append(r.FrontierHistory, append([]string(nil), frontier...))
+}
+
+// Expand advances the resolution graph to G_k (k ≥ current K).
+func (r *Resolution) Expand(k int) {
+	for r.K < k {
+		r.Step()
+	}
+}
+
+// ResolutionGraph returns the k-th resolution graph of the rule.
+func ResolutionGraph(ig *IGraph, k int) *graph.Graph {
+	r := NewResolution(ig)
+	r.Expand(k)
+	return r.G
+}
+
+// PositionMap returns, for the k-th resolution graph, the mapping from head
+// position i to the frontier position j whose variable is connected to the
+// original head variable in position i by undirected edges alone — the
+// paper's "determined variable" flow (a query constant at head position i
+// determines frontier position j by selections and joins over the
+// non-recursive predicates). For a formula whose I-graph consists of
+// disjoint one-directional cycles this is the k-th power of the cycle
+// permutation, returning to the identity after lcm-many expansions
+// (Theorem 2's cyclic behaviour). Positions connected to no frontier
+// variable map to −1.
+func (r *Resolution) PositionMap() []int {
+	out := make([]int, len(r.ig.HeadVars))
+	for i := range out {
+		out[i] = -1
+	}
+	adj := make(map[string][]string)
+	for _, e := range r.G.Edges() {
+		if e.Kind == graph.Undirected {
+			adj[e.From] = append(adj[e.From], e.To)
+			adj[e.To] = append(adj[e.To], e.From)
+		}
+	}
+	frontierIdx := make(map[string]int)
+	for j, v := range r.Frontier {
+		frontierIdx[v] = j
+	}
+	for i, hv := range r.ig.HeadVars {
+		visited := map[string]bool{hv: true}
+		queue := []string{hv}
+		for len(queue) > 0 && out[i] == -1 {
+			v := queue[0]
+			queue = queue[1:]
+			if j, ok := frontierIdx[v]; ok {
+				out[i] = j
+				break
+			}
+			for _, n := range adj[v] {
+				if !visited[n] {
+					visited[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DirectedPathWeight returns the weight of the directed-edge-only path from
+// a to b in the resolution graph, or 0,false when none exists. Used to check
+// facts such as "the weight from x to z₁ is two" in Figure 2(c).
+func DirectedPathWeight(g *graph.Graph, a, b string) (int, bool) {
+	type state struct {
+		v string
+		w int
+	}
+	next := make(map[string][]string)
+	for _, e := range g.Edges() {
+		if e.Kind == graph.Directed {
+			next[e.From] = append(next[e.From], e.To)
+		}
+	}
+	visited := map[string]bool{a: true}
+	queue := []state{{a, 0}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s.v == b {
+			return s.w, true
+		}
+		for _, n := range next[s.v] {
+			if !visited[n] {
+				visited[n] = true
+				queue = append(queue, state{n, s.w + 1})
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,303 @@
+package igraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/graph"
+	"repro/internal/paper"
+	"repro/internal/parser"
+)
+
+func build(t *testing.T, src string) *IGraph {
+	t.Helper()
+	rule, err := parser.ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := Build(rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ig
+}
+
+// TestFigure1a reproduces Figure 1(a): the I-graph of statement (s1a)
+// p(x,y) :- a(x,z) ∧ p(z,y).
+func TestFigure1a(t *testing.T) {
+	ig := MustBuild(paper.S1a.Rule)
+	g := ig.G
+	if g.NumVertices() != 3 {
+		t.Fatalf("vertices = %d, want 3 (x, y, z)", g.NumVertices())
+	}
+	wantEdges := map[string]bool{
+		"X -- Z [a]": true, // undirected A edge
+		"X -> Z [p]": true, // directed position-1 edge
+		"Y -> Y [p]": true, // directed position-2 self-loop
+	}
+	for _, e := range g.Edges() {
+		if !wantEdges[e.String()] {
+			t.Errorf("unexpected edge %v", e)
+		}
+		delete(wantEdges, e.String())
+	}
+	for e := range wantEdges {
+		t.Errorf("missing edge %s", e)
+	}
+	if ig.Dimension() != 2 {
+		t.Errorf("dimension = %d", ig.Dimension())
+	}
+}
+
+// TestFigure1b reproduces Figure 1(b): the I-graph of statement (s1b)
+// p(x,y,z) :- a(x,y) ∧ p(u,z,v) ∧ b(u,v).
+func TestFigure1b(t *testing.T) {
+	ig := MustBuild(paper.S1b.Rule)
+	g := ig.G
+	if g.NumVertices() != 5 {
+		t.Fatalf("vertices = %d, want 5 (x, y, z, u, v)", g.NumVertices())
+	}
+	want := map[string]bool{
+		"X -- Y [a]": true,
+		"U -- V [b]": true,
+		"X -> U [p]": true,
+		"Y -> Z [p]": true,
+		"Z -> V [p]": true,
+	}
+	for _, e := range g.Edges() {
+		if !want[e.String()] {
+			t.Errorf("unexpected edge %v", e)
+		}
+		delete(want, e.String())
+	}
+	for e := range want {
+		t.Errorf("missing edge %s", e)
+	}
+}
+
+// TestFigure2ResolutionGraph reproduces Figure 2: for statement (s2a)
+// p(x,y) :- a(x,z) ∧ p(z,u) ∧ b(u,y), the second resolution graph carries a
+// directed path of weight 2 from x to the renamed z (the paper's z₁).
+func TestFigure2ResolutionGraph(t *testing.T) {
+	ig := MustBuild(paper.S2a.Rule)
+	r := NewResolution(ig)
+	if r.K != 1 {
+		t.Fatalf("initial K = %d", r.K)
+	}
+	if got := strings.Join(r.Frontier, ","); got != "Z,U" {
+		t.Fatalf("G1 frontier = %s, want Z,U", got)
+	}
+	r.Step()
+	if r.K != 2 {
+		t.Fatalf("K after step = %d", r.K)
+	}
+	// The paper's z₁, u₁ are renamed Z#2, U#2 here.
+	if got := strings.Join(r.Frontier, ","); got != "Z#2,U#2" {
+		t.Fatalf("G2 frontier = %s, want Z#2,U#2", got)
+	}
+	w, ok := DirectedPathWeight(r.G, "X", "Z#2")
+	if !ok || w != 2 {
+		t.Errorf("weight x->z#2 = %d (found %v), want 2 — the paper's Figure 2(c) claim", w, ok)
+	}
+	// All arrows of the earlier I-graph are retained.
+	if w, ok := DirectedPathWeight(r.G, "X", "Z"); !ok || w != 1 {
+		t.Errorf("original arrow x->z lost (w=%d ok=%v)", w, ok)
+	}
+	// The 2nd expansion adds one copy of each undirected literal.
+	if got := len(r.G.UndirectedEdges()); got != 4 {
+		t.Errorf("undirected edges in G2 = %d, want 4 (a, b twice)", got)
+	}
+	if got := len(r.G.DirectedEdges()); got != 4 {
+		t.Errorf("directed edges in G2 = %d, want 4", got)
+	}
+}
+
+// TestFigure3Shape reproduces Figure 3: the I-graph of (s8) has max path
+// weight 2 — Ioannidis's bound for its rank.
+func TestFigure3Shape(t *testing.T) {
+	ig := MustBuild(paper.S8.Rule)
+	if got := ig.G.MaxPathWeight(); got != 2 {
+		t.Errorf("max path weight = %d, want 2", got)
+	}
+	if ig.G.HasNonZeroWeightCycle() {
+		t.Error("s8 must have only zero-weight cycles")
+	}
+}
+
+// TestFigure4Shape reproduces Figure 4: (s9)'s cycle is multi-directional
+// with weight ±1 and stays so across resolution graphs.
+func TestFigure4Shape(t *testing.T) {
+	ig := MustBuild(paper.S9.Rule)
+	cycles := ig.G.NonTrivialCycles()
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d", len(cycles))
+	}
+	if cycles[0].IsOneDirectional() || cycles[0].AbsWeight() != 1 {
+		t.Errorf("cycle = %v, |w| = %d", cycles[0], cycles[0].AbsWeight())
+	}
+	g2 := ResolutionGraph(ig, 2)
+	if g2.NumVertices() <= ig.G.NumVertices() {
+		t.Error("resolution graph did not grow")
+	}
+}
+
+// TestFigure5Shape reproduces Figure 5: (s11)'s resolution graphs keep the
+// two dependent unit cycles connected through the c edges.
+func TestFigure5Shape(t *testing.T) {
+	ig := MustBuild(paper.S11.Rule)
+	r := NewResolution(ig)
+	r.Expand(2)
+	comps := r.G.Components()
+	if len(comps) != 1 {
+		t.Errorf("G2 of s11 must stay one component, got %d", len(comps))
+	}
+	// c edges: one per expansion.
+	cCount := 0
+	for _, e := range r.G.UndirectedEdges() {
+		if e.Label == "c" {
+			cCount++
+		}
+	}
+	if cCount != 2 {
+		t.Errorf("c edges in G2 = %d, want 2", cCount)
+	}
+}
+
+// TestFigure6Shape reproduces Figure 6: (s12)'s resolution graphs keep the
+// dependent {x,y,u,v} part and the {z,w} unit cycle disjoint.
+func TestFigure6Shape(t *testing.T) {
+	ig := MustBuild(paper.S12.Rule)
+	r := NewResolution(ig)
+	r.Expand(2)
+	comps := r.G.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components of G2 = %d, want 2", len(comps))
+	}
+}
+
+func TestRenameVar(t *testing.T) {
+	if RenameVar("Z", 1) != "Z" {
+		t.Error("expansion 1 must keep names")
+	}
+	if RenameVar("Z", 2) != "Z#2" {
+		t.Errorf("RenameVar(Z,2) = %s", RenameVar("Z", 2))
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	bad := []string{
+		"p(X, Y) :- a(X, Y).",          // not recursive
+		"p(X) :- p(X), p(X).",          // non-linear
+		"p(X, Y) :- a(X, k), p(X, Y).", // constant
+		"p(X, X) :- a(X, Y), p(X, Y).", // repeated head var
+		"p(X, Y) :- a(X, Z), p(Z, W).", // not range restricted
+	}
+	for _, src := range bad {
+		rule, err := parser.ParseRule(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if _, err := Build(rule); err == nil {
+			t.Errorf("%q: invalid rule accepted", src)
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	MustBuild(ast.NewRule(ast.NewAtom("p", ast.V("X")), ast.NewAtom("a", ast.V("X"))))
+}
+
+func TestUnaryPredicateAddsVertexOnly(t *testing.T) {
+	ig := build(t, "p(X, Y) :- b(Y), c(X, Y1), p(X1, Y1).")
+	if !ig.G.HasVertex("Y") {
+		t.Error("unary literal's variable missing")
+	}
+	for _, e := range ig.G.UndirectedEdges() {
+		if e.Label == "b" {
+			t.Error("unary literal created an edge")
+		}
+	}
+}
+
+func TestTernaryPredicateClique(t *testing.T) {
+	ig := build(t, "p(X, Y) :- a(X, Y, Z), p(Z, Y1), b(Y, Y1).")
+	aEdges := 0
+	for _, e := range ig.G.UndirectedEdges() {
+		if e.Label == "a" {
+			aEdges++
+		}
+	}
+	if aEdges != 3 {
+		t.Errorf("ternary literal edges = %d, want 3 (clique)", aEdges)
+	}
+}
+
+func TestPositionMapCyclicBehaviour(t *testing.T) {
+	// (s4a) has a weight-3 cycle: position connectivity returns to the
+	// diagonal after 3 expansions (Theorem 2's cyclic behaviour).
+	ig := MustBuild(paper.S4a.Rule)
+	r := NewResolution(ig)
+	r.Expand(3)
+	pm := r.PositionMap()
+	for i, j := range pm {
+		if i != j {
+			t.Errorf("after 3 expansions position %d maps to %d, want identity", i, j)
+		}
+	}
+	// After 1 expansion the map must NOT be the identity.
+	r1 := NewResolution(ig)
+	identity := true
+	for i, j := range r1.PositionMap() {
+		if i != j {
+			identity = false
+		}
+	}
+	if identity {
+		t.Error("weight-3 cycle stable after a single expansion?")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	ig := MustBuild(paper.S1a.Rule)
+	dot := ig.DOT("s1a")
+	for _, want := range []string{"digraph", `"X" -> "Z"`, "style=dashed", "label=\"a\""} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	g2 := ResolutionGraph(ig, 2)
+	if !strings.Contains(DOT(g2, "g2"), "Z#2") {
+		t.Error("resolution DOT missing renamed vertex")
+	}
+}
+
+func TestFrontierHistory(t *testing.T) {
+	ig := MustBuild(paper.S2a.Rule)
+	r := NewResolution(ig)
+	r.Expand(3)
+	if len(r.FrontierHistory) != 3 {
+		t.Fatalf("history length = %d", len(r.FrontierHistory))
+	}
+	if got := strings.Join(r.FrontierHistory[2], ","); got != "Z#3,U#3" {
+		t.Errorf("frontier after 3rd expansion = %s", got)
+	}
+}
+
+func TestResolutionGraphGrowth(t *testing.T) {
+	ig := MustBuild(paper.S3.Rule)
+	base := ig.G.NumEdges()
+	for k := 2; k <= 4; k++ {
+		g := ResolutionGraph(ig, k)
+		if g.NumEdges() != base*k {
+			t.Errorf("G_%d edges = %d, want %d", k, g.NumEdges(), base*k)
+		}
+	}
+}
+
+var _ = graph.New // keep the import for doc reference

@@ -1,0 +1,123 @@
+package igraph_test
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/dlgen"
+	"repro/internal/graph"
+	"repro/internal/igraph"
+	"repro/internal/rewrite"
+)
+
+// undirectedMultiset renders the undirected edges of a graph as a sorted
+// multiset of "label:endpoint-pair" strings.
+func undirectedMultiset(g *graph.Graph) []string {
+	var out []string
+	for _, e := range g.UndirectedEdges() {
+		a, b := e.From, e.To
+		if b < a {
+			a, b = b, a
+		}
+		out = append(out, e.Label+":"+a+"-"+b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestExpansionMatchesResolutionGraph is the Figure 2(c)/2(d) consistency
+// property: the k-th resolution graph and the I-graph of the k-th expansion
+// (the expansion considered as a formula by itself) share exactly the same
+// undirected structure; they differ only in the directed edges (per-copy
+// arrows vs head-to-antecedent arrows).
+func TestExpansionMatchesResolutionGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		sys := dlgen.RandomSystem(rng, dlgen.Config{MaxArity: 3, MaxAtoms: 3})
+		ig, err := igraph.Build(sys.Recursive)
+		if err != nil {
+			t.Fatalf("%v: %v", sys.Recursive, err)
+		}
+		for k := 1; k <= 3; k++ {
+			res := igraph.ResolutionGraph(ig, k)
+			expRule := rewrite.Expand(sys, k)
+			expIG, err := igraph.Build(expRule)
+			if err != nil {
+				t.Fatalf("expansion %d of %v invalid: %v", k, sys.Recursive, err)
+			}
+			a := undirectedMultiset(res)
+			b := undirectedMultiset(expIG.G)
+			if strings.Join(a, ";") != strings.Join(b, ";") {
+				t.Fatalf("undirected structure differs at k=%d for %v:\nresolution: %v\nexpansion:  %v",
+					k, sys.Recursive, a, b)
+			}
+			// Directed edges: k*n in the resolution graph, n in the
+			// expansion's own I-graph.
+			n := sys.Arity()
+			if got := len(res.DirectedEdges()); got != k*n {
+				t.Fatalf("resolution graph arrows = %d, want %d", got, k*n)
+			}
+			if got := len(expIG.G.DirectedEdges()); got != n {
+				t.Fatalf("expansion I-graph arrows = %d, want %d", got, n)
+			}
+		}
+	}
+}
+
+// TestResolutionFrontierMatchesExpansionRecAtom: the resolution frontier
+// variables equal the expansion's recursive literal arguments.
+func TestResolutionFrontierMatchesExpansionRecAtom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		sys := dlgen.RandomSystem(rng, dlgen.Config{MaxArity: 3, MaxAtoms: 2})
+		ig, err := igraph.Build(sys.Recursive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := igraph.NewResolution(ig)
+		for k := 2; k <= 4; k++ {
+			r.Step()
+			rec, _ := rewrite.Expand(sys, k).RecursiveAtom()
+			for i, tm := range rec.Args {
+				if r.Frontier[i] != tm.Name {
+					t.Fatalf("k=%d pos %d: frontier %s vs expansion %s (%v)",
+						k, i, r.Frontier[i], tm.Name, sys.Recursive)
+				}
+			}
+		}
+	}
+}
+
+// TestPositionMapPeriodicity: for transformable formulas the position map
+// is a permutation that returns to the identity at the stabilization
+// period (Theorems 2 and 4 in graph form).
+func TestPositionMapPeriodicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 40; trial++ {
+		sys := dlgen.RandomSystem(rng, dlgen.Config{MaxArity: 4, MaxAtoms: 3})
+		ig, err := igraph.Build(sys.Recursive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := classify.MustClassify(sys.Recursive)
+		if !res.Transformable || res.StabilizationPeriod > 6 {
+			continue
+		}
+		checked++
+		r := igraph.NewResolution(ig)
+		r.Expand(res.StabilizationPeriod)
+		for i, j := range r.PositionMap() {
+			if i != j {
+				t.Fatalf("%v: position %d -> %d after period %d",
+					sys.Recursive, i, j, res.StabilizationPeriod)
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d transformable systems seen", checked)
+	}
+}

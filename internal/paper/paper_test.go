@@ -1,0 +1,58 @@
+package paper
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+)
+
+func TestCorpusComplete(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("corpus = %d statements, want 13", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.ID] {
+			t.Errorf("duplicate id %s", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Section == "" || s.Notes == "" || s.WantClass == "" {
+			t.Errorf("%s: missing metadata", s.ID)
+		}
+	}
+}
+
+func TestEveryStatementValidates(t *testing.T) {
+	for _, s := range All() {
+		if err := ast.ValidateRecursive(s.Rule); err != nil {
+			t.Errorf("%s: %v", s.ID, err)
+		}
+		sys := s.System() // panics on invalid fixtures
+		if sys.Pred() != "p" {
+			t.Errorf("%s: pred %s", s.ID, sys.Pred())
+		}
+	}
+}
+
+func TestEveryStatementMatchesDeclaredClass(t *testing.T) {
+	for _, s := range All() {
+		res, err := classify.Classify(s.Rule)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if res.Class.Code() != s.WantClass {
+			t.Errorf("%s: classified %s, fixture says %s", s.ID, res.Class.Code(), s.WantClass)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if s, ok := ByID("s9"); !ok || s.ID != "s9" {
+		t.Error("ByID(s9) failed")
+	}
+	if _, ok := ByID("s99"); ok {
+		t.Error("ByID invented a statement")
+	}
+}

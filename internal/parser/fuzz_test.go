@@ -1,0 +1,42 @@
+package parser
+
+import "testing"
+
+// FuzzParseProgram exercises the lexer/parser on arbitrary inputs: it must
+// never panic, and accepted programs must round-trip through their printed
+// form.
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		"p(X, Y) :- a(X, Z), p(Z, Y).",
+		"e(a, b). e(b, c).\n?- p(a, Y).",
+		"% comment\np(X) :- q(X).",
+		`likes("quo\"ted", X) :- knows(X).`,
+		"p(-12, _G) :- q(_G).",
+		"flag.",
+		"p(X):-q(X),r(X,Y),s(Y).",
+		"?- p(X).",
+		"p( :- q.",
+		":- .",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, queries, err := ParseProgram(src)
+		if err != nil {
+			return // rejections are fine; panics are not
+		}
+		// Accepted input: printing and re-parsing must succeed and be stable.
+		printed := prog.String()
+		for _, q := range queries {
+			printed += q.String() + "\n"
+		}
+		prog2, queries2, err := ParseProgram(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", printed, err)
+		}
+		if len(prog2.Rules) != len(prog.Rules) || len(prog2.Facts) != len(prog.Facts) || len(queries2) != len(queries) {
+			t.Fatalf("round trip changed shape: %q -> %q", src, printed)
+		}
+	})
+}

@@ -1,0 +1,207 @@
+// Package parser implements the textual surface syntax for the deductive
+// database language: Datalog rules, facts and queries.
+//
+// Syntax summary:
+//
+//	p(X, Y) :- a(X, Z), p(Z, Y).   % rule (Prolog convention: Uppercase = variable)
+//	a(1, 2).                       % ground fact
+//	?- p(1, Y).                    % query
+//	% line comment, // line comment
+//
+// Constants are lowercase identifiers, quoted strings or integers; variables
+// begin with an uppercase letter or underscore.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVar
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokImplies // :-
+	tokQuery   // ?-
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokQuery:
+		return "'?-'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer scans the input into tokens with line/column positions for error
+// reporting.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+// next returns the next token or an error.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case r == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case r == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case r == '.':
+		l.advance()
+		return token{kind: tokDot, text: ".", line: line, col: col}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errorf(line, col, "expected ':-'")
+		}
+		l.advance()
+		return token{kind: tokImplies, text: ":-", line: line, col: col}, nil
+	case r == '?':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errorf(line, col, "expected '?-'")
+		}
+		l.advance()
+		return token{kind: tokQuery, text: "?-", line: line, col: col}, nil
+	case r == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(line, col, "unterminated string")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				c = l.advance()
+			}
+			b.WriteRune(c)
+		}
+		return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+	case unicode.IsDigit(r) || (r == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+		var b strings.Builder
+		b.WriteRune(l.advance())
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		return token{kind: tokNumber, text: b.String(), line: line, col: col}, nil
+	case isIdentStart(r):
+		var b strings.Builder
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		text := b.String()
+		first, _ := utf8.DecodeRuneInString(text)
+		kind := tokIdent
+		if unicode.IsUpper(first) || first == '_' {
+			kind = tokVar
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	default:
+		return token{}, l.errorf(line, col, "unexpected character %q", r)
+	}
+}

@@ -1,0 +1,264 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Parser turns source text into AST clauses. Construct with New and call
+// ParseProgram, or use the package-level convenience functions.
+type Parser struct {
+	lex *lexer
+	tok token
+}
+
+// New returns a parser over src.
+func New(src string) (*Parser, error) {
+	p := &Parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, fmt.Errorf("%d:%d: expected %v, found %v %q",
+			p.tok.line, p.tok.col, kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *Parser) parseTerm() (ast.Term, error) {
+	switch p.tok.kind {
+	case tokVar:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.V(name), nil
+	case tokIdent, tokNumber, tokString:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.C(name), nil
+	default:
+		return ast.Term{}, fmt.Errorf("%d:%d: expected term, found %v %q",
+			p.tok.line, p.tok.col, p.tok.kind, p.tok.text)
+	}
+}
+
+func (p *Parser) parseAtom() (ast.Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind != tokLParen {
+		// Propositional atom (arity 0).
+		return ast.NewAtom(name.text), nil
+	}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	var args []ast.Term
+	if p.tok.kind != tokRParen {
+		for {
+			t, err := p.parseTerm()
+			if err != nil {
+				return ast.Atom{}, err
+			}
+			args = append(args, t)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return ast.Atom{}, err
+	}
+	return ast.NewAtom(name.text, args...), nil
+}
+
+// parseLiteral parses a body literal: an atom optionally preceded by the
+// keyword "not" (stratified negation for the bottom-up engines). The word
+// "not" still works as a predicate name when directly followed by '('.
+func (p *Parser) parseLiteral() (ast.Atom, error) {
+	if p.tok.kind == tokIdent && p.tok.text == "not" {
+		// Peek: "not foo(..)" is a negation; "not(..)" is the predicate not.
+		save := *p.lex
+		tok := p.tok
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+		if p.tok.kind == tokIdent {
+			a, err := p.parseAtom()
+			if err != nil {
+				return ast.Atom{}, err
+			}
+			return a.Not(), nil
+		}
+		*p.lex = save
+		p.tok = tok
+	}
+	return p.parseAtom()
+}
+
+// Clause is one parsed statement: either a rule/fact or a query.
+type Clause struct {
+	Rule    *ast.Rule
+	Query   *ast.Query
+	IsQuery bool
+}
+
+func (p *Parser) parseClause() (Clause, error) {
+	if p.tok.kind == tokQuery {
+		if err := p.advance(); err != nil {
+			return Clause{}, err
+		}
+		a, err := p.parseAtom()
+		if err != nil {
+			return Clause{}, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return Clause{}, err
+		}
+		return Clause{Query: &ast.Query{Atom: a}, IsQuery: true}, nil
+	}
+	head, err := p.parseAtom()
+	if err != nil {
+		return Clause{}, err
+	}
+	var body []ast.Atom
+	if p.tok.kind == tokImplies {
+		if err := p.advance(); err != nil {
+			return Clause{}, err
+		}
+		for {
+			a, err := p.parseLiteral()
+			if err != nil {
+				return Clause{}, err
+			}
+			body = append(body, a)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return Clause{}, err
+			}
+		}
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return Clause{}, err
+	}
+	r := ast.NewRule(head, body...)
+	return Clause{Rule: &r}, nil
+}
+
+// ParseProgram parses the whole input into a program plus any queries, in
+// source order.
+func (p *Parser) ParseProgram() (*ast.Program, []ast.Query, error) {
+	prog := &ast.Program{}
+	var queries []ast.Query
+	for p.tok.kind != tokEOF {
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, nil, err
+		}
+		if c.IsQuery {
+			queries = append(queries, *c.Query)
+		} else {
+			prog.AddRule(*c.Rule)
+		}
+	}
+	return prog, queries, nil
+}
+
+// ParseProgram parses src into a program and its queries.
+func ParseProgram(src string) (*ast.Program, []ast.Query, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.ParseProgram()
+}
+
+// ParseRule parses a single rule or fact terminated by '.'.
+func ParseRule(src string) (ast.Rule, error) {
+	p, err := New(src)
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	c, err := p.parseClause()
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	if c.IsQuery {
+		return ast.Rule{}, fmt.Errorf("expected rule, found query")
+	}
+	if p.tok.kind != tokEOF {
+		return ast.Rule{}, fmt.Errorf("trailing input after rule")
+	}
+	return *c.Rule, nil
+}
+
+// ParseAtom parses a single atom with no terminator.
+func ParseAtom(src string) (ast.Atom, error) {
+	p, err := New(src)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	a, err := p.parseAtom()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return ast.Atom{}, fmt.Errorf("trailing input after atom")
+	}
+	return a, nil
+}
+
+// ParseQuery parses a single "?- atom." query.
+func ParseQuery(src string) (ast.Query, error) {
+	p, err := New(src)
+	if err != nil {
+		return ast.Query{}, err
+	}
+	c, err := p.parseClause()
+	if err != nil {
+		return ast.Query{}, err
+	}
+	if !c.IsQuery {
+		return ast.Query{}, fmt.Errorf("expected query, found rule")
+	}
+	if p.tok.kind != tokEOF {
+		return ast.Query{}, fmt.Errorf("trailing input after query")
+	}
+	return *c.Query, nil
+}
+
+// MustParseRule is ParseRule that panics on error; for tests and fixtures.
+func MustParseRule(src string) ast.Rule {
+	r, err := ParseRule(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

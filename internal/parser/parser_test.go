@@ -1,0 +1,272 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestParseRuleForms(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{"p(X, Y) :- a(X, Z), p(Z, Y).", "p(X, Y) :- a(X, Z), p(Z, Y)."},
+		{"p(X,Y):-a(X,Z),p(Z,Y).", "p(X, Y) :- a(X, Z), p(Z, Y)."},
+		{"e(a, b).", "e(a, b)."},
+		{"e(1, 2).", "e(1, 2)."},
+		{"e(-3, x9).", "e(-3, x9)."},
+		{"flag.", "flag()."},
+		{"q(X) :- r(X).", "q(X) :- r(X)."},
+		{"p(_Tmp) :- a(_Tmp).", "p(_Tmp) :- a(_Tmp)."},
+		{"likes(\"a b\", X) :- knows(X).", "likes(\"a b\", X) :- knows(X)."},
+	}
+	for _, tc := range cases {
+		r, err := ParseRule(tc.in)
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if got := r.String(); got != tc.out {
+			t.Errorf("%q parsed to %q, want %q", tc.in, got, tc.out)
+		}
+	}
+}
+
+func TestVariableVsConstantConvention(t *testing.T) {
+	r, err := ParseRule("p(Upper, lower, _under, 42).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVar := []bool{true, false, true, false}
+	for i, w := range wantVar {
+		if r.Head.Args[i].IsVar() != w {
+			t.Errorf("arg %d (%s): isVar = %v, want %v", i, r.Head.Args[i].Name, r.Head.Args[i].IsVar(), w)
+		}
+	}
+}
+
+func TestParseProgramWithComments(t *testing.T) {
+	prog, queries, err := ParseProgram(`
+		% transitive closure
+		p(X, Y) :- e(X, Y).   // base
+		p(X, Y) :- e(X, Z), p(Z, Y).
+		e(a, b).
+		e(b, c).
+		?- p(a, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 || len(prog.Facts) != 2 || len(queries) != 1 {
+		t.Fatalf("rules=%d facts=%d queries=%d", len(prog.Rules), len(prog.Facts), len(queries))
+	}
+	if queries[0].String() != "?- p(a, Y)." {
+		t.Errorf("query = %v", queries[0])
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery("?- p(a, Y, 3).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Atom.Pred != "p" || q.Atom.Arity() != 3 {
+		t.Errorf("query atom = %v", q.Atom)
+	}
+	if q.Atom.Args[0].IsVar() || !q.Atom.Args[1].IsVar() || q.Atom.Args[2].IsVar() {
+		t.Errorf("binding pattern wrong: %v", q.Atom)
+	}
+	if _, err := ParseQuery("p(a)."); err == nil {
+		t.Error("rule accepted as query")
+	}
+}
+
+func TestParseAtom(t *testing.T) {
+	a, err := ParseAtom("edge(X, n7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "edge(X, n7)" {
+		t.Errorf("atom = %v", a)
+	}
+	if _, err := ParseAtom("edge(X) extra"); err == nil {
+		t.Error("trailing input accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"p(X, Y)",         // missing dot
+		"p(X :- a(X).",    // unbalanced paren
+		"p(X) :- .",       // empty body
+		"p(X) : a(X).",    // broken :-
+		"p(X) ?- a(X).",   // misplaced ?-
+		"\"unterminated",  // bad string
+		"p(X) :- a(X)) .", // stray paren
+		"p(X,) :- a(X).",  // trailing comma
+		"p(X). q(",        // second clause broken
+		"?- p(X), q(X).",  // conjunction query unsupported
+	}
+	for _, src := range bad {
+		if _, _, err := ParseProgram(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, _, err := ParseProgram("p(X) :- a(X).\nq(Y :- b(Y).")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error %q does not mention line 2", err)
+	}
+}
+
+func TestMustParseRulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseRule did not panic on bad input")
+		}
+	}()
+	MustParseRule("p(")
+}
+
+// TestRoundTripRandomRules checks print-then-parse identity on random rules.
+func TestRoundTripRandomRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	preds := []string{"a", "b", "c", "edge"}
+	vars := []string{"X", "Y", "Z", "W"}
+	consts := []string{"n1", "n2", "k"}
+	randomAtom := func(pred string) ast.Atom {
+		arity := 1 + rng.Intn(3)
+		args := make([]ast.Term, arity)
+		for i := range args {
+			if rng.Intn(2) == 0 {
+				args[i] = ast.V(vars[rng.Intn(len(vars))])
+			} else {
+				args[i] = ast.C(consts[rng.Intn(len(consts))])
+			}
+		}
+		return ast.NewAtom(pred, args...)
+	}
+	for trial := 0; trial < 200; trial++ {
+		head := randomAtom(preds[rng.Intn(len(preds))])
+		var body []ast.Atom
+		for i := 0; i < rng.Intn(4); i++ {
+			body = append(body, randomAtom(preds[rng.Intn(len(preds))]))
+		}
+		rule := ast.NewRule(head, body...)
+		parsed, err := ParseRule(rule.String())
+		if err != nil {
+			t.Fatalf("round-trip parse of %q: %v", rule, err)
+		}
+		if parsed.String() != rule.String() {
+			t.Fatalf("round trip changed rule: %q -> %q", rule, parsed)
+		}
+	}
+}
+
+func TestParseNegatedLiterals(t *testing.T) {
+	r, err := ParseRule("p(X) :- q(X), not r(X, k).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 2 || !r.Body[1].Neg {
+		t.Fatalf("negation not parsed: %v", r)
+	}
+	if r.String() != "p(X) :- q(X), not r(X, k)." {
+		t.Errorf("round trip = %q", r.String())
+	}
+	back, err := ParseRule(r.String())
+	if err != nil || !back.Body[1].Neg {
+		t.Errorf("re-parse lost negation: %v %v", back, err)
+	}
+	// "not" directly followed by '(' is the predicate named not.
+	r2, err := ParseRule("p(X) :- not(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Body[0].Neg || r2.Body[0].Pred != "not" {
+		t.Errorf("not-as-predicate broken: %v", r2)
+	}
+	// Double negation is not part of the language.
+	if _, err := ParseRule("p(X) :- q(X), not not r(X)."); err == nil {
+		t.Error("double negation accepted")
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	kinds := []tokenKind{tokEOF, tokIdent, tokVar, tokNumber, tokString,
+		tokLParen, tokRParen, tokComma, tokDot, tokImplies, tokQuery}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "unknown token" {
+			t.Errorf("kind %d renders %q", k, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if tokenKind(99).String() != "unknown token" {
+		t.Error("unknown kind must say so")
+	}
+}
+
+func TestParseRuleErrorPaths(t *testing.T) {
+	if _, err := ParseRule("?- p(X)."); err == nil {
+		t.Error("query accepted as rule")
+	}
+	if _, err := ParseRule("p(X). q(Y)."); err == nil {
+		t.Error("trailing clause accepted by ParseRule")
+	}
+	if _, err := ParseRule("p("); err == nil {
+		t.Error("broken input accepted")
+	}
+}
+
+func TestParseQueryErrorPaths(t *testing.T) {
+	if _, err := ParseQuery("?- p(X). ?- q(Y)."); err == nil {
+		t.Error("two queries accepted by ParseQuery")
+	}
+	if _, err := ParseQuery("?- ."); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := ParseQuery("?-"); err == nil {
+		t.Error("truncated query accepted")
+	}
+}
+
+func TestParseAtomErrorPaths(t *testing.T) {
+	if _, err := ParseAtom("(X)"); err == nil {
+		t.Error("missing predicate accepted")
+	}
+	if _, err := ParseAtom("p(?)"); err == nil {
+		t.Error("bad term accepted")
+	}
+	if _, err := ParseAtom("p(X"); err == nil {
+		t.Error("unclosed paren accepted")
+	}
+}
+
+func TestLexerColonWithoutDash(t *testing.T) {
+	if _, _, err := ParseProgram("p(X) : - a(X)."); err == nil {
+		t.Error("':' without '-' accepted")
+	}
+	if _, _, err := ParseProgram("p(X) ?x a(X)."); err == nil {
+		t.Error("'?' without '-' accepted")
+	}
+}
+
+func TestUnicodeIdentifiers(t *testing.T) {
+	r, err := ParseRule("père(X) :- äter(X).")
+	if err != nil {
+		t.Fatalf("unicode identifiers rejected: %v", err)
+	}
+	if r.Head.Pred != "père" {
+		t.Errorf("pred = %q", r.Head.Pred)
+	}
+}

@@ -1,0 +1,26 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/adorn"
+	"repro/internal/paper"
+)
+
+// BenchmarkCompileCorpus measures plan compilation (per-depth symbolic
+// planning plus period detection) over the paper corpus under the
+// first-position-bound query form.
+func BenchmarkCompileCorpus(b *testing.B) {
+	stmts := paper.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range stmts {
+			sys := s.System()
+			a := make(adorn.Adornment, sys.Arity())
+			a[0] = true
+			if _, err := Compile(sys, a, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package plan compiles recursive systems into the paper's compiled
+// formulas and query evaluation plans, and renders them in the paper's
+// notation: σ for selection pushed onto a relation, "-" for join, braces
+// for branches evaluated in parallel, "X" for Cartesian product, "∃" for
+// existence checking, and ∪_k […]^k for the union over expansion depths.
+//
+// Two planners are provided. For strongly stable formulas the closed form
+// follows §4.1 directly from the disjoint unit cycles. For every class the
+// symbolic planner simulates the determined-variable propagation of the
+// k-th expansion (the paper's resolution-graph reading of §6–§9), emits a
+// concrete plan per depth, and detects the repetition period to produce the
+// ∪_k closed form the paper derives by inspection.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adorn"
+	"repro/internal/classify"
+)
+
+// Step is one operation of a depth plan: a relation access plus the
+// connector that attaches it to the preceding steps.
+type Step struct {
+	// Text is the rendered operand: "σa", "b", "{a,b}", "E" or "σE".
+	Text string
+	// Conn is the connector preceding this step: "" (first), "-" (join) or
+	// "X" (Cartesian product).
+	Conn string
+}
+
+// DepthPlan is the evaluation plan of the k-th expansion.
+type DepthPlan struct {
+	K     int
+	Steps []Step
+	// ExistsPrefix reports that the recursion-side subplan only gates the
+	// answers by existence (the paper's ∃ notation, §6).
+	ExistsPrefix bool
+}
+
+// String renders the depth plan. With ExistsPrefix, the recursion-side
+// group (everything before the first Cartesian connector) is wrapped in the
+// paper's (∃ …) notation.
+func (d DepthPlan) String() string {
+	var b strings.Builder
+	open := false
+	if d.ExistsPrefix {
+		b.WriteString("(∃ ")
+		open = true
+	}
+	for i, s := range d.Steps {
+		if i > 0 {
+			switch s.Conn {
+			case "X":
+				if open {
+					b.WriteString(") ")
+					open = false
+				} else {
+					b.WriteString(" X ")
+				}
+			default:
+				b.WriteString(s.Conn)
+			}
+		}
+		b.WriteString(s.Text)
+	}
+	if open {
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Formula is the compiled output for one (system, adornment) pair.
+type Formula struct {
+	Class     classify.Class
+	Adornment adorn.Adornment
+	// Depths holds the concrete plans for k = 0..len(Depths)-1.
+	Depths []DepthPlan
+	// Closed is the ∪_k closed form when a repetition period was detected.
+	Closed string
+	// Note carries class-specific commentary (transformation applied,
+	// boundedness cut-off, …).
+	Note string
+}
+
+// String renders the paper-style summary: the closed form when known,
+// otherwise the per-depth plans.
+func (f *Formula) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "class %s, query form %s\n", f.Class.Code(), f.Adornment)
+	if f.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", f.Note)
+	}
+	if f.Closed != "" {
+		fmt.Fprintf(&b, "plan: %s\n", f.Closed)
+		return b.String()
+	}
+	for _, d := range f.Depths {
+		fmt.Fprintf(&b, "k=%d: %s\n", d.K, d)
+	}
+	return b.String()
+}
+
+// tokensEqual compares step sequences.
+func stepsEqual(a, b []Step) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// insertion describes one repeated block inserted at a fixed position of
+// the base plan.
+type insertion struct {
+	pos   int
+	block []Step
+}
+
+// applyInsertions returns base with every insertion's block repeated n
+// times at its position. Insertions must be sorted by position.
+func applyInsertions(base []Step, ins []insertion, n int) []Step {
+	var out []Step
+	prev := 0
+	for _, in := range ins {
+		out = append(out, base[prev:in.pos]...)
+		for i := 0; i < n; i++ {
+			out = append(out, in.block...)
+		}
+		prev = in.pos
+	}
+	out = append(out, base[prev:]...)
+	return out
+}
+
+// findInsertions searches for at most two repeated blocks turning a into b
+// (one repetition) and a into c (two repetitions).
+func findInsertions(a, b, c []Step) []insertion {
+	// Single block.
+	diff := len(b) - len(a)
+	if diff <= 0 {
+		return nil
+	}
+	for p := 0; p <= len(a); p++ {
+		if p+diff > len(b) {
+			break
+		}
+		ins := []insertion{{pos: p, block: b[p : p+diff]}}
+		if stepsEqual(applyInsertions(a, ins, 1), b) && stepsEqual(applyInsertions(a, ins, 2), c) {
+			return ins
+		}
+	}
+	// Two blocks of sizes d1 + d2 = diff at positions p1 < p2.
+	for d1 := 1; d1 < diff; d1++ {
+		d2 := diff - d1
+		for p1 := 0; p1 <= len(a); p1++ {
+			if p1+d1 > len(b) {
+				break
+			}
+			for p2 := p1; p2 <= len(a); p2++ {
+				if p2+d1+d2 > len(b) {
+					break
+				}
+				ins := []insertion{
+					{pos: p1, block: b[p1 : p1+d1]},
+					{pos: p2, block: b[p2+d1 : p2+d1+d2]},
+				}
+				if stepsEqual(applyInsertions(a, ins, 1), b) && stepsEqual(applyInsertions(a, ins, 2), c) {
+					return ins
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// detectPeriod looks for a stabilization depth s and one or two step blocks
+// such that plan(k+1) equals plan(k) with each block inserted once more at
+// a fixed position, for all k ≥ s. It returns the ∪ closed form, or "".
+// Two blocks cover plans like the paper's (s12):
+// σA-C-B-[{A,B}-C]^k-E-D^(k+1).
+func detectPeriod(depths []DepthPlan) string {
+	for s := 0; s+2 < len(depths); s++ {
+		a, b, c := depths[s], depths[s+1], depths[s+2]
+		if a.ExistsPrefix != b.ExistsPrefix || b.ExistsPrefix != c.ExistsPrefix {
+			continue
+		}
+		ins := findInsertions(a.Steps, b.Steps, c.Steps)
+		if ins == nil {
+			continue
+		}
+		// Verify against any further materialized depths.
+		ok := true
+		for n := 3; s+n < len(depths); n++ {
+			if !stepsEqual(applyInsertions(a.Steps, ins, n), depths[s+n].Steps) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var sb strings.Builder
+		// Plans below the stabilization depth are listed explicitly.
+		for i := 0; i < s; i++ {
+			sb.WriteString(depths[i].String())
+			sb.WriteString(",  ")
+		}
+		fmt.Fprintf(&sb, "∪_{k=0}^∞ ")
+		open := false
+		if a.ExistsPrefix {
+			sb.WriteString("(∃ ")
+			open = true
+		}
+		renderRange := func(steps []Step, openConn bool) {
+			for i, st := range steps {
+				if i > 0 || openConn {
+					switch st.Conn {
+					case "X":
+						if open {
+							sb.WriteString(") ")
+							open = false
+						} else {
+							sb.WriteString(" X ")
+						}
+					default:
+						sb.WriteString(st.Conn)
+					}
+				}
+				sb.WriteString(st.Text)
+			}
+		}
+		prev := 0
+		for _, in := range ins {
+			renderRange(a.Steps[prev:in.pos], prev > 0)
+			if in.pos > 0 {
+				sb.WriteString(in.block[0].Conn)
+			}
+			sb.WriteString("[")
+			renderRange(in.block, false)
+			sb.WriteString("]^k")
+			prev = in.pos
+		}
+		if prev < len(a.Steps) {
+			renderRange(a.Steps[prev:], true)
+		}
+		if open {
+			sb.WriteString(")")
+		}
+		return sb.String()
+	}
+	return ""
+}

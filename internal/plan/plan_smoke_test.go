@@ -1,0 +1,24 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adorn"
+	"repro/internal/paper"
+)
+
+func TestSmokePlans(t *testing.T) {
+	for _, id := range []string{"s3", "s9", "s11", "s12", "s1a"} {
+		s, _ := paper.ByID(id)
+		sys := s.System()
+		n := sys.Arity()
+		a := make(adorn.Adornment, n)
+		a[0] = true
+		f, err := Compile(sys, a, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("=== %s ===\n%s\n", id, f)
+	}
+}

@@ -1,0 +1,209 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adorn"
+	"repro/internal/classify"
+	"repro/internal/paper"
+)
+
+func compileFor(t *testing.T, id string, pattern string) *Formula {
+	t.Helper()
+	s, ok := paper.ByID(id)
+	if !ok {
+		t.Fatalf("unknown statement %s", id)
+	}
+	sys := s.System()
+	a := make(adorn.Adornment, sys.Arity())
+	for i, c := range pattern {
+		a[i] = c == 'd'
+	}
+	f, err := Compile(sys, a, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestS3PlanMatchesPaper reproduces §4.1: for p(a,b,Z) over statement (s3)
+// the compiled formula evaluates σA^k and σB^k independently, combines with
+// E, and chains C^k for the free position.
+func TestS3PlanMatchesPaper(t *testing.T) {
+	f := compileFor(t, "s3", "ddv")
+	want := "∪_{k=0}^∞ [ {σ(a)^k, σ(b)^k} - E - (c)^k ]"
+	if f.Closed != want {
+		t.Errorf("closed = %q, want %q", f.Closed, want)
+	}
+	if !strings.Contains(f.Note, "stable") {
+		t.Errorf("note = %q", f.Note)
+	}
+}
+
+// TestS9PlansMatchPaper reproduces §6: the two query forms of statement
+// (s9) — p(d,v,v) uses a Cartesian product with the selection side; in
+// p(v,v,d) the recursion side only gates the answers by existence and the
+// answers come from relation A.
+func TestS9PlansMatchPaper(t *testing.T) {
+	dvv := compileFor(t, "s9", "dvv")
+	if !strings.Contains(dvv.Closed, "σa X ") {
+		t.Errorf("p(d,v,v) plan lost the Cartesian product: %q", dvv.Closed)
+	}
+	if !strings.Contains(dvv.Closed, "E") {
+		t.Errorf("p(d,v,v) plan lost the exit relation: %q", dvv.Closed)
+	}
+	vvd := compileFor(t, "s9", "vvd")
+	// Depth ≥ 1 plans must carry the existence prefix.
+	found := false
+	for _, d := range vvd.Depths {
+		if d.K >= 1 && d.ExistsPrefix {
+			found = true
+			if !strings.HasPrefix(d.String(), "(∃ ") {
+				t.Errorf("k=%d rendering lost ∃: %q", d.K, d.String())
+			}
+		}
+	}
+	if !found {
+		t.Errorf("p(v,v,d) never used existence checking; depths:\n%v", vvd.Depths)
+	}
+}
+
+// TestS11PlanMatchesPaper reproduces §8: the plan family
+// σE, σA-C-B-E, σA-C-B-[{A,B}-C]^k-E for statement (s11) under p(d,v).
+func TestS11PlanMatchesPaper(t *testing.T) {
+	f := compileFor(t, "s11", "dv")
+	want := "σE,  ∪_{k=0}^∞ σa-c-b-[{a,b}-c]^k-E"
+	if f.Closed != want {
+		t.Errorf("closed = %q, want %q", f.Closed, want)
+	}
+	// Depth 2 concrete plan matches the paper's σA-C-B-{A,B}-C-E.
+	if got := f.Depths[2].String(); got != "σa-c-b-{a,b}-c-E" {
+		t.Errorf("k=2 plan = %q", got)
+	}
+}
+
+// TestS12PlanMatchesPaper reproduces §9: the plan
+// ∪ σA-C-B-[{A,B}-C]^k-E-D^(k+1) for statement (s12) under p(d,v,v).
+func TestS12PlanMatchesPaper(t *testing.T) {
+	f := compileFor(t, "s12", "dvv")
+	want := "σE,  ∪_{k=0}^∞ σa-c-b-[{a,b}-c]^k-E-[d]^k-d"
+	if f.Closed != want {
+		t.Errorf("closed = %q, want %q", f.Closed, want)
+	}
+}
+
+func TestDepthZeroPlans(t *testing.T) {
+	bound := compileFor(t, "s1a", "dv")
+	if got := bound.Depths[0].String(); got != "σE" {
+		t.Errorf("bound depth-0 = %q, want σE", got)
+	}
+	free := compileFor(t, "s1a", "vv")
+	if got := free.Depths[0].String(); got != "E" {
+		t.Errorf("free depth-0 = %q, want E", got)
+	}
+}
+
+func TestBoundedPlanTruncatesAtRank(t *testing.T) {
+	f := compileFor(t, "s8", "dvvv") // rank 2
+	if len(f.Depths) != 3 {
+		t.Errorf("bounded depths = %d, want 3 (k = 0..rank)", len(f.Depths))
+	}
+	if !strings.Contains(f.Note, "bounded (rank ≤ 2)") {
+		t.Errorf("note = %q", f.Note)
+	}
+}
+
+func TestTransformableNote(t *testing.T) {
+	f := compileFor(t, "s4a", "dvv")
+	if !strings.Contains(f.Note, "unfold 3 times") {
+		t.Errorf("note = %q", f.Note)
+	}
+}
+
+func TestFormulaStringRendering(t *testing.T) {
+	f := compileFor(t, "s3", "ddv")
+	out := f.String()
+	for _, want := range []string{"class A1", "query form ddv", "plan:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+	// A formula without a closed form lists per-depth plans.
+	f.Closed = ""
+	out = f.String()
+	if !strings.Contains(out, "k=0:") {
+		t.Errorf("per-depth rendering missing:\n%s", out)
+	}
+}
+
+func TestStableClosedFormErrors(t *testing.T) {
+	s, _ := paper.ByID("s9")
+	sys := s.System()
+	res := classify.MustClassify(sys.Recursive)
+	if _, err := StableClosedForm(sys, res, adorn.Adornment{true, false, false}); err == nil {
+		t.Error("StableClosedForm accepted an unstable formula")
+	}
+}
+
+func TestStableClosedFormSelfLoop(t *testing.T) {
+	// s1a: the free position's cycle is a pure self-loop — no chain appears.
+	s, _ := paper.ByID("s1a")
+	sys := s.System()
+	res := classify.MustClassify(sys.Recursive)
+	closed, err := StableClosedForm(sys, res, adorn.Adornment{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed != "∪_{k=0}^∞ [ σ(a)^k - E ]" {
+		t.Errorf("closed = %q", closed)
+	}
+	// Bound self-loop position: the identity chain shows as σ(id)^k.
+	closed2, err := StableClosedForm(sys, res, adorn.Adornment{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(closed2, "σ(id)^k") || !strings.Contains(closed2, "(a)^k") {
+		t.Errorf("closed = %q", closed2)
+	}
+}
+
+func TestDetectPeriodNoFalsePositive(t *testing.T) {
+	// Strictly shrinking or irregular plans must yield no closed form.
+	depths := []DepthPlan{
+		{K: 0, Steps: []Step{{Text: "E"}}},
+		{K: 1, Steps: []Step{{Text: "a"}, {Text: "E", Conn: "-"}}},
+		{K: 2, Steps: []Step{{Text: "b"}, {Text: "E", Conn: "-"}}},
+		{K: 3, Steps: []Step{{Text: "c"}, {Text: "E", Conn: "-"}}},
+	}
+	if got := detectPeriod(depths); got != "" {
+		t.Errorf("false positive closed form %q", got)
+	}
+}
+
+func TestDetectPeriodSingleBlock(t *testing.T) {
+	mk := func(n int) DepthPlan {
+		steps := []Step{{Text: "σa"}}
+		for i := 0; i < n; i++ {
+			steps = append(steps, Step{Text: "b", Conn: "-"})
+		}
+		steps = append(steps, Step{Text: "E", Conn: "-"})
+		return DepthPlan{K: n, Steps: steps}
+	}
+	depths := []DepthPlan{mk(0), mk(1), mk(2), mk(3)}
+	got := detectPeriod(depths)
+	if got != "∪_{k=0}^∞ σa-[b]^k-E" {
+		t.Errorf("closed = %q", got)
+	}
+}
+
+func TestCompileDefaultsMaxDepth(t *testing.T) {
+	s, _ := paper.ByID("s11")
+	f, err := Compile(s.System(), adorn.Adornment{true, false}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Depths) != 6 {
+		t.Errorf("default depths = %d, want 6 (k = 0..5)", len(f.Depths))
+	}
+}

@@ -1,0 +1,308 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/rewrite"
+)
+
+// Compile derives the compiled formula and query evaluation plan of the
+// system for the given query adornment. The symbolic planner simulates the
+// determined-variable propagation of each expansion depth up to maxDepth
+// (default 5 when maxDepth ≤ 0), following the paper's global principle:
+// selections before joins; when neither applies, retrieve the exit relation
+// and combine by Cartesian product or existence checking.
+func Compile(sys *ast.RecursiveSystem, a adorn.Adornment, maxDepth int) (*Formula, error) {
+	if maxDepth <= 0 {
+		maxDepth = 5
+	}
+	res, err := classify.Classify(sys.Recursive)
+	if err != nil {
+		return nil, err
+	}
+	f := &Formula{Class: res.Class, Adornment: a.Clone()}
+	switch {
+	case res.Bounded:
+		f.Note = fmt.Sprintf("bounded (rank ≤ %d): expansions beyond the bound add no tuples; the recursion is equivalent to %d non-recursive formulas",
+			res.RankBound, res.RankBound+1)
+		if maxDepth > res.RankBound {
+			maxDepth = res.RankBound
+		}
+	case res.Stable:
+		f.Note = "strongly stable: each unit cycle is an independent σ-chain (§4.1)"
+	case res.Transformable:
+		f.Note = fmt.Sprintf("transformable: unfold %d times into an equivalent stable formula with %d exits (Theorems 2, 4)",
+			res.StabilizationPeriod, res.StabilizationPeriod*len(sys.Exits))
+	case res.Class == classify.ClassC:
+		f.Note = "unbounded cycle: no general method; plan read off the resolution graphs (§6)"
+	default:
+		f.Note = "dependent/mixed cycles: plan read off the resolution graphs (§8, §9)"
+		// §9: such formulas may become stable for a particular query form
+		// after some expansions, differing from form to form.
+		if from, ok := adorn.EventuallyStableFor(sys.Recursive, a); ok {
+			f.Note += fmt.Sprintf("; this query form's determined pattern is constant from expansion %d on", from)
+		}
+	}
+	for k := 0; k <= maxDepth; k++ {
+		f.Depths = append(f.Depths, planDepth(sys, a, k))
+	}
+	f.Closed = detectPeriod(f.Depths)
+	if res.Stable {
+		// The §4.1 closed form from the disjoint unit cycles is tighter
+		// than anything the generic period detector can recover.
+		if closed, err := StableClosedForm(sys, res, a); err == nil {
+			f.Closed = closed
+		}
+	}
+	return f, nil
+}
+
+// planDepth builds the concrete evaluation plan of the k-th expansion.
+func planDepth(sys *ast.RecursiveSystem, a adorn.Adornment, k int) DepthPlan {
+	dp := DepthPlan{K: k}
+	headVars := make([]string, sys.Arity())
+	boundHead := make(map[string]bool)
+	answerVars := make(map[string]bool)
+	for i, t := range sys.Recursive.Head.Args {
+		headVars[i] = t.Name
+		if a[i] {
+			boundHead[t.Name] = true
+		} else {
+			answerVars[t.Name] = true
+		}
+	}
+	if k == 0 {
+		text := "E"
+		if len(boundHead) > 0 {
+			text = "σE"
+		}
+		dp.Steps = []Step{{Text: text}}
+		return dp
+	}
+	exp := rewrite.Expand(sys, k)
+	recAtom, _ := exp.RecursiveAtom()
+	type lit struct {
+		label string
+		vars  []string
+		copy  int
+		used  bool
+		isE   bool
+	}
+	var lits []lit
+	nrAtoms := exp.NonRecursiveAtoms()
+	perCopy := len(sys.Recursive.NonRecursiveAtoms())
+	for i, at := range nrAtoms {
+		cp := 0
+		if perCopy > 0 {
+			cp = i / perCopy
+		}
+		lits = append(lits, lit{label: at.Pred, vars: at.Vars(), copy: cp})
+	}
+	lits = append(lits, lit{label: "E", vars: ast.Atom{Pred: "E", Args: recAtom.Args}.Vars(), copy: k, isE: true})
+
+	determined := make(map[string]bool)
+	for v := range boundHead {
+		determined[v] = true
+	}
+	// groupHasAnswer[g] records whether group g (Cartesian-separated) binds
+	// any answer variable.
+	groupHasAnswer := []bool{false}
+	remaining := len(lits)
+	for remaining > 0 {
+		// Literals with at least one determined variable are available;
+		// the exit relation is deferred until no body literal qualifies
+		// (the paper evaluates E only when selections and joins over the
+		// non-recursive predicates are exhausted).
+		var avail []int
+		eAvail := -1
+		for i := range lits {
+			if lits[i].used {
+				continue
+			}
+			for _, v := range lits[i].vars {
+				if determined[v] {
+					if lits[i].isE {
+						eAvail = i
+					} else {
+						avail = append(avail, i)
+					}
+					break
+				}
+			}
+		}
+		conn := "-"
+		switch {
+		case len(avail) == 0 && eAvail >= 0:
+			avail = []int{eAvail}
+		case len(avail) == 0:
+			// Nothing is connected to the constants: retrieve the first
+			// unused literal (preferring the exit relation, the paper's
+			// convention) and combine by Cartesian product.
+			pick := -1
+			for i := range lits {
+				if !lits[i].used && lits[i].isE {
+					pick = i
+					break
+				}
+			}
+			if pick == -1 {
+				for i := range lits {
+					if !lits[i].used {
+						pick = i
+						break
+					}
+				}
+			}
+			avail = []int{pick}
+			if len(dp.Steps) > 0 {
+				conn = "X"
+				groupHasAnswer = append(groupHasAnswer, false)
+			}
+		case len(avail) > 1:
+			// Group in parallel braces only pairwise variable-disjoint
+			// literals from the earliest copy still in play, mirroring the
+			// paper's copy-by-copy discipline.
+			minCopy := lits[avail[0]].copy
+			for _, i := range avail[1:] {
+				if lits[i].copy < minCopy {
+					minCopy = lits[i].copy
+				}
+			}
+			var kept []int
+			usedVars := make(map[string]bool)
+			for _, i := range avail {
+				if lits[i].copy != minCopy {
+					continue
+				}
+				ok := true
+				for _, v := range lits[i].vars {
+					if !determined[v] && usedVars[v] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				kept = append(kept, i)
+				for _, v := range lits[i].vars {
+					if !determined[v] {
+						usedVars[v] = true
+					}
+				}
+			}
+			avail = kept
+		}
+		// Render the step.
+		names := make([]string, 0, len(avail))
+		for _, i := range avail {
+			name := lits[i].label
+			if !lits[i].isE && touchesBoundHead(lits[i].vars, boundHead) {
+				name = "σ" + name
+			}
+			if lits[i].isE && len(dp.Steps) == 0 && len(boundHead) > 0 {
+				name = "σ" + name
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		text := names[0]
+		if len(names) > 1 {
+			text = "{" + strings.Join(names, ",") + "}"
+		}
+		if len(dp.Steps) == 0 {
+			conn = ""
+		}
+		dp.Steps = append(dp.Steps, Step{Text: text, Conn: conn})
+		for _, i := range avail {
+			lits[i].used = true
+			remaining--
+			for _, v := range lits[i].vars {
+				if answerVars[v] && !determined[v] {
+					groupHasAnswer[len(groupHasAnswer)-1] = true
+				}
+				determined[v] = true
+			}
+		}
+	}
+	// Existence check: if the first group binds no answer variable but a
+	// later one does, the first group only gates the answers (§6).
+	if len(groupHasAnswer) > 1 && !groupHasAnswer[0] {
+		later := false
+		for _, g := range groupHasAnswer[1:] {
+			later = later || g
+		}
+		dp.ExistsPrefix = later
+	}
+	return dp
+}
+
+func touchesBoundHead(vars []string, bound map[string]bool) bool {
+	for _, v := range vars {
+		if bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// StableClosedForm renders the §4.1 compiled formula of a strongly stable
+// system from its disjoint unit cycles: per bound position a descending
+// σ-chain branch, per free position an ascending chain applied to the exit
+// relation. Example (statement s3, query p(a,b,Z)):
+//
+//	∪_{k=0}^∞ [ {σ(a)^k, σ(b)^k} - E - (c)^k ]
+func StableClosedForm(sys *ast.RecursiveSystem, res *classify.Result, a adorn.Adornment) (string, error) {
+	if !res.Stable {
+		return "", fmt.Errorf("plan: class %s is not strongly stable", res.Class.Code())
+	}
+	rule := sys.Recursive
+	// Component label per position: concatenated non-recursive predicate
+	// names of the component owning the position's head variable.
+	vertexComp := make(map[string]int)
+	for ci, c := range res.Components {
+		for _, v := range c.G.Vertices() {
+			vertexComp[v] = ci
+		}
+	}
+	labels := make([]string, len(res.Components))
+	for _, at := range rule.NonRecursiveAtoms() {
+		vars := at.Vars()
+		if len(vars) == 0 {
+			continue
+		}
+		labels[vertexComp[vars[0]]] += at.Pred
+	}
+	var down, up []string
+	for i, t := range rule.Head.Args {
+		lbl := labels[vertexComp[t.Name]]
+		if lbl == "" {
+			lbl = "id" // pure self-loop: the identity chain
+		}
+		if a[i] {
+			down = append(down, fmt.Sprintf("σ(%s)^k", lbl))
+		} else if lbl != "id" {
+			up = append(up, fmt.Sprintf("(%s)^k", lbl))
+		}
+	}
+	var b strings.Builder
+	b.WriteString("∪_{k=0}^∞ [ ")
+	switch len(down) {
+	case 0:
+	case 1:
+		b.WriteString(down[0] + " - ")
+	default:
+		b.WriteString("{" + strings.Join(down, ", ") + "} - ")
+	}
+	b.WriteString("E")
+	for _, u := range up {
+		b.WriteString(" - " + u)
+	}
+	b.WriteString(" ]")
+	return b.String(), nil
+}

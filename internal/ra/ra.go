@@ -1,0 +1,186 @@
+// Package ra provides set-level relational algebra over storage.Relation:
+// selection, projection, equi-join, union, difference, Cartesian product,
+// semijoin, binary composition and inverse. The evaluation engines and the
+// compiled-plan executor are built from these operators, following the
+// paper's evaluation principle of applying selections before joins.
+package ra
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Select returns σ_{col=val}(r).
+func Select(r *storage.Relation, col int, val storage.Value) *storage.Relation {
+	out := storage.NewRelation(r.Arity())
+	for _, pos := range r.LookupCol(col, val) {
+		out.Insert(r.Tuples()[pos])
+	}
+	return out
+}
+
+// SelectWhere returns the tuples satisfying pred.
+func SelectWhere(r *storage.Relation, pred func(storage.Tuple) bool) *storage.Relation {
+	out := storage.NewRelation(r.Arity())
+	r.Each(func(t storage.Tuple) bool {
+		if pred(t) {
+			out.Insert(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Project returns π_cols(r); cols may repeat or reorder columns.
+func Project(r *storage.Relation, cols ...int) *storage.Relation {
+	out := storage.NewRelation(len(cols))
+	buf := make(storage.Tuple, len(cols))
+	r.Each(func(t storage.Tuple) bool {
+		for i, c := range cols {
+			buf[i] = t[c]
+		}
+		out.Insert(buf)
+		return true
+	})
+	return out
+}
+
+// Union returns r ∪ s. Arities must match.
+func Union(r, s *storage.Relation) *storage.Relation {
+	if r.Arity() != s.Arity() {
+		panic(fmt.Sprintf("ra: union arity mismatch %d vs %d", r.Arity(), s.Arity()))
+	}
+	out := r.Clone()
+	out.InsertAll(s)
+	return out
+}
+
+// Difference returns r − s.
+func Difference(r, s *storage.Relation) *storage.Relation {
+	out := storage.NewRelation(r.Arity())
+	r.Each(func(t storage.Tuple) bool {
+		if !s.Contains(t) {
+			out.Insert(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Product returns r × s with s's columns appended after r's.
+func Product(r, s *storage.Relation) *storage.Relation {
+	out := storage.NewRelation(r.Arity() + s.Arity())
+	buf := make(storage.Tuple, r.Arity()+s.Arity())
+	r.Each(func(a storage.Tuple) bool {
+		copy(buf, a)
+		s.Each(func(b storage.Tuple) bool {
+			copy(buf[r.Arity():], b)
+			out.Insert(buf)
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// Join returns the equi-join of r and s on r.rcols[i] = s.scols[i], with s's
+// columns appended after r's. It indexes the smaller relation's first join
+// column.
+func Join(r, s *storage.Relation, rcols, scols []int) *storage.Relation {
+	if len(rcols) != len(scols) {
+		panic("ra: join column count mismatch")
+	}
+	out := storage.NewRelation(r.Arity() + s.Arity())
+	if len(rcols) == 0 {
+		return Product(r, s)
+	}
+	buf := make(storage.Tuple, r.Arity()+s.Arity())
+	bound := make([]bool, s.Arity())
+	vals := make(storage.Tuple, s.Arity())
+	for _, c := range scols {
+		bound[c] = true
+	}
+	r.Each(func(a storage.Tuple) bool {
+		for i, c := range scols {
+			vals[c] = a[rcols[i]]
+		}
+		s.EachMatch(bound, vals, func(b storage.Tuple) bool {
+			copy(buf, a)
+			copy(buf[r.Arity():], b)
+			out.Insert(buf)
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// SemiJoin returns the tuples of r having at least one join partner in s on
+// r.rcols[i] = s.scols[i].
+func SemiJoin(r, s *storage.Relation, rcols, scols []int) *storage.Relation {
+	out := storage.NewRelation(r.Arity())
+	bound := make([]bool, s.Arity())
+	vals := make(storage.Tuple, s.Arity())
+	for _, c := range scols {
+		bound[c] = true
+	}
+	r.Each(func(a storage.Tuple) bool {
+		for i, c := range scols {
+			vals[c] = a[rcols[i]]
+		}
+		found := false
+		s.EachMatch(bound, vals, func(storage.Tuple) bool {
+			found = true
+			return false
+		})
+		if found {
+			out.Insert(a)
+		}
+		return true
+	})
+	return out
+}
+
+// Compose returns the composition of two binary relations:
+// {(x,z) : (x,y) ∈ r, (y,z) ∈ s}. The workhorse of the paper's σA^k chains.
+func Compose(r, s *storage.Relation) *storage.Relation {
+	if r.Arity() != 2 || s.Arity() != 2 {
+		panic("ra: compose requires binary relations")
+	}
+	return Project(Join(r, s, []int{1}, []int{0}), 0, 3)
+}
+
+// Inverse returns {(y,x) : (x,y) ∈ r} for a binary relation.
+func Inverse(r *storage.Relation) *storage.Relation {
+	if r.Arity() != 2 {
+		panic("ra: inverse requires a binary relation")
+	}
+	return Project(r, 1, 0)
+}
+
+// Image returns {y : x ∈ xs, (x,y) ∈ r} for a binary relation: one step of a
+// σ-chain frontier.
+func Image(xs *storage.Relation, r *storage.Relation) *storage.Relation {
+	if xs.Arity() != 1 || r.Arity() != 2 {
+		panic("ra: image requires unary frontier and binary relation")
+	}
+	out := storage.NewRelation(1)
+	xs.Each(func(x storage.Tuple) bool {
+		for _, pos := range r.LookupCol(0, x[0]) {
+			out.Insert(storage.Tuple{r.Tuples()[pos][1]})
+		}
+		return true
+	})
+	return out
+}
+
+// Singleton returns a unary relation holding just v.
+func Singleton(v storage.Value) *storage.Relation {
+	r := storage.NewRelation(1)
+	r.Insert(storage.Tuple{v})
+	return r
+}
+
+// IsEmpty reports whether r has no tuples.
+func IsEmpty(r *storage.Relation) bool { return r.Len() == 0 }

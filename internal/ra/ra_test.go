@@ -1,0 +1,202 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func rel(arity int, tuples ...storage.Tuple) *storage.Relation {
+	r := storage.NewRelation(arity)
+	for _, t := range tuples {
+		r.Insert(t)
+	}
+	return r
+}
+
+func TestSelect(t *testing.T) {
+	r := rel(2, storage.Tuple{1, 2}, storage.Tuple{1, 3}, storage.Tuple{2, 3})
+	s := Select(r, 0, 1)
+	if s.Len() != 2 {
+		t.Errorf("σ = %d tuples", s.Len())
+	}
+	if Select(r, 1, 9).Len() != 0 {
+		t.Error("selection on absent value nonempty")
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	r := rel(1, storage.Tuple{1}, storage.Tuple{2}, storage.Tuple{3})
+	s := SelectWhere(r, func(tp storage.Tuple) bool { return tp[0] >= 2 })
+	if s.Len() != 2 {
+		t.Errorf("σ_pred = %d", s.Len())
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := rel(3, storage.Tuple{1, 2, 3}, storage.Tuple{1, 2, 4})
+	p := Project(r, 0, 1)
+	if p.Len() != 1 || p.Arity() != 2 {
+		t.Errorf("π dedup failed: len=%d arity=%d", p.Len(), p.Arity())
+	}
+	swapped := Project(r, 2, 0)
+	if !swapped.Contains(storage.Tuple{3, 1}) {
+		t.Error("π reorder failed")
+	}
+	dup := Project(r, 0, 0)
+	if !dup.Contains(storage.Tuple{1, 1}) {
+		t.Error("π column repetition failed")
+	}
+}
+
+func TestUnionDifference(t *testing.T) {
+	a := rel(1, storage.Tuple{1}, storage.Tuple{2})
+	b := rel(1, storage.Tuple{2}, storage.Tuple{3})
+	u := Union(a, b)
+	if u.Len() != 3 {
+		t.Errorf("∪ = %d", u.Len())
+	}
+	d := Difference(a, b)
+	if d.Len() != 1 || !d.Contains(storage.Tuple{1}) {
+		t.Errorf("− wrong")
+	}
+	// Union must not mutate inputs.
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Error("union mutated inputs")
+	}
+}
+
+func TestUnionArityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Union(rel(1), rel(2))
+}
+
+func TestProductAndJoin(t *testing.T) {
+	a := rel(2, storage.Tuple{1, 2}, storage.Tuple{3, 4})
+	b := rel(2, storage.Tuple{2, 5}, storage.Tuple{9, 9})
+	p := Product(a, b)
+	if p.Len() != 4 || p.Arity() != 4 {
+		t.Errorf("× = %d/%d", p.Len(), p.Arity())
+	}
+	j := Join(a, b, []int{1}, []int{0})
+	if j.Len() != 1 || !j.Contains(storage.Tuple{1, 2, 2, 5}) {
+		t.Errorf("⋈ wrong: %v", j.Tuples())
+	}
+	// Join on no columns = product.
+	if Join(a, b, nil, nil).Len() != 4 {
+		t.Error("0-column join is not the product")
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	a := rel(2, storage.Tuple{1, 2}, storage.Tuple{3, 4})
+	b := rel(1, storage.Tuple{2})
+	s := SemiJoin(a, b, []int{1}, []int{0})
+	if s.Len() != 1 || !s.Contains(storage.Tuple{1, 2}) {
+		t.Errorf("⋉ wrong: %v", s.Tuples())
+	}
+}
+
+func TestComposeAndInverse(t *testing.T) {
+	e := rel(2, storage.Tuple{1, 2}, storage.Tuple{2, 3}, storage.Tuple{3, 4})
+	c := Compose(e, e) // paths of length 2
+	want := rel(2, storage.Tuple{1, 3}, storage.Tuple{2, 4})
+	if !c.Equal(want) {
+		t.Errorf("compose = %v", c.Tuples())
+	}
+	inv := Inverse(e)
+	if !inv.Contains(storage.Tuple{2, 1}) || inv.Len() != 3 {
+		t.Error("inverse wrong")
+	}
+	if !Inverse(inv).Equal(e) {
+		t.Error("inverse not involutive")
+	}
+}
+
+func TestImageAndSingleton(t *testing.T) {
+	e := rel(2, storage.Tuple{1, 2}, storage.Tuple{1, 3}, storage.Tuple{2, 4})
+	front := Singleton(1)
+	img := Image(front, e)
+	if img.Len() != 2 || !img.Contains(storage.Tuple{2}) || !img.Contains(storage.Tuple{3}) {
+		t.Errorf("image = %v", img.Tuples())
+	}
+	if !IsEmpty(Image(Singleton(9), e)) {
+		t.Error("image of absent value nonempty")
+	}
+}
+
+// TestQuickJoinAgainstNestedLoop validates the indexed join against the
+// naive nested-loop definition on random relations.
+func TestQuickJoinAgainstNestedLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := storage.NewRelation(2)
+		b := storage.NewRelation(2)
+		for i := 0; i < 30; i++ {
+			a.Insert(storage.Tuple{storage.Value(rng.Intn(5)), storage.Value(rng.Intn(5))})
+			b.Insert(storage.Tuple{storage.Value(rng.Intn(5)), storage.Value(rng.Intn(5))})
+		}
+		got := Join(a, b, []int{1}, []int{0})
+		want := storage.NewRelation(4)
+		a.Each(func(x storage.Tuple) bool {
+			b.Each(func(y storage.Tuple) bool {
+				if x[1] == y[0] {
+					want.Insert(storage.Tuple{x[0], x[1], y[0], y[1]})
+				}
+				return true
+			})
+			return true
+		})
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickComposeAssociative: relation composition is associative.
+func TestQuickComposeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *storage.Relation {
+			r := storage.NewRelation(2)
+			for i := 0; i < 15; i++ {
+				r.Insert(storage.Tuple{storage.Value(rng.Intn(4)), storage.Value(rng.Intn(4))})
+			}
+			return r
+		}
+		a, b, c := mk(), mk(), mk()
+		return Compose(Compose(a, b), c).Equal(Compose(a, Compose(b, c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSetAlgebra: A = (A−B) ∪ (A ⋉ B) for unary relations joined on
+// their single column, and difference/union interplay.
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *storage.Relation {
+			r := storage.NewRelation(1)
+			for i := 0; i < 10; i++ {
+				r.Insert(storage.Tuple{storage.Value(rng.Intn(8))})
+			}
+			return r
+		}
+		a, b := mk(), mk()
+		inB := SemiJoin(a, b, []int{0}, []int{0})
+		notB := Difference(a, b)
+		return Union(inB, notB).Equal(a) && Difference(inB, notB).Equal(inB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

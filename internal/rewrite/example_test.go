@@ -1,0 +1,49 @@
+package rewrite_test
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/rewrite"
+)
+
+// ExampleExpand shows the paper's statement (s2c): the second expansion of
+// (s2a) p(x,y) :- a(x,z) ∧ p(z,u) ∧ b(u,y).
+func ExampleExpand() {
+	rule := parser.MustParseRule("p(X, Y) :- a(X, Z), p(Z, U), b(U, Y).")
+	sys, _ := ast.NewRecursiveSystem(rule, ast.DefaultExit("p", 2, "e"))
+	fmt.Println(rewrite.Expand(sys, 2))
+	// Output:
+	// p(X, Y) :- a(X, Z), b(U, Y), a(Z, Z#2), p(Z#2, U#2), b(U#2, U).
+}
+
+// ExampleToStable unfolds the paper's statement (s4a) — a one-directional
+// cycle of weight 3 — into an equivalent stable system with three exits
+// (Theorem 2).
+func ExampleToStable() {
+	rule := parser.MustParseRule("p(X1, X2, X3) :- a(X1, Y3), b(X2, Y1), c(Y2, X3), p(Y1, Y2, Y3).")
+	sys, _ := ast.NewRecursiveSystem(rule, ast.DefaultExit("p", 3, "e"))
+	stable, err := rewrite.ToStable(sys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("exit rules:", len(stable.Exits))
+	fmt.Println("body literals of the stable rule:", len(stable.Recursive.NonRecursiveAtoms()))
+	// Output:
+	// exit rules: 3
+	// body literals of the stable rule: 9
+}
+
+// ExampleNonRecursiveExpansions eliminates the bounded statement (s10).
+func ExampleNonRecursiveExpansions() {
+	rule := parser.MustParseRule("p(X, Y) :- b(Y), c(X, Y1), p(X1, Y1).")
+	sys, _ := ast.NewRecursiveSystem(rule, ast.DefaultExit("p", 2, "e"))
+	for _, r := range rewrite.NonRecursiveExpansions(sys, 2) {
+		fmt.Println(r)
+	}
+	// Output:
+	// p(x1, x2) :- e(x1, x2).
+	// p(X, Y) :- b(Y), c(X, Y1), e(X1, Y1).
+	// p(X, Y) :- b(Y), c(X, Y1), b(Y1), c(X1, Y1#2), e(X1#2, Y1#2).
+}

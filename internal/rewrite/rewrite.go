@@ -1,0 +1,150 @@
+// Package rewrite implements the formula transformations of the paper:
+// k-th expansions (unfolding the linear recursive rule against itself),
+// substitution of exit rules into expansions, the Theorem-2/Theorem-4
+// transformation of one-directional-cycle formulas into equivalent stable
+// formulas with multiple exits, and the expansion of bounded formulas into
+// an equivalent finite set of non-recursive formulas.
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/igraph"
+)
+
+// Expand returns the k-th expansion of the system's recursive rule (k ≥ 1):
+// the rule whose body carries k copies of the non-recursive literals and a
+// single recursive literal. Expand(sys, 1) is the original rule. Fresh
+// variables introduced at expansion i are named with igraph.RenameVar, so
+// expansions line up with resolution graphs.
+func Expand(sys *ast.RecursiveSystem, k int) ast.Rule {
+	if k < 1 {
+		panic(fmt.Sprintf("rewrite: expansion index %d < 1", k))
+	}
+	rule := sys.Recursive
+	out := rule.Clone()
+	for i := 2; i <= k; i++ {
+		out = expandOnce(out, rule, i)
+	}
+	return out
+}
+
+// expandOnce unfolds cur's recursive literal against base, renaming base's
+// fresh variables for expansion index k.
+func expandOnce(cur, base ast.Rule, k int) ast.Rule {
+	recAtom, recIdx := cur.RecursiveAtom()
+	// Unify base's head with cur's recursive atom: both are vectors of
+	// distinct variables, so the unifier maps base head vars to cur's
+	// recursive-atom args; every other base variable is renamed fresh.
+	sub := make(map[string]ast.Term, len(base.Head.Args))
+	for i, t := range base.Head.Args {
+		sub[t.Name] = recAtom.Args[i]
+	}
+	for _, v := range base.Vars() {
+		if _, ok := sub[v]; !ok {
+			sub[v] = ast.V(igraph.RenameVar(v, k))
+		}
+	}
+	renamed := base.Rename(sub)
+	body := make([]ast.Atom, 0, len(cur.Body)+len(renamed.Body)-1)
+	body = append(body, cur.Body[:recIdx]...)
+	body = append(body, cur.Body[recIdx+1:]...)
+	body = append(body, renamed.Body...)
+	return ast.NewRule(cur.Head, body...)
+}
+
+// SubstituteExit replaces the recursive literal of rule with the body of the
+// exit rule, unifying the exit head with the recursive literal's arguments.
+// Exit-rule variables not bound by the unification are renamed with the
+// given suffix to stay fresh.
+func SubstituteExit(rule ast.Rule, exit ast.Rule, freshSuffix string) ast.Rule {
+	recAtom, recIdx := rule.RecursiveAtom()
+	sub := make(map[string]ast.Term, len(exit.Head.Args))
+	for i, t := range exit.Head.Args {
+		if !t.IsVar() {
+			panic("rewrite: exit rule with constant head argument")
+		}
+		sub[t.Name] = recAtom.Args[i]
+	}
+	for _, v := range exit.Vars() {
+		if _, ok := sub[v]; !ok {
+			sub[v] = ast.V(v + freshSuffix)
+		}
+	}
+	renamed := exit.Rename(sub)
+	body := make([]ast.Atom, 0, len(rule.Body)-1+len(renamed.Body))
+	body = append(body, rule.Body[:recIdx]...)
+	body = append(body, renamed.Body...)
+	body = append(body, rule.Body[recIdx+1:]...)
+	return ast.NewRule(rule.Head, body...)
+}
+
+// NonRecursiveExpansions returns, for each i in 0..rank, the non-recursive
+// rules obtained from the i-th expansion by replacing the recursive literal
+// with each exit rule (i = 0 yields the exit rules themselves). For a
+// bounded formula with the given rank this finite set is equivalent to the
+// original recursion — the paper's "pseudo recursion" elimination (§5,
+// statements s8a', s8b').
+func NonRecursiveExpansions(sys *ast.RecursiveSystem, rank int) []ast.Rule {
+	var out []ast.Rule
+	out = append(out, cloneRules(sys.Exits)...)
+	for i := 1; i <= rank; i++ {
+		exp := Expand(sys, i)
+		for j, exit := range sys.Exits {
+			out = append(out, SubstituteExit(exp, exit, fmt.Sprintf("@x%d_%d", i, j)))
+		}
+	}
+	return out
+}
+
+func cloneRules(rs []ast.Rule) []ast.Rule {
+	out := make([]ast.Rule, len(rs))
+	for i, r := range rs {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// ToStable applies Theorem 2 / Theorem 4: for a formula whose I-graph is a
+// disjoint combination of independent one-directional cycles with weights
+// c1..ck, unfold L = lcm(c1..ck) times, keep the L-th expansion as the new
+// recursive rule, and add the first L−1 expansions with the recursive
+// literal replaced by the exit relation(s) as extra exit rules. The result
+// is an equivalent strongly stable system.
+//
+// It returns an error when the formula is not transformable (Corollary 3).
+func ToStable(sys *ast.RecursiveSystem) (*ast.RecursiveSystem, error) {
+	res, err := classify.Classify(sys.Recursive)
+	if err != nil {
+		return nil, err
+	}
+	return toStable(sys, res)
+}
+
+// ToStableClassified is ToStable for an already-classified system.
+func ToStableClassified(sys *ast.RecursiveSystem, res *classify.Result) (*ast.RecursiveSystem, error) {
+	return toStable(sys, res)
+}
+
+func toStable(sys *ast.RecursiveSystem, res *classify.Result) (*ast.RecursiveSystem, error) {
+	if !res.Transformable {
+		return nil, fmt.Errorf("rewrite: class %s is not transformable to a stable formula (Corollary 3)", res.Class.Code())
+	}
+	L := res.StabilizationPeriod
+	if L == 1 {
+		// Already stable.
+		return ast.NewRecursiveSystem(sys.Recursive.Clone(), cloneRules(sys.Exits)...)
+	}
+	newRec := Expand(sys, L)
+	var exits []ast.Rule
+	exits = append(exits, cloneRules(sys.Exits)...)
+	for i := 1; i < L; i++ {
+		exp := Expand(sys, i)
+		for j, exit := range sys.Exits {
+			exits = append(exits, SubstituteExit(exp, exit, fmt.Sprintf("@x%d_%d", i, j)))
+		}
+	}
+	return ast.NewRecursiveSystem(newRec, exits...)
+}

@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchRelation(n int) *Relation {
+	rng := rand.New(rand.NewSource(1))
+	r := NewRelation(2)
+	for r.Len() < n {
+		r.Insert(Tuple{Value(rng.Intn(n)), Value(rng.Intn(n))})
+	}
+	return r
+}
+
+func BenchmarkRelationInsert(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			tuples := make([]Tuple, n)
+			for i := range tuples {
+				tuples[i] = Tuple{Value(rng.Intn(n)), Value(rng.Intn(n))}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := NewRelation(2)
+				for _, t := range tuples {
+					r.Insert(t)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRelationIndexedLookup(b *testing.B) {
+	r := benchRelation(10000)
+	r.LookupCol(0, 1) // build the index outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.LookupCol(0, Value(i%100)); len(got) == 0 {
+			_ = got
+		}
+	}
+}
+
+func BenchmarkEachMatchIndexedVsScan(b *testing.B) {
+	r := benchRelation(10000)
+	b.Run("indexed", func(b *testing.B) {
+		bound := []bool{true, false}
+		vals := Tuple{0, 0}
+		for i := 0; i < b.N; i++ {
+			vals[0] = Value(i % 100)
+			r.EachMatch(bound, vals, func(Tuple) bool { return true })
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		bound := []bool{false, false}
+		vals := Tuple{0, 0}
+		for i := 0; i < b.N; i++ {
+			r.EachMatch(bound, vals, func(Tuple) bool { return true })
+		}
+	})
+}
+
+func BenchmarkTupleKey(b *testing.B) {
+	t := Tuple{1, 2, 3, 4}
+	for i := 0; i < b.N; i++ {
+		_ = t.Key()
+	}
+}
+
+func BenchmarkGenerators(b *testing.B) {
+	b.Run("chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := NewDatabase()
+			GenChain(db, "e", 1000)
+		}
+	})
+	b.Run("random", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := NewDatabase()
+			GenRandomGraph(db, "e", 500, 1000, 1)
+		}
+	})
+}

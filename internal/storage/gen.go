@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators for synthetic extensional databases. The 1988 paper reports no
+// datasets; every experiment here runs on these deterministic workloads
+// (seeded PRNG), as recorded in DESIGN.md.
+
+// node interns the canonical name of node i.
+func node(db *Database, i int) Value {
+	return db.Syms.Intern(fmt.Sprintf("n%d", i))
+}
+
+// GenChain fills pred with a simple chain n0 -> n1 -> … -> n(n-1): n-1
+// binary tuples. The classic linear workload for transitive closure.
+func GenChain(db *Database, pred string, n int) error {
+	for i := 0; i+1 < n; i++ {
+		if _, err := db.InsertValues(pred, node(db, i), node(db, i+1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenCycle fills pred with a directed cycle over n nodes.
+func GenCycle(db *Database, pred string, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := db.InsertValues(pred, node(db, i), node(db, (i+1)%n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenTree fills pred with a complete tree of the given branching factor and
+// depth, edges pointing from parent to child. Node 0 is the root.
+func GenTree(db *Database, pred string, branching, depth int) error {
+	next := 1
+	frontier := []int{0}
+	for d := 0; d < depth; d++ {
+		var nf []int
+		for _, p := range frontier {
+			for b := 0; b < branching; b++ {
+				c := next
+				next++
+				if _, err := db.InsertValues(pred, node(db, p), node(db, c)); err != nil {
+					return err
+				}
+				nf = append(nf, c)
+			}
+		}
+		frontier = nf
+	}
+	return nil
+}
+
+// GenRandomGraph fills pred with m distinct random directed edges over n
+// nodes, deterministically from seed.
+func GenRandomGraph(db *Database, pred string, n, m int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	r, err := db.Ensure(pred, 2)
+	if err != nil {
+		return err
+	}
+	for r.Len() < m {
+		a, b := rng.Intn(n), rng.Intn(n)
+		r.Insert(Tuple{node(db, a), node(db, b)})
+	}
+	return nil
+}
+
+// GenRandomRelation fills pred with m distinct random tuples of the given
+// arity over a domain of n constants, deterministically from seed.
+func GenRandomRelation(db *Database, pred string, arity, n, m int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	r, err := db.Ensure(pred, arity)
+	if err != nil {
+		return err
+	}
+	if m > pow(n, arity) {
+		m = pow(n, arity)
+	}
+	for r.Len() < m {
+		t := make(Tuple, arity)
+		for i := range t {
+			t[i] = node(db, rng.Intn(n))
+		}
+		r.Insert(t)
+	}
+	return nil
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		if out > 1<<30 {
+			return 1 << 30
+		}
+		out *= b
+	}
+	return out
+}
+
+// GenGrid fills pred with the edges of a w×h grid (right and down),
+// producing many alternative paths of equal length — a worst case for
+// duplicate derivations.
+func GenGrid(db *Database, pred string, w, h int) error {
+	id := func(x, y int) Value { return db.Syms.Intern(fmt.Sprintf("g%d_%d", x, y)) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				if _, err := db.InsertValues(pred, id(x, y), id(x+1, y)); err != nil {
+					return err
+				}
+			}
+			if y+1 < h {
+				if _, err := db.InsertValues(pred, id(x, y), id(x, y+1)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

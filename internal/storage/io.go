@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// WriteFacts serializes the database as Datalog facts, one per line,
+// relations and tuples in deterministic order. The output parses back with
+// ReadFacts (or the full parser).
+func (db *Database) WriteFacts(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, pred := range db.Preds() {
+		rel := db.rels[pred]
+		lines := make([]string, 0, rel.Len())
+		for _, t := range rel.Tuples() {
+			parts := make([]string, len(t))
+			for i, v := range t {
+				parts[i] = quoteIfNeeded(db.Syms.Name(v))
+			}
+			lines = append(lines, pred+"("+strings.Join(parts, ", ")+").")
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			if _, err := bw.WriteString(l + "\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// quoteIfNeeded renders a constant name so that it parses back as a
+// constant: lowercase identifiers and numbers stay bare, everything else is
+// quoted.
+func quoteIfNeeded(name string) string {
+	if name == "" {
+		return strconv.Quote(name)
+	}
+	runes := []rune(name)
+	bare := unicode.IsLower(runes[0]) || unicode.IsDigit(runes[0]) || runes[0] == '-'
+	if bare {
+		for _, r := range runes[1:] {
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '\'' {
+				bare = false
+				break
+			}
+		}
+	}
+	if bare {
+		return name
+	}
+	return strconv.Quote(name)
+}
+
+// ReadFacts parses a stream of ground facts (the WriteFacts format,
+// comments allowed) into the database. Rules and queries are rejected.
+func (db *Database) ReadFacts(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	return db.LoadFacts(string(data))
+}
+
+// LoadFacts parses ground facts from source text into the database.
+func (db *Database) LoadFacts(src string) error {
+	// The storage package cannot depend on the parser (the parser has no
+	// dependencies on storage, but keeping the layering acyclic and the
+	// format trivial, a small scanner suffices).
+	i := 0
+	n := len(src)
+	skipSpace := func() {
+		for i < n {
+			switch {
+			case src[i] == ' ' || src[i] == '\t' || src[i] == '\n' || src[i] == '\r':
+				i++
+			case src[i] == '%':
+				for i < n && src[i] != '\n' {
+					i++
+				}
+			case src[i] == '/' && i+1 < n && src[i+1] == '/':
+				for i < n && src[i] != '\n' {
+					i++
+				}
+			default:
+				return
+			}
+		}
+	}
+	ident := func() (string, error) {
+		start := i
+		for i < n && (isIdentByte(src[i]) || (i == start && src[i] == '-')) {
+			i++
+		}
+		if i == start {
+			return "", fmt.Errorf("storage: expected identifier at byte %d", i)
+		}
+		return src[start:i], nil
+	}
+	for {
+		skipSpace()
+		if i >= n {
+			return nil
+		}
+		pred, err := ident()
+		if err != nil {
+			return err
+		}
+		skipSpace()
+		if i >= n || src[i] != '(' {
+			return fmt.Errorf("storage: expected '(' after %s", pred)
+		}
+		i++
+		var names []string
+		for {
+			skipSpace()
+			if i < n && src[i] == '"' {
+				// Quoted constant.
+				j := i + 1
+				var sb strings.Builder
+				for j < n && src[j] != '"' {
+					if src[j] == '\\' && j+1 < n {
+						j++
+					}
+					sb.WriteByte(src[j])
+					j++
+				}
+				if j >= n {
+					return fmt.Errorf("storage: unterminated string at byte %d", i)
+				}
+				names = append(names, sb.String())
+				i = j + 1
+			} else {
+				name, err := ident()
+				if err != nil {
+					return err
+				}
+				names = append(names, name)
+			}
+			skipSpace()
+			if i < n && src[i] == ',' {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= n || src[i] != ')' {
+			return fmt.Errorf("storage: expected ')' in %s fact", pred)
+		}
+		i++
+		skipSpace()
+		if i >= n || src[i] != '.' {
+			return fmt.Errorf("storage: expected '.' after %s fact", pred)
+		}
+		i++
+		if _, err := db.Insert(pred, names...); err != nil {
+			return err
+		}
+	}
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b == '\'' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}

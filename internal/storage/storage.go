@@ -1,0 +1,358 @@
+// Package storage implements the extensional layer of the deductive
+// database: interned constants, tuples, relations with per-column hash
+// indexes, and whole databases, plus deterministic synthetic EDB generators
+// for the experiments.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an interned constant. Values are only meaningful together with
+// the Symbols table that produced them.
+type Value int32
+
+// Symbols interns constant names to dense Values.
+type Symbols struct {
+	names []string
+	index map[string]Value
+}
+
+// NewSymbols returns an empty symbol table.
+func NewSymbols() *Symbols {
+	return &Symbols{index: make(map[string]Value)}
+}
+
+// Intern returns the Value for name, assigning a fresh one if needed.
+func (s *Symbols) Intern(name string) Value {
+	if v, ok := s.index[name]; ok {
+		return v
+	}
+	v := Value(len(s.names))
+	s.names = append(s.names, name)
+	s.index[name] = v
+	return v
+}
+
+// Lookup returns the Value for name without interning.
+func (s *Symbols) Lookup(name string) (Value, bool) {
+	v, ok := s.index[name]
+	return v, ok
+}
+
+// Name returns the name of v.
+func (s *Symbols) Name(v Value) string {
+	if int(v) < 0 || int(v) >= len(s.names) {
+		return fmt.Sprintf("?%d", int32(v))
+	}
+	return s.names[v]
+}
+
+// Len returns the number of interned symbols.
+func (s *Symbols) Len() int { return len(s.names) }
+
+// Tuple is a fixed-arity row of values.
+type Tuple []Value
+
+// Key serializes the tuple into a map key.
+func (t Tuple) Key() string {
+	b := make([]byte, 4*len(t))
+	for i, v := range t {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return string(b)
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a set of tuples of fixed arity with optional per-column hash
+// indexes built lazily and maintained incrementally thereafter.
+type Relation struct {
+	arity  int
+	tuples []Tuple
+	set    map[string]struct{}
+	colIdx []map[Value][]int // nil per column until first use
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{
+		arity:  arity,
+		set:    make(map[string]struct{}),
+		colIdx: make([]map[Value][]int, arity),
+	}
+}
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds t (copied) and reports whether it was new. Inserting a tuple
+// of the wrong arity panics: that is always a programming error.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("storage: insert arity %d into relation of arity %d", len(t), r.arity))
+	}
+	k := t.Key()
+	if _, ok := r.set[k]; ok {
+		return false
+	}
+	r.set[k] = struct{}{}
+	c := t.Clone()
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, c)
+	for col, idx := range r.colIdx {
+		if idx != nil {
+			idx[c[col]] = append(idx[c[col]], pos)
+		}
+	}
+	return true
+}
+
+// Contains reports membership.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.set[t.Key()]
+	return ok
+}
+
+// Tuples returns the underlying tuple slice. Callers must not mutate it or
+// its elements.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Each calls f for every tuple until f returns false.
+func (r *Relation) Each(f func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+func (r *Relation) ensureIndex(col int) map[Value][]int {
+	if r.colIdx[col] == nil {
+		idx := make(map[Value][]int)
+		for i, t := range r.tuples {
+			idx[t[col]] = append(idx[t[col]], i)
+		}
+		r.colIdx[col] = idx
+	}
+	return r.colIdx[col]
+}
+
+// LookupCol returns the positions of tuples whose column col equals v,
+// building the column index on first use.
+func (r *Relation) LookupCol(col int, v Value) []int {
+	return r.ensureIndex(col)[v]
+}
+
+// BuildIndexes materializes every column index now. Relations are not safe
+// for concurrent use while indexes build lazily; after BuildIndexes, any
+// number of goroutines may read the relation concurrently (as long as no
+// writer runs).
+func (r *Relation) BuildIndexes() {
+	for col := 0; col < r.arity; col++ {
+		r.ensureIndex(col)
+	}
+}
+
+// EachMatch calls f for each tuple matching the partial binding: bound[i]
+// true means the tuple's column i must equal vals[i]. It picks the most
+// selective bound column's index when one exists and scans otherwise.
+func (r *Relation) EachMatch(bound []bool, vals Tuple, f func(Tuple) bool) {
+	best := -1
+	bestLen := -1
+	for col, b := range bound {
+		if !b {
+			continue
+		}
+		n := len(r.ensureIndex(col)[vals[col]])
+		if best == -1 || n < bestLen {
+			best, bestLen = col, n
+		}
+	}
+	match := func(t Tuple) bool {
+		for col, b := range bound {
+			if b && t[col] != vals[col] {
+				return false
+			}
+		}
+		return true
+	}
+	if best == -1 {
+		for _, t := range r.tuples {
+			if !f(t) {
+				return
+			}
+		}
+		return
+	}
+	for _, pos := range r.colIdx[best][vals[best]] {
+		t := r.tuples[pos]
+		if match(t) && !f(t) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy (indexes are not copied).
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.arity)
+	for _, t := range r.tuples {
+		out.Insert(t)
+	}
+	return out
+}
+
+// InsertAll inserts every tuple of o and returns the number of new tuples.
+func (r *Relation) InsertAll(o *Relation) int {
+	n := 0
+	for _, t := range o.tuples {
+		if r.Insert(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports set equality of two relations.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.arity != o.arity || len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	for k := range r.set {
+		if _, ok := o.set[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Database maps predicate names to relations and shares one symbol table.
+type Database struct {
+	Syms *Symbols
+	rels map[string]*Relation
+}
+
+// NewDatabase returns an empty database with a fresh symbol table.
+func NewDatabase() *Database {
+	return &Database{Syms: NewSymbols(), rels: make(map[string]*Relation)}
+}
+
+// NewDatabaseWithSymbols returns an empty database sharing an existing
+// symbol table — used for overlay databases that reference another
+// database's relations.
+func NewDatabaseWithSymbols(syms *Symbols) *Database {
+	return &Database{Syms: syms, rels: make(map[string]*Relation)}
+}
+
+// Ensure returns the relation for pred, creating it with the given arity if
+// absent. It returns an error if the existing arity differs.
+func (db *Database) Ensure(pred string, arity int) (*Relation, error) {
+	if r, ok := db.rels[pred]; ok {
+		if r.Arity() != arity {
+			return nil, fmt.Errorf("storage: relation %s has arity %d, requested %d", pred, r.Arity(), arity)
+		}
+		return r, nil
+	}
+	r := NewRelation(arity)
+	db.rels[pred] = r
+	return r, nil
+}
+
+// Rel returns the relation for pred, or nil when absent.
+func (db *Database) Rel(pred string) *Relation { return db.rels[pred] }
+
+// Set replaces the relation stored under pred.
+func (db *Database) Set(pred string, r *Relation) { db.rels[pred] = r }
+
+// Preds returns the sorted predicate names present.
+func (db *Database) Preds() []string {
+	out := make([]string, 0, len(db.rels))
+	for k := range db.rels {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert interns the names and inserts the tuple into pred, creating the
+// relation as needed. It reports whether the tuple was new.
+func (db *Database) Insert(pred string, names ...string) (bool, error) {
+	r, err := db.Ensure(pred, len(names))
+	if err != nil {
+		return false, err
+	}
+	t := make(Tuple, len(names))
+	for i, n := range names {
+		t[i] = db.Syms.Intern(n)
+	}
+	return r.Insert(t), nil
+}
+
+// InsertValues inserts already-interned values into pred.
+func (db *Database) InsertValues(pred string, vals ...Value) (bool, error) {
+	r, err := db.Ensure(pred, len(vals))
+	if err != nil {
+		return false, err
+	}
+	return r.Insert(Tuple(vals)), nil
+}
+
+// BuildIndexes materializes all column indexes of every relation, making
+// the database safe for concurrent readers.
+func (db *Database) BuildIndexes() {
+	for _, r := range db.rels {
+		r.BuildIndexes()
+	}
+}
+
+// Clone deep-copies the database. The symbol table is shared (symbols are
+// append-only, so sharing is safe for concurrent readers of existing names).
+func (db *Database) Clone() *Database {
+	out := &Database{Syms: db.Syms, rels: make(map[string]*Relation, len(db.rels))}
+	for k, r := range db.rels {
+		out.rels[k] = r.Clone()
+	}
+	return out
+}
+
+// Dump renders a relation's tuples deterministically for tests and tools.
+func (db *Database) Dump(pred string) string {
+	r := db.rels[pred]
+	if r == nil {
+		return pred + ": <absent>\n"
+	}
+	lines := make([]string, 0, r.Len())
+	for _, t := range r.Tuples() {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = db.Syms.Name(v)
+		}
+		lines = append(lines, pred+"("+strings.Join(parts, ", ")+")")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

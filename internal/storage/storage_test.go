@@ -1,0 +1,263 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymbolsIntern(t *testing.T) {
+	s := NewSymbols()
+	a := s.Intern("alice")
+	b := s.Intern("bob")
+	if a == b {
+		t.Error("distinct names interned equal")
+	}
+	if s.Intern("alice") != a {
+		t.Error("re-interning changed value")
+	}
+	if s.Name(a) != "alice" || s.Name(b) != "bob" {
+		t.Error("Name lookup wrong")
+	}
+	if _, ok := s.Lookup("carol"); ok {
+		t.Error("Lookup invented a symbol")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Name(Value(99)) == "" {
+		t.Error("out-of-range Name must return a placeholder")
+	}
+}
+
+func TestTupleKeyAndEqual(t *testing.T) {
+	a := Tuple{1, 2, 3}
+	b := Tuple{1, 2, 3}
+	c := Tuple{1, 2, 4}
+	if a.Key() != b.Key() || a.Key() == c.Key() {
+		t.Error("Key collisions or mismatches")
+	}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(Tuple{1, 2}) {
+		t.Error("Equal wrong")
+	}
+	cl := a.Clone()
+	cl[0] = 9
+	if a[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestRelationInsertDedup(t *testing.T) {
+	r := NewRelation(2)
+	if !r.Insert(Tuple{1, 2}) {
+		t.Error("first insert not new")
+	}
+	if r.Insert(Tuple{1, 2}) {
+		t.Error("duplicate insert reported new")
+	}
+	if r.Len() != 1 || !r.Contains(Tuple{1, 2}) || r.Contains(Tuple{2, 1}) {
+		t.Error("contents wrong")
+	}
+}
+
+func TestRelationInsertWrongArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-arity insert did not panic")
+		}
+	}()
+	NewRelation(2).Insert(Tuple{1})
+}
+
+func TestRelationIndexMaintainedAcrossInserts(t *testing.T) {
+	r := NewRelation(2)
+	r.Insert(Tuple{1, 10})
+	// Force index construction, then insert more.
+	if got := len(r.LookupCol(0, 1)); got != 1 {
+		t.Fatalf("lookup = %d", got)
+	}
+	r.Insert(Tuple{1, 20})
+	r.Insert(Tuple{2, 30})
+	if got := len(r.LookupCol(0, 1)); got != 2 {
+		t.Errorf("index not maintained incrementally: %d", got)
+	}
+	if got := len(r.LookupCol(1, 30)); got != 1 {
+		t.Errorf("second column index: %d", got)
+	}
+}
+
+func TestEachMatchAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := NewRelation(3)
+	for i := 0; i < 300; i++ {
+		r.Insert(Tuple{Value(rng.Intn(5)), Value(rng.Intn(5)), Value(rng.Intn(5))})
+	}
+	f := func(v0, v1 uint8, useB0, useB1 bool) bool {
+		bound := []bool{useB0, useB1, false}
+		vals := Tuple{Value(v0 % 5), Value(v1 % 5), 0}
+		got := 0
+		r.EachMatch(bound, vals, func(Tuple) bool { got++; return true })
+		want := 0
+		r.Each(func(t Tuple) bool {
+			ok := true
+			for c := range bound {
+				if bound[c] && t[c] != vals[c] {
+					ok = false
+				}
+			}
+			if ok {
+				want++
+			}
+			return true
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEachMatchEarlyStop(t *testing.T) {
+	r := NewRelation(1)
+	for i := 0; i < 10; i++ {
+		r.Insert(Tuple{Value(i)})
+	}
+	n := 0
+	r.EachMatch([]bool{false}, Tuple{0}, func(Tuple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestRelationCloneIsolation(t *testing.T) {
+	r := NewRelation(1)
+	r.Insert(Tuple{1})
+	c := r.Clone()
+	c.Insert(Tuple{2})
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Error("clone not isolated")
+	}
+}
+
+func TestRelationEqualAndInsertAll(t *testing.T) {
+	a := NewRelation(2)
+	b := NewRelation(2)
+	a.Insert(Tuple{1, 2})
+	a.Insert(Tuple{3, 4})
+	if a.Equal(b) {
+		t.Error("different relations equal")
+	}
+	if n := b.InsertAll(a); n != 2 {
+		t.Errorf("InsertAll added %d", n)
+	}
+	if !a.Equal(b) {
+		t.Error("copies not equal")
+	}
+	if n := b.InsertAll(a); n != 0 {
+		t.Errorf("second InsertAll added %d", n)
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.Insert("e", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("e", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Rel("e").Len() != 1 {
+		t.Error("duplicate fact stored")
+	}
+	if _, err := db.Insert("e", "a"); err == nil {
+		t.Error("arity change accepted")
+	}
+	if _, err := db.Ensure("e", 3); err == nil {
+		t.Error("Ensure with conflicting arity accepted")
+	}
+	preds := db.Preds()
+	if len(preds) != 1 || preds[0] != "e" {
+		t.Errorf("preds = %v", preds)
+	}
+}
+
+func TestDatabaseCloneIsolation(t *testing.T) {
+	db := NewDatabase()
+	db.Insert("e", "a", "b")
+	c := db.Clone()
+	c.Insert("e", "x", "y")
+	if db.Rel("e").Len() != 1 || c.Rel("e").Len() != 2 {
+		t.Error("clone not isolated")
+	}
+	if db.Syms != c.Syms {
+		t.Error("clone must share the symbol table")
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	db := NewDatabase()
+	db.Insert("e", "b", "c")
+	db.Insert("e", "a", "b")
+	d1, d2 := db.Dump("e"), db.Dump("e")
+	if d1 != d2 {
+		t.Error("dump not deterministic")
+	}
+	if d1 != "e(a, b)\ne(b, c)\n" {
+		t.Errorf("dump = %q", d1)
+	}
+	if db.Dump("missing") != "missing: <absent>\n" {
+		t.Errorf("missing dump = %q", db.Dump("missing"))
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	db := NewDatabase()
+	if err := GenChain(db, "chain", 10); err != nil {
+		t.Fatal(err)
+	}
+	if db.Rel("chain").Len() != 9 {
+		t.Errorf("chain edges = %d", db.Rel("chain").Len())
+	}
+	if err := GenCycle(db, "cyc", 5); err != nil {
+		t.Fatal(err)
+	}
+	if db.Rel("cyc").Len() != 5 {
+		t.Errorf("cycle edges = %d", db.Rel("cyc").Len())
+	}
+	if err := GenTree(db, "tree", 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if db.Rel("tree").Len() != 2+4+8 {
+		t.Errorf("tree edges = %d", db.Rel("tree").Len())
+	}
+	if err := GenGrid(db, "grid", 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if db.Rel("grid").Len() != 12 {
+		t.Errorf("grid edges = %d", db.Rel("grid").Len())
+	}
+	if err := GenRandomGraph(db, "rnd", 10, 25, 1); err != nil {
+		t.Fatal(err)
+	}
+	if db.Rel("rnd").Len() != 25 {
+		t.Errorf("random edges = %d", db.Rel("rnd").Len())
+	}
+}
+
+func TestGenRandomRelationDeterministicAndCapped(t *testing.T) {
+	db1 := NewDatabase()
+	db2 := NewDatabase()
+	GenRandomRelation(db1, "r", 2, 6, 20, 99)
+	GenRandomRelation(db2, "r", 2, 6, 20, 99)
+	if db1.Dump("r") != db2.Dump("r") {
+		t.Error("same seed produced different relations")
+	}
+	db3 := NewDatabase()
+	// Request more tuples than the domain can hold: must cap, not loop.
+	if err := GenRandomRelation(db3, "small", 1, 3, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if db3.Rel("small").Len() != 3 {
+		t.Errorf("capped relation = %d, want 3", db3.Rel("small").Len())
+	}
+}
