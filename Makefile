@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench experiments fuzz clean
+.PHONY: all build vet test test-short race verify cover bench experiments fuzz clean
 
 all: build vet test
 
@@ -18,6 +18,14 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The parallel engines (eval.ParallelSemiNaive, the stable evaluator's
+# frontier pool) are only trustworthy race-detector clean.
+race:
+	$(GO) test -race ./...
+
+# Full pre-merge gate: build, vet, tests, race detector.
+verify: build vet test race
 
 cover:
 	$(GO) test -cover ./...

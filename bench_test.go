@@ -4,9 +4,9 @@ package repro
 // EXPERIMENTS.md): BenchmarkFigureN regenerates the paper's figures as
 // graph structures, BenchmarkExampleN re-derives each worked example's
 // classification/plan/evaluation, BenchmarkTheoremSuite sweeps the theorem
-// property checks, and BenchmarkQ1..Q5 measure the quantitative claims
+// property checks, and BenchmarkQ1..Q6 measure the quantitative claims
 // (compiled vs naive/semi-naive/magic, bounded cutoff, selection pushdown,
-// unfolding cost).
+// unfolding cost, parallel semi-naive fan-out).
 
 import (
 	"fmt"
@@ -482,6 +482,39 @@ func BenchmarkQ5Unfold(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkQ6ParallelSemiNaive measures the worker-pool semi-naive engine
+// against the sequential baseline on full transitive-closure
+// materialization (the Q6 harness experiment). On a single-CPU host the
+// pool is expected to tie with the sequential engine; the speedup shows
+// with 4+ cores.
+func BenchmarkQ6ParallelSemiNaive(b *testing.B) {
+	prog, _, err := parser.ParseProgram(`
+		p(X, Y) :- e(X, Y).
+		p(X, Y) :- e(X, Z), p(Z, Y).
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := storage.NewDatabase()
+	if err := storage.GenRandomGraph(db, "e", 250, 500, 7); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eval.SemiNaive(prog, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eval.ParallelSemiNaive(prog, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // cycleRule builds the weight-w generalization of statement (s4a): one

@@ -66,7 +66,7 @@ p(X, Y) :- e(X, Z), p(Z, Y).
 e(a, b). e(b, c). e(c, d).
 ?- p(a, Y).
 `
-	for _, strategy := range []string{"naive", "seminaive", "magic", "state", "class"} {
+	for _, strategy := range []string{"naive", "seminaive", "parallel", "magic", "state", "class"} {
 		out := runTool(t, in, "run", "./cmd/dlrun", "-strategy", strategy, "-stats")
 		for _, want := range []string{"(3 answers)", "p(a, b).", "p(a, c).", "p(a, d).", "% stats:"} {
 			if !strings.Contains(out, want) {

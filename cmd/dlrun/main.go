@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dlrun [-strategy naive|seminaive|magic|state|class] [-stats] [file]
+//	dlrun [-strategy naive|seminaive|parallel|magic|state|class] [-stats] [-trace] [file]
 //
 // Example input:
 //
@@ -14,7 +14,9 @@
 //
 // The compiled strategies (magic, state, class) require the program to be a
 // single linear recursive system (one recursive rule plus exit rules); the
-// bottom-up strategies (naive, seminaive) evaluate arbitrary Datalog.
+// bottom-up strategies (naive, seminaive, parallel) evaluate arbitrary
+// Datalog. -trace prints one line per fixpoint round (parallel strategy
+// only: the other engines do not collect per-round metrics).
 package main
 
 import (
@@ -34,11 +36,12 @@ import (
 
 func main() {
 	var (
-		strategyName = flag.String("strategy", "class", "evaluation strategy: naive, seminaive, magic, state or class")
+		strategyName = flag.String("strategy", "class", "evaluation strategy: naive, seminaive, parallel, magic, state or class")
 		showStats    = flag.Bool("stats", false, "print evaluation statistics")
 		factsPath    = flag.String("facts", "", "load additional ground facts from this file")
 		interactive  = flag.Bool("i", false, "interactive mode: read clauses and queries from stdin")
 	)
+	flag.BoolVar(&trace, "trace", false, "print one line per fixpoint round (parallel strategy only)")
 	flag.Parse()
 
 	strategy, err := parseStrategy(*strategyName)
@@ -162,6 +165,9 @@ func repl(strategy eval.Strategy, db *storage.Database, showStats bool) {
 	fmt.Println()
 }
 
+// trace enables the per-round observer of the parallel strategy.
+var trace bool
+
 func answer(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storage.Database) (*storage.Relation, eval.Stats, error) {
 	switch strategy {
 	case eval.StrategyNaive:
@@ -173,6 +179,19 @@ func answer(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storage.
 		return ans, st, err
 	case eval.StrategySemiNaive:
 		out, st, err := eval.SemiNaive(prog, db)
+		if err != nil {
+			return nil, st, err
+		}
+		ans, err := eval.AnswerQuery(out, q)
+		return ans, st, err
+	case eval.StrategyParallel:
+		opts := eval.ParallelOpts{}
+		if trace {
+			opts.Observer = eval.ObserverFunc(func(r eval.RoundStats) {
+				fmt.Printf("%% %v\n", r)
+			})
+		}
+		out, st, err := eval.ParallelSemiNaiveOpts(prog, db, opts)
 		if err != nil {
 			return nil, st, err
 		}
@@ -219,7 +238,7 @@ func parseStrategy(name string) (eval.Strategy, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown strategy %q (want naive, seminaive, magic, state or class)", name)
+	return 0, fmt.Errorf("unknown strategy %q (want naive, seminaive, parallel, magic, state or class)", name)
 }
 
 func readInput(path string) (string, error) {

@@ -5,8 +5,9 @@
 //	SIGMOD 1988.
 //
 // The library lives under internal/: the deductive-database substrate
-// (ast, parser, storage, ra, eval), the paper's contribution (graph,
-// igraph, classify, rewrite, adorn, plan) and the facade (core). Three
+// (ast, parser, storage, ra, eval — including a parallel semi-naive
+// worker-pool engine with per-round metrics), the paper's contribution
+// (graph, igraph, classify, rewrite, adorn, plan) and the facade (core). Three
 // commands (cmd/dlclass, cmd/dlrun, cmd/dlbench) and four runnable
 // examples (examples/...) sit on top. bench_test.go in this directory
 // holds one benchmark per figure and worked example of the paper plus the

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/ast"
@@ -42,6 +43,39 @@ func BenchmarkEngines(b *testing.B) {
 		b.Run(s.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := Answer(s, sys, q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSemiNaive compares the sequential semi-naive engine with
+// the worker-pool engine on full transitive-closure materialization — the
+// delta fan-out's target workload. On a single-CPU host the pool is
+// expected to tie with (or slightly trail) the sequential engine; the
+// speedup shows with 4+ cores.
+func BenchmarkParallelSemiNaive(b *testing.B) {
+	prog, _, err := parser.ParseProgram(`
+		p(X, Y) :- e(X, Y).
+		p(X, Y) :- e(X, Z), p(Z, Y).
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := storage.NewDatabase()
+	storage.GenRandomGraph(db, "e", 300, 600, 7)
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := SemiNaive(prog, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ParallelSemiNaiveOpts(prog, db, ParallelOpts{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

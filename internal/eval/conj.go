@@ -1,6 +1,8 @@
 // Package eval implements the query-evaluation engines of the reproduction:
 //
 //   - bottom-up naive and semi-naive fixpoint evaluation (the baselines),
+//   - a parallel semi-naive engine fanning each round's delta across a
+//     worker pool, with per-round metrics (Stats.Trace, Observer),
 //   - a magic-sets baseline specialized to the paper's linear systems,
 //   - the generic compiled expansion evaluator driven by resolution-graph
 //     state (the uniform strategy of the paper's §6–§9 examples),
@@ -122,142 +124,237 @@ func (c *Conj) EvalOrdered(rels RelFunc, binding []storage.Value, yield func([]s
 	return c.eval(rels, binding, yield, false)
 }
 
-func (c *Conj) eval(rels RelFunc, binding []storage.Value, yield func([]storage.Value) bool, dynamic bool) bool {
-	done := make([]bool, len(c.atoms))
-	var step func(remaining int) bool
-	step = func(remaining int) bool {
-		if remaining == 0 {
-			return yield(binding)
+// boundArgs counts the atom's arguments that are constants or bound
+// variables under the current binding.
+func boundArgs(binding []storage.Value, a compiledAtom) int {
+	bound := 0
+	for _, s := range a.args {
+		if !s.isVar || binding[s.varID] != Unbound {
+			bound++
 		}
-		best := -1
-		if dynamic {
-			bestBound, bestSize := -1, -1
-			for i, a := range c.atoms {
-				if done[i] {
-					continue
-				}
-				bound := 0
-				for _, s := range a.args {
-					if !s.isVar || binding[s.varID] != Unbound {
-						bound++
-					}
-				}
-				if a.neg {
-					if bound < len(a.args) {
-						continue // anti-joins wait until fully bound
-					}
-					// A fully bound negated literal is a constant-time
-					// filter: apply it immediately.
-					best = i
-					break
-				}
-				rel := rels(a.pred, a.idx)
-				size := 0
-				if rel != nil {
-					size = rel.Len()
-				}
-				if best == -1 || bound > bestBound || (bound == bestBound && size < bestSize) {
-					best, bestBound, bestSize = i, bound, size
-				}
+	}
+	return bound
+}
+
+// selectAtom picks the next un-done atom to evaluate, or −1 when none is
+// eligible. Negated literals are deferred identically in both orderings:
+// an anti-join only runs once every one of its variables is bound (for a
+// safe rule the positive atoms guarantee this happens, regardless of where
+// the negation sits in source order). Dynamic mode otherwise prefers the
+// most-bound atom, breaking ties toward the smaller relation; static mode
+// takes source order.
+func (c *Conj) selectAtom(rels RelFunc, binding []storage.Value, done []bool, dynamic bool) int {
+	if !dynamic {
+		for i, a := range c.atoms {
+			if done[i] {
+				continue
 			}
-		} else {
-			for i, a := range c.atoms {
-				if done[i] {
-					continue
-				}
-				if a.neg {
-					bound := 0
-					for _, s := range a.args {
-						if !s.isVar || binding[s.varID] != Unbound {
-							bound++
-						}
-					}
-					if bound < len(a.args) {
-						continue // defer until positives bind it
-					}
-				}
-				best = i
+			if a.neg && boundArgs(binding, a) < len(a.args) {
+				continue // defer until positives bind it
+			}
+			return i
+		}
+		return -1
+	}
+	best, bestBound, bestSize := -1, -1, -1
+	for i, a := range c.atoms {
+		if done[i] {
+			continue
+		}
+		bound := boundArgs(binding, a)
+		if a.neg {
+			if bound < len(a.args) {
+				continue // anti-joins wait until fully bound
+			}
+			// A fully bound negated literal is a constant-time filter:
+			// apply it immediately.
+			return i
+		}
+		rel := rels(a.pred, a.idx)
+		size := 0
+		if rel != nil {
+			size = rel.Len()
+		}
+		if best == -1 || bound > bestBound || (bound == bestBound && size < bestSize) {
+			best, bestBound, bestSize = i, bound, size
+		}
+	}
+	return best
+}
+
+func (c *Conj) eval(rels RelFunc, binding []storage.Value, yield func([]storage.Value) bool, dynamic bool) bool {
+	e := enumState{
+		c: c, rels: rels, binding: binding, yield: yield,
+		dynamic: dynamic, done: make([]bool, len(c.atoms)),
+	}
+	return e.step(len(c.atoms))
+}
+
+// enumState is the backtracking search over the atoms not yet marked done.
+// It is a plain struct (rather than a recursive closure) so that callers
+// driving many enumerations over the same conjunction — the parallel
+// engine's per-delta-tuple seeding — pay its setup once per task, not once
+// per tuple.
+type enumState struct {
+	c       *Conj
+	rels    RelFunc
+	binding []storage.Value
+	yield   func([]storage.Value) bool
+	dynamic bool
+	done    []bool
+}
+
+func (e *enumState) step(remaining int) bool {
+	if remaining == 0 {
+		return e.yield(e.binding)
+	}
+	c, binding := e.c, e.binding
+	best := c.selectAtom(e.rels, binding, e.done, e.dynamic)
+	if best == -1 {
+		// Only negated literals with unbound variables remain: the rule
+		// failed the safety check upstream.
+		panic("eval: unsafe negation reached the evaluator")
+	}
+	a := c.atoms[best]
+	if a.neg {
+		rel := e.rels(a.pred, a.idx)
+		if rel != nil && rel.Arity() != len(a.args) {
+			panic(fmt.Sprintf("eval: negated literal %s/%d read against relation of arity %d",
+				a.pred, len(a.args), rel.Arity()))
+		}
+		vals := make(storage.Tuple, len(a.args))
+		for j, s := range a.args {
+			if s.isVar {
+				vals[j] = binding[s.varID]
+			} else {
+				vals[j] = s.val
+			}
+		}
+		if rel != nil && rel.Contains(vals) {
+			return true // literal falsified: this branch yields nothing
+		}
+		e.done[best] = true
+		cont := e.step(remaining - 1)
+		e.done[best] = false
+		return cont
+	}
+	rel := e.rels(a.pred, a.idx)
+	if rel == nil || rel.Len() == 0 {
+		return true // empty relation: no matches, enumeration complete
+	}
+	if rel.Arity() != len(a.args) {
+		panic(fmt.Sprintf("eval: literal %s/%d read against relation of arity %d",
+			a.pred, len(a.args), rel.Arity()))
+	}
+	e.done[best] = true
+	defer func() { e.done[best] = false }()
+
+	boundCols := make([]bool, len(a.args))
+	vals := make(storage.Tuple, len(a.args))
+	for j, s := range a.args {
+		if !s.isVar {
+			boundCols[j] = true
+			vals[j] = s.val
+		} else if binding[s.varID] != Unbound {
+			boundCols[j] = true
+			vals[j] = binding[s.varID]
+		}
+	}
+	cont := true
+	rel.EachMatch(boundCols, vals, func(t storage.Tuple) bool {
+		// Bind free columns; handle repeated free variables in the atom.
+		var assigned []int
+		okTuple := true
+		for j, s := range a.args {
+			if boundCols[j] || !s.isVar {
+				continue
+			}
+			if binding[s.varID] == Unbound {
+				binding[s.varID] = t[j]
+				assigned = append(assigned, s.varID)
+			} else if binding[s.varID] != t[j] {
+				okTuple = false
 				break
 			}
 		}
-		if best == -1 {
-			// Only negated literals with unbound variables remain: the rule
-			// failed the safety check upstream.
-			panic("eval: unsafe negation reached the evaluator")
+		if okTuple {
+			cont = e.step(remaining - 1)
 		}
-		a := c.atoms[best]
-		if a.neg {
-			rel := rels(a.pred, a.idx)
-			if rel != nil && rel.Arity() != len(a.args) {
-				panic(fmt.Sprintf("eval: negated literal %s/%d read against relation of arity %d",
-					a.pred, len(a.args), rel.Arity()))
-			}
-			vals := make(storage.Tuple, len(a.args))
-			for j, s := range a.args {
-				if s.isVar {
-					vals[j] = binding[s.varID]
-				} else {
-					vals[j] = s.val
-				}
-			}
-			if rel != nil && rel.Contains(vals) {
-				return true // literal falsified: this branch yields nothing
-			}
-			done[best] = true
-			cont := step(remaining - 1)
-			done[best] = false
-			return cont
+		for _, id := range assigned {
+			binding[id] = Unbound
 		}
-		rel := rels(a.pred, a.idx)
-		if rel == nil || rel.Len() == 0 {
-			return true // empty relation: no matches, enumeration complete
-		}
-		if rel.Arity() != len(a.args) {
-			panic(fmt.Sprintf("eval: literal %s/%d read against relation of arity %d",
-				a.pred, len(a.args), rel.Arity()))
-		}
-		done[best] = true
-		defer func() { done[best] = false }()
-
-		boundCols := make([]bool, len(a.args))
-		vals := make(storage.Tuple, len(a.args))
-		for j, s := range a.args {
-			if !s.isVar {
-				boundCols[j] = true
-				vals[j] = s.val
-			} else if binding[s.varID] != Unbound {
-				boundCols[j] = true
-				vals[j] = binding[s.varID]
-			}
-		}
-		cont := true
-		rel.EachMatch(boundCols, vals, func(t storage.Tuple) bool {
-			// Bind free columns; handle repeated free variables in the atom.
-			var assigned []int
-			okTuple := true
-			for j, s := range a.args {
-				if boundCols[j] || !s.isVar {
-					continue
-				}
-				if binding[s.varID] == Unbound {
-					binding[s.varID] = t[j]
-					assigned = append(assigned, s.varID)
-				} else if binding[s.varID] != t[j] {
-					okTuple = false
-					break
-				}
-			}
-			if okTuple {
-				cont = step(remaining - 1)
-			}
-			for _, id := range assigned {
-				binding[id] = Unbound
-			}
-			return cont
-		})
 		return cont
+	})
+	return cont
+}
+
+// EvalSeeded enumerates the satisfying bindings of the conjunction with the
+// positive atom at seedIdx pre-resolved to the single tuple seed: the atom's
+// variables are bound from the tuple (constants and repeated variables are
+// checked for consistency) and the search runs over the remaining atoms with
+// dynamic ordering. The parallel semi-naive engine uses this to drive one
+// delta tuple at a time without materializing single-tuple relations. The
+// binding is mutated during the search and restored before returning.
+func (c *Conj) EvalSeeded(rels RelFunc, binding []storage.Value, seedIdx int, seed storage.Tuple, yield func([]storage.Value) bool) bool {
+	s := newSeeder(c, rels, binding, yield)
+	return s.seed(seedIdx, seed)
+}
+
+// seeder drives repeated seeded enumerations over one conjunction, reusing
+// the search scratch (done flags, assigned-slot buffer) across calls. The
+// parallel engine creates one per task and feeds it every delta tuple of the
+// task's chunk; EvalSeeded wraps it for one-shot use.
+type seeder struct {
+	e        enumState
+	assigned []int
+}
+
+func newSeeder(c *Conj, rels RelFunc, binding []storage.Value, yield func([]storage.Value) bool) *seeder {
+	return &seeder{e: enumState{
+		c: c, rels: rels, binding: binding, yield: yield,
+		dynamic: true, done: make([]bool, len(c.atoms)),
+	}}
+}
+
+// seed binds the positive atom at seedIdx to the tuple and enumerates the
+// rest of the conjunction; see EvalSeeded for the contract.
+func (s *seeder) seed(seedIdx int, seed storage.Tuple) bool {
+	c, binding := s.e.c, s.e.binding
+	a := c.atoms[seedIdx]
+	if a.neg {
+		panic("eval: seeded atom must be positive")
 	}
-	return step(len(c.atoms))
+	if len(seed) != len(a.args) {
+		panic(fmt.Sprintf("eval: seed arity %d for literal %s/%d", len(seed), a.pred, len(a.args)))
+	}
+	s.assigned = s.assigned[:0]
+	ok := true
+	for j, sp := range a.args {
+		if !sp.isVar {
+			if sp.val != seed[j] {
+				ok = false
+				break
+			}
+			continue
+		}
+		if binding[sp.varID] == Unbound {
+			binding[sp.varID] = seed[j]
+			s.assigned = append(s.assigned, sp.varID)
+		} else if binding[sp.varID] != seed[j] {
+			ok = false
+			break
+		}
+	}
+	cont := true
+	if ok {
+		s.e.done[seedIdx] = true
+		cont = s.e.step(len(c.atoms) - 1)
+		s.e.done[seedIdx] = false
+	}
+	for _, id := range s.assigned {
+		binding[id] = Unbound
+	}
+	return cont
 }
 
 // EvalProject evaluates the conjunction and inserts, for each satisfying

@@ -48,6 +48,106 @@ func TestEvalOrderedMatchesDynamic(t *testing.T) {
 	}
 }
 
+// TestNegationFirstOrdering is the regression test for negation deferral:
+// a safe rule whose negated literals precede (in source order) the positive
+// atoms that bind their variables must evaluate without panicking and with
+// identical results in both orderings — the anti-join waits for the
+// positives instead of being taken in source position.
+func TestNegationFirstOrdering(t *testing.T) {
+	db := storage.NewDatabase()
+	db.Insert("q", "a")
+	db.Insert("q", "b")
+	db.Insert("q", "c")
+	db.Insert("r", "a")
+	db.Insert("s", "b", "x")
+	db.Insert("s", "c", "y")
+	db.Insert("blocked", "c", "y")
+	for _, tc := range []struct {
+		rule string
+		want int
+	}{
+		// Negation before its binder.
+		{"h(X) :- not r(X), q(X).", 2},
+		// Two negations up front, bound by different later positives.
+		{"h(X, Y) :- not r(X), not blocked(X, Y), q(X), s(X, Y).", 1},
+		// Negation bound only by the final positive atom.
+		{"h(X, Y) :- not blocked(X, Y), q(X), s(X, Y).", 1},
+	} {
+		rule := parser.MustParseRule(tc.rule)
+		conj := CompileConj(db.Syms, rule.Body)
+		for _, ordered := range []bool{false, true} {
+			n := 0
+			f := func([]storage.Value) bool { n++; return true }
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s (ordered=%v): panic: %v", tc.rule, ordered, r)
+					}
+				}()
+				if ordered {
+					conj.EvalOrdered(DBRels(db), conj.NewBinding(), f)
+				} else {
+					conj.Eval(DBRels(db), conj.NewBinding(), f)
+				}
+			}()
+			if n != tc.want {
+				t.Errorf("%s (ordered=%v): %d bindings, want %d", tc.rule, ordered, n, tc.want)
+			}
+		}
+	}
+}
+
+// TestEvalSeeded: seeding one atom with a tuple must behave exactly like
+// restricting that atom's relation to the tuple, including constant and
+// repeated-variable consistency checks and binding restoration.
+func TestEvalSeeded(t *testing.T) {
+	db := storage.NewDatabase()
+	db.Insert("e", "a", "b")
+	db.Insert("e", "b", "c")
+	db.Insert("p", "b", "c")
+	db.Insert("p", "c", "d")
+	rule := parser.MustParseRule("q(X, Y) :- e(X, Z), p(Z, Y).")
+	conj := CompileConj(db.Syms, rule.Body)
+	binding := conj.NewBinding()
+	va, _ := db.Syms.Lookup("a")
+	vb, _ := db.Syms.Lookup("b")
+	n := 0
+	conj.EvalSeeded(DBRels(db), binding, 0, storage.Tuple{va, vb}, func(b []storage.Value) bool {
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Errorf("seeded e(a, b): %d bindings, want 1 (through p(b, c))", n)
+	}
+	for i, v := range binding {
+		if v != Unbound {
+			t.Errorf("binding slot %d not restored: %v", i, v)
+		}
+	}
+	// A seed that contradicts the atom's constant must yield nothing.
+	rule2 := parser.MustParseRule("q(Y) :- e(a, Y).")
+	conj2 := CompileConj(db.Syms, rule2.Body)
+	n = 0
+	conj2.EvalSeeded(DBRels(db), conj2.NewBinding(), 0, storage.Tuple{vb, vb}, func([]storage.Value) bool {
+		n++
+		return true
+	})
+	if n != 0 {
+		t.Errorf("constant-mismatched seed yielded %d bindings", n)
+	}
+	// A repeated-variable atom rejects a non-diagonal seed.
+	rule3 := parser.MustParseRule("q(X) :- e(X, X).")
+	conj3 := CompileConj(db.Syms, rule3.Body)
+	n = 0
+	conj3.EvalSeeded(DBRels(db), conj3.NewBinding(), 0, storage.Tuple{va, vb}, func([]storage.Value) bool {
+		n++
+		return true
+	})
+	if n != 0 {
+		t.Errorf("non-diagonal seed for e(X, X) yielded %d bindings", n)
+	}
+}
+
 // TestEvalEarlyStop: yield returning false must abort enumeration and Eval
 // must report the interruption.
 func TestEvalEarlyStop(t *testing.T) {

@@ -26,6 +26,9 @@ const (
 	// needed), bounded unrolling for bounded formulas, and the generic
 	// compiled evaluator for classes C, E and F.
 	StrategyClass
+	// StrategyParallel is bottom-up delta evaluation with each round's
+	// delta fanned out across a worker pool (see ParallelSemiNaive).
+	StrategyParallel
 )
 
 // String names the strategy.
@@ -41,13 +44,15 @@ func (s Strategy) String() string {
 		return "state"
 	case StrategyClass:
 		return "class"
+	case StrategyParallel:
+		return "parallel"
 	}
 	return fmt.Sprintf("Strategy(%d)", uint8(s))
 }
 
 // Strategies lists every strategy, for cross-checking loops.
 func Strategies() []Strategy {
-	return []Strategy{StrategyNaive, StrategySemiNaive, StrategyMagic, StrategyState, StrategyClass}
+	return []Strategy{StrategyNaive, StrategySemiNaive, StrategyMagic, StrategyState, StrategyClass, StrategyParallel}
 }
 
 // Answer evaluates the query over the database with the chosen strategy and
@@ -63,6 +68,13 @@ func Answer(strategy Strategy, sys *ast.RecursiveSystem, q ast.Query, db *storag
 		return ans, st, err
 	case StrategySemiNaive:
 		out, st, err := SemiNaive(sys.Program(), db)
+		if err != nil {
+			return nil, st, err
+		}
+		ans, err := AnswerQuery(out, q)
+		return ans, st, err
+	case StrategyParallel:
+		out, st, err := ParallelSemiNaive(sys.Program(), db)
 		if err != nil {
 			return nil, st, err
 		}

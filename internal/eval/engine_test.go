@@ -37,13 +37,14 @@ func TestStrategyStrings(t *testing.T) {
 		StrategyMagic:     "magic",
 		StrategyState:     "state",
 		StrategyClass:     "class",
+		StrategyParallel:  "parallel",
 	}
 	for s, want := range names {
 		if s.String() != want {
 			t.Errorf("%d: %s != %s", s, s, want)
 		}
 	}
-	if len(Strategies()) != 5 {
+	if len(Strategies()) != 6 {
 		t.Errorf("Strategies() = %d", len(Strategies()))
 	}
 	if Strategy(99).String() == "" {

@@ -7,22 +7,6 @@ import (
 	"repro/internal/storage"
 )
 
-// Stats accumulates work counters so the benchmarks can report logical cost
-// alongside wall-clock time.
-type Stats struct {
-	// Rounds is the number of fixpoint iterations (or expansion depths).
-	Rounds int
-	// Derived is the number of new tuples inserted.
-	Derived int
-	// Facts is the number of tuple insertions attempted (including
-	// duplicates) — the naive evaluator's wasted-rederivation measure.
-	Facts int
-}
-
-func (s Stats) String() string {
-	return fmt.Sprintf("rounds=%d derived=%d attempted=%d", s.Rounds, s.Derived, s.Facts)
-}
-
 // compiledRule pairs a rule with its compiled body and head projection.
 type compiledRule struct {
 	rule  ast.Rule
@@ -212,7 +196,12 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 	}
 	full := DBRels(work)
 
-	// Round 0: rules with no positive local literal run once in full.
+	// Round 0: rules with no positive local literal run once in full. The
+	// whole pass is a single fixpoint round no matter how many such rules
+	// the group has, and its insertions are accumulated through the same
+	// per-round counter as the delta rounds below.
+	seeded := false
+	added0 := 0
 	for _, cr := range rules {
 		hasLocal := false
 		for _, a := range cr.rule.Body {
@@ -224,7 +213,10 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 		if hasLocal {
 			continue
 		}
-		st.Rounds++
+		if !seeded {
+			seeded = true
+			st.Rounds++
+		}
 		head := work.Rel(cr.rule.Head.Pred)
 		buf := make(storage.Tuple, len(cr.slots))
 		cr.conj.Eval(full, cr.conj.NewBinding(), func(b []storage.Value) bool {
@@ -237,12 +229,13 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 			}
 			st.Facts++
 			if head.Insert(buf) {
-				st.Derived++
+				added0++
 				delta[cr.rule.Head.Pred].Insert(buf)
 			}
 			return true
 		})
 	}
+	st.Derived += added0
 
 	for {
 		st.Rounds++

@@ -1,0 +1,324 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// ParallelOpts configures the parallel semi-naive engine.
+type ParallelOpts struct {
+	// Workers is the size of the worker pool; 0 or negative means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Observer, when non-nil, receives one RoundStats per fixpoint round,
+	// in round order, from the coordinating goroutine.
+	Observer Observer
+}
+
+// ParallelSemiNaive is SemiNaive with each round's delta fanned out across a
+// worker pool: the round's work is split into (rule, delta-occurrence,
+// partition) tasks, every task joins its slice of the delta against
+// read-only snapshots of the full relations into a private buffer, and the
+// buffers are merged into the head relations single-threaded before the
+// deltas swap. Answers are identical to SemiNaive (the fixpoint is
+// confluent and the merge order is deterministic); per-round metrics are
+// recorded in Stats.Trace.
+func ParallelSemiNaive(prog *ast.Program, db *storage.Database) (*storage.Database, Stats, error) {
+	return ParallelSemiNaiveOpts(prog, db, ParallelOpts{})
+}
+
+// ParallelSemiNaiveOpts is ParallelSemiNaive with an explicit worker count
+// and an optional per-round observer.
+func ParallelSemiNaiveOpts(prog *ast.Program, db *storage.Database, opts ParallelOpts) (*storage.Database, Stats, error) {
+	work, _, err := prepare(prog, db)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	strata, err := strataOf(prog)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Materialize every column index up front: index construction is the
+	// only mutation on the relations' read path, so after this the workers
+	// may share the database freely (storage.Relation's concurrency
+	// contract). Inserts during the single-threaded merges keep the
+	// indexes current.
+	work.BuildIndexes()
+	var st Stats
+	round := 0
+	for si, group := range strata {
+		rules, err := compileRules(db.Syms, group)
+		if err != nil {
+			return nil, st, err
+		}
+		local := make(map[string]bool)
+		for _, r := range group {
+			local[r.Head.Pred] = true
+		}
+		if err := parallelFixpoint(work, rules, local, workers, si, &round, opts.Observer, &st); err != nil {
+			return nil, st, err
+		}
+	}
+	return work, st, nil
+}
+
+// parTask is one unit of parallel work: evaluate one rule with one positive
+// local body occurrence restricted to one partition of that predicate's
+// delta (or, for the seed round, evaluate the whole rule once: seedIdx −1).
+// head is the rule's head relation as frozen at round start; workers only
+// call Contains on it, to prefilter derivations that are already known so
+// the single-threaded merge touches near-new tuples only.
+type parTask struct {
+	cr      *compiledRule
+	seedIdx int
+	chunk   []storage.Tuple
+	head    *storage.Relation
+}
+
+// parResult is a task's private output buffer, merged single-threaded.
+type parResult struct {
+	out       *storage.Relation
+	attempted int
+	busy      time.Duration
+}
+
+// parallelFixpoint saturates one rule group with delta evaluation, fanning
+// each round's tasks across the worker pool and merging serially.
+func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[string]bool, workers, stratum int, round *int, obs Observer, st *Stats) error {
+	full := DBRels(work)
+
+	emit := func(rs RoundStats) {
+		st.Trace = append(st.Trace, rs)
+		if obs != nil {
+			obs.Round(rs)
+		}
+	}
+	// Deltas are plain tuple slices, not relations: the head relations
+	// already deduplicate (so a new tuple is appended exactly once, in
+	// deterministic merge order), and the next round only partitions the
+	// slice into seed chunks. The appended tuples alias the finished task
+	// buffers' private clones, so the merge allocates nothing per tuple.
+	merge := func(tasks []parTask, results []parResult, next map[string][]storage.Tuple) (added, attempted int) {
+		for i, res := range results {
+			attempted += res.attempted
+			pred := tasks[i].cr.rule.Head.Pred
+			head := work.Rel(pred)
+			res.out.Each(func(t storage.Tuple) bool {
+				if head.Insert(t) {
+					added++
+					if next != nil {
+						next[pred] = append(next[pred], t)
+					}
+				}
+				return true
+			})
+		}
+		return added, attempted
+	}
+
+	// Seed round: rules with no positive local literal run once in full,
+	// one task per rule.
+	var seedTasks []parTask
+	for i := range rules {
+		cr := &rules[i]
+		hasLocal := false
+		for _, a := range cr.rule.Body {
+			if !a.Neg && local[a.Pred] {
+				hasLocal = true
+				break
+			}
+		}
+		if !hasLocal {
+			seedTasks = append(seedTasks, parTask{cr: cr, seedIdx: -1, head: work.Rel(cr.rule.Head.Pred)})
+		}
+	}
+	if len(seedTasks) > 0 {
+		*round++
+		st.Rounds++
+		start := time.Now()
+		results, busy, err := runTasks(seedTasks, workers, full)
+		if err != nil {
+			return err
+		}
+		added, attempted := merge(seedTasks, results, nil)
+		st.Facts += attempted
+		st.Derived += added
+		emit(RoundStats{
+			Round: *round, Stratum: stratum, Tasks: len(seedTasks),
+			Derived: added, Attempted: attempted, Workers: workers,
+			Duration: time.Since(start), Busy: busy,
+		})
+	}
+
+	// Initial delta: everything in the head relations after the seed round —
+	// pre-existing facts plus the seed derivations just merged. The snapshot
+	// stays valid while the heads grow (appends never touch the prefix).
+	delta := make(map[string][]storage.Tuple)
+	for pred := range local {
+		delta[pred] = work.Rel(pred).Tuples()
+	}
+
+	for {
+		*round++
+		st.Rounds++
+		start := time.Now()
+		deltaSize := 0
+		var tasks []parTask
+		for i := range rules {
+			cr := &rules[i]
+			for bi, a := range cr.rule.Body {
+				if a.Neg || !local[a.Pred] {
+					continue
+				}
+				d := delta[a.Pred]
+				if len(d) == 0 {
+					continue
+				}
+				for _, chunk := range storage.PartitionTuples(d, workers*3) {
+					tasks = append(tasks, parTask{cr: cr, seedIdx: bi, chunk: chunk, head: work.Rel(cr.rule.Head.Pred)})
+				}
+			}
+		}
+		for _, d := range delta {
+			deltaSize += len(d)
+		}
+		next := make(map[string][]storage.Tuple)
+		added, attempted := 0, 0
+		var busy time.Duration
+		if len(tasks) > 0 {
+			results, b, err := runTasks(tasks, workers, full)
+			if err != nil {
+				return err
+			}
+			busy = b
+			added, attempted = merge(tasks, results, next)
+		}
+		st.Facts += attempted
+		st.Derived += added
+		emit(RoundStats{
+			Round: *round, Stratum: stratum, Tasks: len(tasks), Delta: deltaSize,
+			Derived: added, Attempted: attempted, Workers: workers,
+			Duration: time.Since(start), Busy: busy,
+		})
+		if added == 0 {
+			return nil
+		}
+		delta = next
+	}
+}
+
+// runTasks fans the tasks out across the worker pool and collects one
+// private result buffer per task (indexed by task, so no locking is needed
+// beyond the WaitGroup). The first task error aborts the remaining work;
+// panics inside workers are converted to errors so a misbehaving rule
+// cannot kill unrelated goroutines. All workers are joined before return.
+func runTasks(tasks []parTask, workers int, rels RelFunc) ([]parResult, time.Duration, error) {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	results := make([]parResult, len(tasks))
+	taskCh := make(chan int)
+	errCh := make(chan error, 1)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+		abortOnce.Do(func() { close(abort) })
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-abort:
+					return
+				case id, ok := <-taskCh:
+					if !ok {
+						return
+					}
+					if err := runTask(&results[id], tasks[id], rels); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for id := range tasks {
+		select {
+		case taskCh <- id:
+		case <-abort:
+			break feed
+		}
+	}
+	close(taskCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, 0, err
+	default:
+	}
+	var busy time.Duration
+	for i := range results {
+		busy += results[i].busy
+	}
+	return results, busy, nil
+}
+
+// runTask evaluates one task into its private buffer.
+func runTask(res *parResult, task parTask, rels RelFunc) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("eval: parallel task for rule %v: %v", task.cr.rule, r)
+		}
+	}()
+	start := time.Now()
+	cr := task.cr
+	out := storage.NewRelation(len(cr.slots))
+	buf := make(storage.Tuple, len(cr.slots))
+	attempted := 0
+	yield := func(b []storage.Value) bool {
+		for i, s := range cr.slots {
+			if s >= 0 {
+				buf[i] = b[s]
+			} else {
+				buf[i] = cr.fixed[i]
+			}
+		}
+		attempted++
+		// Derivations already in the head (frozen this round; reads are
+		// safe) cost one lookup here instead of a buffer insert plus a
+		// merge insert on the coordinator.
+		if !task.head.Contains(buf) {
+			out.Insert(buf)
+		}
+		return true
+	}
+	if task.seedIdx < 0 {
+		cr.conj.Eval(rels, cr.conj.NewBinding(), yield)
+	} else {
+		s := newSeeder(cr.conj, rels, cr.conj.NewBinding(), yield)
+		for _, t := range task.chunk {
+			s.seed(task.seedIdx, t)
+		}
+	}
+	res.out = out
+	res.attempted = attempted
+	res.busy = time.Since(start)
+	return nil
+}

@@ -36,7 +36,7 @@ func TestStrategiesAgreeOnRandomSystems(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v %v naive: %v", sys.Recursive, q, err)
 		}
-		for _, st := range []Strategy{StrategySemiNaive, StrategyMagic, StrategyState, StrategyClass} {
+		for _, st := range []Strategy{StrategySemiNaive, StrategyMagic, StrategyState, StrategyClass, StrategyParallel} {
 			got, _, err := Answer(st, sys, q, db)
 			if err != nil {
 				t.Fatalf("%v %v %v: %v", sys.Recursive, q, st, err)

@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats accumulates work counters so the benchmarks can report logical cost
+// alongside wall-clock time.
+type Stats struct {
+	// Rounds is the number of fixpoint iterations (or expansion depths).
+	Rounds int
+	// Derived is the number of new tuples inserted by rule evaluation.
+	// For the bottom-up engines this equals the growth of the IDB over the
+	// prepared database: program facts are seeded, not derived.
+	Derived int
+	// Facts is the number of tuple insertions attempted (including
+	// duplicates) — the naive evaluator's wasted-rederivation measure.
+	Facts int
+	// Trace holds one record per fixpoint round when the engine collects
+	// per-round metrics (currently the parallel semi-naive engine); nil
+	// otherwise.
+	Trace []RoundStats
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d derived=%d attempted=%d", s.Rounds, s.Derived, s.Facts)
+}
+
+// RoundStats records one fixpoint round of the parallel semi-naive engine:
+// how much delta was consumed, how the round was split into tasks, what it
+// produced, and how well the worker pool was used.
+type RoundStats struct {
+	// Round is the 1-based global round number across all strata.
+	Round int
+	// Stratum is the 0-based stratum the round belongs to.
+	Stratum int
+	// Tasks is the number of (rule, delta-occurrence, partition) work units
+	// the round was split into.
+	Tasks int
+	// Delta is the number of input delta tuples across the stratum's
+	// predicates at the start of the round (0 for the seed round).
+	Delta int
+	// Derived is the number of new tuples the round inserted.
+	Derived int
+	// Attempted is the number of head-tuple derivations the round produced
+	// before deduplication (the per-round analogue of Stats.Facts).
+	Attempted int
+	// Workers is the size of the worker pool.
+	Workers int
+	// Duration is the wall-clock time of the round (fan-out through merge).
+	Duration time.Duration
+	// Busy is the summed execution time of the round's tasks across all
+	// workers; Busy/(Workers·Duration) is the pool utilization.
+	Busy time.Duration
+}
+
+// Utilization returns the fraction of the round's worker capacity that was
+// executing tasks, in [0, 1].
+func (r RoundStats) Utilization() float64 {
+	if r.Workers <= 0 || r.Duration <= 0 {
+		return 0
+	}
+	u := float64(r.Busy) / (float64(r.Workers) * float64(r.Duration))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+func (r RoundStats) String() string {
+	return fmt.Sprintf("round=%d stratum=%d tasks=%d delta=%d derived=%d attempted=%d workers=%d util=%.0f%% wall=%v",
+		r.Round, r.Stratum, r.Tasks, r.Delta, r.Derived, r.Attempted, r.Workers, 100*r.Utilization(), r.Duration)
+}
+
+// Observer receives one callback per fixpoint round from engines that
+// collect per-round metrics. Calls are made from the coordinating goroutine
+// only, in round order, so implementations need no locking.
+type Observer interface {
+	Round(RoundStats)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(RoundStats)
+
+// Round implements Observer.
+func (f ObserverFunc) Round(r RoundStats) { f(r) }

@@ -88,6 +88,17 @@ func (t Tuple) Equal(o Tuple) bool {
 
 // Relation is a set of tuples of fixed arity with optional per-column hash
 // indexes built lazily and maintained incrementally thereafter.
+//
+// Concurrency contract: a Relation is not safe for concurrent use while its
+// indexes build lazily — EachMatch and LookupCol materialize missing column
+// indexes on first use, which mutates the relation even on a logically
+// read-only path. Call BuildIndexes first (or Database.BuildIndexes for a
+// whole database); after that, any number of goroutines may call the read
+// methods (Len, Contains, Tuples, Each, EachMatch, LookupCol, Partition)
+// concurrently as long as no writer runs. Insert and InsertAll always
+// require exclusive access; they keep already-built indexes current, so a
+// single-threaded write phase may be followed by another concurrent read
+// phase without rebuilding.
 type Relation struct {
 	arity  int
 	tuples []Tuple
@@ -176,6 +187,52 @@ func (r *Relation) BuildIndexes() {
 	for col := 0; col < r.arity; col++ {
 		r.ensureIndex(col)
 	}
+}
+
+// Indexed reports whether every column index is materialized, i.e. whether
+// the relation's read path is free of lazy index construction and therefore
+// safe for concurrent readers.
+func (r *Relation) Indexed() bool {
+	for _, idx := range r.colIdx {
+		if idx == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Partition splits the relation's tuples into at most parts contiguous,
+// near-equal chunks (fewer when the relation is smaller than parts). The
+// chunks are read-only views of the underlying tuple slice: callers must
+// not mutate them, and must not grow the relation while holding them.
+func (r *Relation) Partition(parts int) [][]Tuple {
+	return PartitionTuples(r.tuples, parts)
+}
+
+// PartitionTuples splits a tuple slice into at most parts contiguous,
+// near-equal chunks (fewer when the slice is shorter than parts). The
+// chunks are views of the input slice: callers must not mutate them.
+func PartitionTuples(tuples []Tuple, parts int) [][]Tuple {
+	n := len(tuples)
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([][]Tuple, 0, parts)
+	per := (n + parts - 1) / parts
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		out = append(out, tuples[lo:hi])
+	}
+	return out
 }
 
 // EachMatch calls f for each tuple matching the partial binding: bound[i]

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -259,5 +260,107 @@ func TestGenRandomRelationDeterministicAndCapped(t *testing.T) {
 	}
 	if db3.Rel("small").Len() != 3 {
 		t.Errorf("capped relation = %d, want 3", db3.Rel("small").Len())
+	}
+}
+
+func TestIndexedAndBuildIndexes(t *testing.T) {
+	r := NewRelation(2)
+	r.Insert(Tuple{1, 2})
+	if r.Indexed() {
+		t.Error("fresh relation reports indexes built")
+	}
+	r.LookupCol(0, 1)
+	if r.Indexed() {
+		t.Error("one lazy column index must not count as fully indexed")
+	}
+	r.BuildIndexes()
+	if !r.Indexed() {
+		t.Error("BuildIndexes did not materialize every column")
+	}
+	// Inserts after the build must keep the indexes current.
+	r.Insert(Tuple{3, 4})
+	if got := r.LookupCol(1, 4); len(got) != 1 {
+		t.Errorf("index not maintained after insert: %v", got)
+	}
+	if !r.Indexed() {
+		t.Error("insert invalidated the indexed state")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	r := NewRelation(1)
+	for i := 0; i < 10; i++ {
+		r.Insert(Tuple{Value(i)})
+	}
+	for _, parts := range []int{1, 2, 3, 10, 25, 0} {
+		chunks := r.Partition(parts)
+		total := 0
+		for _, c := range chunks {
+			if len(c) == 0 {
+				t.Errorf("parts=%d: empty chunk", parts)
+			}
+			total += len(c)
+		}
+		if total != 10 {
+			t.Errorf("parts=%d: chunks cover %d tuples, want 10", parts, total)
+		}
+		want := parts
+		if want < 1 {
+			want = 1
+		}
+		if want > 10 {
+			want = 10
+		}
+		if len(chunks) > want {
+			t.Errorf("parts=%d: got %d chunks", parts, len(chunks))
+		}
+	}
+	if got := NewRelation(1).Partition(4); got != nil {
+		t.Errorf("empty relation partitioned into %d chunks", len(got))
+	}
+}
+
+// TestConcurrentReadsAfterBuildIndexes exercises the relation's documented
+// concurrency contract: once the indexes are prebuilt, any number of
+// readers may run at once. Meaningful under -race (the Makefile race
+// target); it still checks results without it.
+func TestConcurrentReadsAfterBuildIndexes(t *testing.T) {
+	db := NewDatabase()
+	if err := GenRandomRelation(db, "r", 2, 30, 300, 7); err != nil {
+		t.Fatal(err)
+	}
+	r := db.Rel("r")
+	r.BuildIndexes()
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for v := Value(0); v < 30; v++ {
+				n := 0
+				r.EachMatch([]bool{true, false}, Tuple{v, 0}, func(t Tuple) bool {
+					n++
+					return true
+				})
+				if n != len(r.LookupCol(0, v)) {
+					errs <- "EachMatch and LookupCol disagree"
+					return
+				}
+			}
+			for _, chunk := range r.Partition(4) {
+				for _, tup := range chunk {
+					if !r.Contains(tup) {
+						errs <- "partitioned tuple not contained"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
 	}
 }
