@@ -25,6 +25,19 @@ func runTool(t *testing.T, stdin string, args ...string) string {
 	return string(out)
 }
 
+// runToolErr is runTool for invocations expected to fail: it returns the
+// combined output and whether the tool exited non-zero.
+func runToolErr(t *testing.T, stdin string, args ...string) (string, bool) {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Dir = "."
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	return string(out), err != nil
+}
+
 func TestCLIDlclass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")
@@ -66,13 +79,77 @@ p(X, Y) :- e(X, Z), p(Z, Y).
 e(a, b). e(b, c). e(c, d).
 ?- p(a, Y).
 `
-	for _, strategy := range []string{"naive", "seminaive", "parallel", "magic", "state", "class"} {
+	for _, strategy := range []string{"naive", "seminaive", "parallel", "magic", "state", "class", "auto"} {
 		out := runTool(t, in, "run", "./cmd/dlrun", "-strategy", strategy, "-stats")
 		for _, want := range []string{"(3 answers)", "p(a, b).", "p(a, c).", "p(a, d).", "% stats:"} {
 			if !strings.Contains(out, want) {
 				t.Errorf("dlrun -strategy %s missing %q:\n%s", strategy, want, out)
 			}
 		}
+	}
+}
+
+// TestCLIDlrunAutoPlanCache: in one dlrun invocation, the second identical
+// query must be served from the plan cache — visible under -trace.
+func TestCLIDlrunAutoPlanCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	in := `p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+e(a, b). e(b, c).
+?- p(a, Y).
+?- p(b, Y).
+`
+	out := runTool(t, in, "run", "./cmd/dlrun", "-strategy", "auto", "-trace")
+	miss := strings.Index(out, "cache=miss")
+	hit := strings.Index(out, "cache=hit")
+	if miss < 0 || hit < 0 || hit < miss {
+		t.Errorf("expected a cache miss then a hit in trace output:\n%s", out)
+	}
+	if !strings.Contains(out, "strategy=tc-frontier") {
+		t.Errorf("auto did not pick the TC frontier kernel:\n%s", out)
+	}
+}
+
+// TestCLIDlrunRejectsNonLinear: a non-linear rule fed to a compiled strategy
+// must produce a diagnostic, never a panic (regression for the rewrite-layer
+// panics that used to reach the user).
+func TestCLIDlrunRejectsNonLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	in := `p(X, Y) :- e(X, Y).
+p(X, Y) :- p(X, Z), p(Z, Y).
+e(a, b).
+?- p(a, Y).
+`
+	for _, strategy := range []string{"class", "magic", "state", "auto"} {
+		out, failed := runToolErr(t, in, "run", "./cmd/dlrun", "-strategy", strategy)
+		if !failed {
+			t.Errorf("dlrun -strategy %s accepted a non-linear program:\n%s", strategy, out)
+		}
+		if strings.Contains(out, "panic:") || strings.Contains(out, "goroutine ") {
+			t.Errorf("dlrun -strategy %s panicked instead of erroring:\n%s", strategy, out)
+		}
+		if !strings.Contains(out, "dlrun:") {
+			t.Errorf("dlrun -strategy %s: missing diagnostic prefix:\n%s", strategy, out)
+		}
+	}
+}
+
+// TestCLIDlclassRejectsNonLinear mirrors the guard for dlclass.
+func TestCLIDlclassRejectsNonLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	in := "p(X, Y) :- p(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y).\n"
+	out, failed := runToolErr(t, in, "run", "./cmd/dlclass")
+	if !failed {
+		t.Errorf("dlclass accepted a non-linear rule:\n%s", out)
+	}
+	if strings.Contains(out, "panic:") || strings.Contains(out, "goroutine ") {
+		t.Errorf("dlclass panicked instead of erroring:\n%s", out)
 	}
 }
 

@@ -120,7 +120,11 @@ func (r *runner) examples() {
 
 	// Example 8's non-recursive equivalents.
 	s8 := paper.S8.System()
-	rules := rewrite.NonRecursiveExpansions(s8, 2)
+	rules, err := rewrite.NonRecursiveExpansions(s8, 2)
+	if err != nil {
+		r.check("E8t", "(s8) expressible as exit + 2 non-recursive formulas (s8a'),(s8b')", false, err.Error())
+		return
+	}
 	r.check("E8t", "(s8) expressible as exit + 2 non-recursive formulas (s8a'),(s8b')",
 		len(rules) == 3, fmt.Sprintf("%d non-recursive rules", len(rules)))
 	for _, rule := range rules {

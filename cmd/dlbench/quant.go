@@ -394,6 +394,99 @@ func (r *runner) q6() {
 	}
 }
 
+// q7: the auto strategy — classify once, pick the fastest licensed plan,
+// cache the compiled plan per (program, query form).
+func (r *runner) q7() {
+	r.section("Q7: auto strategy — class-driven plan selection and the plan cache")
+
+	// Part 1: the TC shape (s1a) on a long chain, bound query. Auto must
+	// route to the frontier kernel and beat the generic fixpoint engines,
+	// which materialize the full closure before selecting.
+	n := 2048
+	if r.quick {
+		n = 512
+	}
+	tcSys := paper.S1a.System()
+	db := storage.NewDatabase()
+	if err := storage.GenChain(db, "a", n); err != nil {
+		r.check("Q7", "workload generation", false, err.Error())
+		return
+	}
+	db.Set("e", db.Rel("a").Clone())
+	q := boundQuery(tcSys, fmt.Sprintf("n%d", n-10))
+	tSn, _, _, err := timeEval(eval.StrategySemiNaive, tcSys, q, db, 3)
+	if err != nil {
+		r.check("Q7", "seminaive", false, err.Error())
+		return
+	}
+	tAuto, stAuto, _, err := timeEval(eval.StrategyAuto, tcSys, q, db, r.reps())
+	if err != nil {
+		r.check("Q7", "auto", false, err.Error())
+		return
+	}
+	fmt.Printf("  %-22s %12s %12s  %9s  plan\n", "system", "seminaive", "auto", "speedup")
+	fmt.Printf("  %-22s %12v %12v  %8.1fx  %v\n", fmt.Sprintf("s1a chain n=%d", n),
+		tSn, tAuto, float64(tSn)/float64(tAuto), stAuto.Plan)
+	r.check("Q7", "auto routes the TC shape to the frontier kernel and beats generic semi-naive",
+		stAuto.Plan != nil && stAuto.Plan.Strategy == "tc-frontier" && tAuto < tSn,
+		fmt.Sprintf("seminaive %v vs auto %v (%.1fx), plan %v", tSn, tAuto,
+			float64(tSn)/float64(tAuto), stAuto.Plan))
+
+	// Part 2: the bounded class (s10, rank 2). Auto must compile the finite
+	// expansion union instead of iterating to fixpoint.
+	bn := 300
+	if r.quick {
+		bn = 150
+	}
+	bSys := paper.S10.System()
+	bdb, err := dlgen.RandomDB(bSys, bn, 2*bn, 13)
+	if err != nil {
+		r.check("Q7", "bounded db", false, err.Error())
+		return
+	}
+	bq := boundQuery(bSys, "n0")
+	tbSn, _, _, err := timeEval(eval.StrategySemiNaive, bSys, bq, bdb, 3)
+	if err != nil {
+		r.check("Q7", "bounded seminaive", false, err.Error())
+		return
+	}
+	tbAuto, stB, _, err := timeEval(eval.StrategyAuto, bSys, bq, bdb, r.reps())
+	if err != nil {
+		r.check("Q7", "bounded auto", false, err.Error())
+		return
+	}
+	fmt.Printf("  %-22s %12v %12v  %8.1fx  %v\n", fmt.Sprintf("s10 bounded n=%d", bn),
+		tbSn, tbAuto, float64(tbSn)/float64(tbAuto), stB.Plan)
+	r.check("Q7", "auto compiles the rank-2 cutoff for the bounded class and beats the fixpoint",
+		stB.Plan != nil && stB.Plan.Strategy == "bounded-union" && tbAuto < tbSn,
+		fmt.Sprintf("seminaive %v vs auto %v (%.1fx), plan %v", tbSn, tbAuto,
+			float64(tbSn)/float64(tbAuto), stB.Plan))
+
+	// Part 3: the plan cache. A fresh planner compiles the first query form
+	// once; every repetition is served from the cache.
+	pl := eval.NewPlanner()
+	const lookups = 50
+	var firstPlan, lastPlan *eval.PlanInfo
+	for i := 0; i < lookups; i++ {
+		_, st, err := pl.Answer(tcSys, q, db)
+		if err != nil {
+			r.check("Q7", "cache", false, err.Error())
+			return
+		}
+		if i == 0 {
+			firstPlan = st.Plan
+		}
+		lastPlan = st.Plan
+	}
+	hits, misses := pl.Metrics()
+	r.row("plan cache over %d identical queries: first %v, then %v (%d hits / %d misses, %d plans cached)",
+		lookups, firstPlan, lastPlan, hits, misses, pl.Len())
+	r.check("Q7", "repeated query forms are served from the plan cache",
+		misses == 1 && hits == lookups-1 && pl.Len() == 1 &&
+			firstPlan != nil && !firstPlan.CacheHit && lastPlan != nil && lastPlan.CacheHit,
+		fmt.Sprintf("%d hits / %d misses over %d lookups", hits, misses, lookups))
+}
+
 // cycleSystem builds the weight-w generalization of statement (s4a).
 func cycleSystem(w int) *ast.RecursiveSystem {
 	head := make([]ast.Term, w)

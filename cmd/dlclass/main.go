@@ -26,6 +26,13 @@ import (
 )
 
 func main() {
+	// Malformed systems must surface as errors, not runtime panics, even if
+	// one escapes the classify/rewrite layers.
+	defer func() {
+		if r := recover(); r != nil {
+			fatal(fmt.Errorf("internal error: %v", r))
+		}
+	}()
 	var (
 		queryStr   = flag.String("query", "", "query form, e.g. '?- p(a, Y).'; prints the compiled plan")
 		dot        = flag.Bool("dot", false, "emit the I-graph in Graphviz DOT format")

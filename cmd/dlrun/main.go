@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dlrun [-strategy naive|seminaive|parallel|magic|state|class] [-stats] [-trace] [file]
+//	dlrun [-strategy naive|seminaive|parallel|magic|state|class|auto] [-stats] [-trace] [file]
 //
 // Example input:
 //
@@ -12,11 +12,14 @@
 //	e(a, b). e(b, c). e(c, d).
 //	?- p(a, Y).
 //
-// The compiled strategies (magic, state, class) require the program to be a
-// single linear recursive system (one recursive rule plus exit rules); the
-// bottom-up strategies (naive, seminaive, parallel) evaluate arbitrary
-// Datalog. -trace prints one line per fixpoint round (parallel strategy
-// only: the other engines do not collect per-round metrics).
+// The compiled strategies (magic, state, class, auto) require the program to
+// be a single linear recursive system (one recursive rule plus exit rules);
+// the bottom-up strategies (naive, seminaive, parallel) evaluate arbitrary
+// Datalog. "auto" classifies the system per the paper's taxonomy and picks
+// the fastest licensed plan (TC frontier kernel, bounded expansion union,
+// stabilized parallel, or generic parallel), caching the compiled plan per
+// (program, query form). -trace prints one line per fixpoint round (parallel
+// and auto strategies) plus, for auto, the chosen plan and cache status.
 package main
 
 import (
@@ -36,12 +39,12 @@ import (
 
 func main() {
 	var (
-		strategyName = flag.String("strategy", "class", "evaluation strategy: naive, seminaive, parallel, magic, state or class")
+		strategyName = flag.String("strategy", "class", "evaluation strategy: naive, seminaive, parallel, magic, state, class or auto")
 		showStats    = flag.Bool("stats", false, "print evaluation statistics")
 		factsPath    = flag.String("facts", "", "load additional ground facts from this file")
 		interactive  = flag.Bool("i", false, "interactive mode: read clauses and queries from stdin")
 	)
-	flag.BoolVar(&trace, "trace", false, "print one line per fixpoint round (parallel strategy only)")
+	flag.BoolVar(&trace, "trace", false, "print one line per fixpoint round (parallel and auto strategies) and the compiled plan (auto)")
 	flag.Parse()
 
 	strategy, err := parseStrategy(*strategyName)
@@ -106,6 +109,9 @@ func runQuery(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storag
 	if err != nil {
 		return fmt.Errorf("%v: %w", q, err)
 	}
+	if trace && st.Plan != nil {
+		fmt.Printf("%% plan: %v\n", st.Plan)
+	}
 	fmt.Printf("%% %v  (%d answers)\n", q, ans.Len())
 	lines := make([]string, 0, ans.Len())
 	ans.Each(func(t storage.Tuple) bool {
@@ -168,7 +174,14 @@ func repl(strategy eval.Strategy, db *storage.Database, showStats bool) {
 // trace enables the per-round observer of the parallel strategy.
 var trace bool
 
-func answer(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storage.Database) (*storage.Relation, eval.Stats, error) {
+func answer(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storage.Database) (ans *storage.Relation, st eval.Stats, err error) {
+	// The rewrite and plan layers report malformed systems as errors, but a
+	// query must never crash the CLI even if a panic slips through below.
+	defer func() {
+		if r := recover(); r != nil {
+			ans, err = nil, fmt.Errorf("internal error evaluating query: %v", r)
+		}
+	}()
 	switch strategy {
 	case eval.StrategyNaive:
 		out, st, err := eval.Naive(prog, db)
@@ -238,7 +251,7 @@ func parseStrategy(name string) (eval.Strategy, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown strategy %q (want naive, seminaive, parallel, magic, state or class)", name)
+	return 0, fmt.Errorf("unknown strategy %q (want naive, seminaive, parallel, magic, state, class or auto)", name)
 }
 
 func readInput(path string) (string, error) {

@@ -146,7 +146,7 @@ func (c *Compilation) NonRecursive() ([]ast.Rule, error) {
 	if !c.Result.Bounded {
 		return nil, fmt.Errorf("core: class %s is not bounded", c.Result.Class.Code())
 	}
-	return rewrite.NonRecursiveExpansions(c.Sys, c.Result.RankBound), nil
+	return rewrite.NonRecursiveExpansions(c.Sys, c.Result.RankBound)
 }
 
 // ResolutionGraph returns the k-th resolution graph of the recursive rule.

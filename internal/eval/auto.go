@@ -1,0 +1,150 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+// The classification-driven compiler layer. CompilePlan classifies a
+// recursive system once and fixes the evaluation strategy the paper's
+// analysis licenses, materializing the database-independent rewriting
+// artifacts (the bounded expansion union, the stabilized system) so that
+// Plan.Answer only does per-database work. Plans are immutable after
+// compilation and safe for concurrent Answer calls on distinct databases;
+// the Planner in plancache.go caches them per (program, adornment).
+
+// PlanKind names the compiled fast path chosen for a system.
+type PlanKind uint8
+
+const (
+	// PlanTC runs the frontier-BFS transitive-closure kernel (tc.go).
+	PlanTC PlanKind = iota
+	// PlanBounded evaluates the finite non-recursive expansion union in a
+	// single stratified pass (§5; no fixpoint).
+	PlanBounded
+	// PlanStable runs the parallel semi-naive engine on the Theorem-2/4
+	// stabilized system.
+	PlanStable
+	// PlanGeneric runs the parallel semi-naive engine on the original
+	// system (classes C, E, F: the paper gives no closed plan).
+	PlanGeneric
+)
+
+// String names the fast path for traces and the class→strategy table.
+func (k PlanKind) String() string {
+	switch k {
+	case PlanTC:
+		return "tc-frontier"
+	case PlanBounded:
+		return "bounded-union"
+	case PlanStable:
+		return "stable-parallel"
+	case PlanGeneric:
+		return "generic-parallel"
+	}
+	return fmt.Sprintf("PlanKind(%d)", uint8(k))
+}
+
+// Plan is a compiled evaluation plan for one recursive system: the
+// classification outcome plus the database-independent artifacts of the
+// chosen fast path.
+type Plan struct {
+	// Class is the paper's classification code (A1–A5, B, C, D, E, F).
+	Class string
+	// Kind is the chosen fast path.
+	Kind PlanKind
+
+	sys    *ast.RecursiveSystem // original system (PlanTC, PlanGeneric)
+	tc     *tcShape             // PlanTC
+	rank   int                  // PlanBounded
+	rules  []ast.Rule           // PlanBounded: exit + substituted expansions
+	stable *ast.RecursiveSystem // PlanStable: the stabilized system
+}
+
+// CompilePlan classifies the system and compiles the class-appropriate
+// plan. Selection order: the transitive-closure shape (its kernel beats
+// every generic engine on its workload), then boundedness (recursion
+// elimination), then transformability (stabilize, then parallel
+// semi-naive), then the generic parallel engine.
+func CompilePlan(sys *ast.RecursiveSystem) (*Plan, error) {
+	res, err := classify.Classify(sys.Recursive)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Class: res.Class.Code(), sys: sys}
+	if shape, ok := detectTC(sys); ok {
+		p.Kind = PlanTC
+		p.tc = shape
+		return p, nil
+	}
+	if res.Bounded {
+		rules, err := rewrite.NonRecursiveExpansions(sys, res.RankBound)
+		if err != nil {
+			return nil, err
+		}
+		p.Kind = PlanBounded
+		p.rank = res.RankBound
+		p.rules = rules
+		return p, nil
+	}
+	if res.Transformable && !res.Stable {
+		stable, err := rewrite.ToStableClassified(sys, res)
+		if err != nil {
+			return nil, err
+		}
+		p.Kind = PlanStable
+		p.stable = stable
+		return p, nil
+	}
+	p.Kind = PlanGeneric
+	return p, nil
+}
+
+// Answer evaluates the query over the database along the compiled path.
+// Stats.Plan carries the plan's class and strategy; the planner overwrites
+// its CacheHit field when the plan came from the cache.
+func (p *Plan) Answer(q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	rel, st, err := p.answer(q, db)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Plan = &PlanInfo{Class: p.Class, Strategy: p.Kind.String()}
+	return rel, st, nil
+}
+
+func (p *Plan) answer(q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	switch p.Kind {
+	case PlanTC:
+		return TCEval(p.sys, p.tc, q, db)
+	case PlanBounded:
+		n := p.sys.Arity()
+		if q.Atom.Pred != p.sys.Pred() || q.Atom.Arity() != n {
+			return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/%d", q, p.sys.Pred(), n)
+		}
+		answers := storage.NewRelation(n)
+		var st Stats
+		if err := EvalNonRecursive(p.rules, q, db, answers, &st); err != nil {
+			return nil, st, err
+		}
+		return answers, st, nil
+	case PlanStable:
+		return parallelAnswer(p.stable, q, db)
+	default:
+		return parallelAnswer(p.sys, q, db)
+	}
+}
+
+// parallelAnswer runs the parallel semi-naive engine over the system's
+// program and selects the query's answers from the fixpoint.
+func parallelAnswer(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	out, st, err := ParallelSemiNaive(sys.Program(), db)
+	if err != nil {
+		return nil, st, err
+	}
+	ans, err := AnswerQuery(out, q)
+	return ans, st, err
+}

@@ -1,0 +1,276 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/dlgen"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// TestCompilePlanSelection pins the class→strategy table of the auto
+// planner on the paper's statements.
+func TestCompilePlanSelection(t *testing.T) {
+	cases := []struct {
+		id   string
+		kind PlanKind
+	}{
+		{"s1a", PlanTC},       // p(X,Y) :- a(X,Z), p(Z,Y): the TC shape
+		{"s8", PlanBounded},   // bounded, rank 2
+		{"s10", PlanBounded},  // bounded, rank 2
+		{"s4a", PlanStable},   // one-directional cycle of weight 3
+		{"s9", PlanGeneric},   // no licensed fast path
+		{"s12", PlanGeneric},  // mixed cycles
+	}
+	for _, c := range cases {
+		sys := mustStatement(t, c.id).System()
+		p, err := CompilePlan(sys)
+		if err != nil {
+			t.Fatalf("%s: %v", c.id, err)
+		}
+		if p.Kind != c.kind {
+			t.Errorf("%s: plan %v (%v), want %v", c.id, p.Kind, p.Class, c.kind)
+		}
+		if p.Class == "" {
+			t.Errorf("%s: empty class code", c.id)
+		}
+	}
+}
+
+func mustSystem(t testing.TB, recursive string, exits ...string) *ast.RecursiveSystem {
+	t.Helper()
+	rec := parser.MustParseRule(recursive)
+	es := make([]ast.Rule, len(exits))
+	for i, e := range exits {
+		es[i] = parser.MustParseRule(e)
+	}
+	sys, err := ast.NewRecursiveSystem(rec, es...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestDetectTCShapes enumerates shapes around the two TC orientations.
+func TestDetectTCShapes(t *testing.T) {
+	cases := []struct {
+		rule  string
+		right bool
+		ok    bool
+	}{
+		{"p(X, Y) :- a(X, Z), p(Z, Y).", true, true},
+		{"p(X, Y) :- p(X, Z), a(Z, Y).", false, true},
+		// Recursive literal first, edge second — still right-linear.
+		{"p(X, Y) :- p(Z, Y), a(X, Z).", true, true},
+		// Head variables swapped through the recursion: not a TC chain.
+		{"p(X, Y) :- a(Y, Z), p(Z, X).", false, false},
+		// Extra literal: not the two-atom shape.
+		{"p(X, Y) :- a(X, Z), p(Z, U), b(U, Y).", false, false},
+		// Both positions flow through unchanged: no chain variable.
+		{"p(X, Y) :- c(X), p(X, Y).", false, false},
+	}
+	for _, c := range cases {
+		sys := mustSystem(t, c.rule, "p(X, Y) :- e(X, Y).")
+		shape, ok := detectTC(sys)
+		if ok != c.ok {
+			t.Errorf("%s: detected=%v, want %v", c.rule, ok, c.ok)
+			continue
+		}
+		if ok && shape.rightLinear != c.right {
+			t.Errorf("%s: rightLinear=%v, want %v", c.rule, shape.rightLinear, c.right)
+		}
+	}
+}
+
+// tcTestDB builds a graph with random edges plus a random exit relation.
+func tcTestDB(t testing.TB, edgePred string, domain, edges, exitTuples int, seed int64) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase()
+	if err := storage.GenRandomRelation(db, edgePred, 2, domain, edges, seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.GenRandomRelation(db, "e", 2, domain, exitTuples, seed+1); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestTCEvalMatchesNaive runs the frontier kernel through every adornment
+// on both orientations and compares against the naive fixpoint.
+func TestTCEvalMatchesNaive(t *testing.T) {
+	rules := []string{
+		"p(X, Y) :- a(X, Z), p(Z, Y).",
+		"p(X, Y) :- p(X, Z), a(Z, Y).",
+	}
+	queries := []string{
+		"?- p(X, Y).",
+		"?- p(n1, Y).",
+		"?- p(X, n2).",
+		"?- p(n1, n2).",
+		"?- p(n0, n0).",
+	}
+	for _, rule := range rules {
+		sys := mustSystem(t, rule, "p(X, Y) :- e(X, Y).")
+		if p, err := CompilePlan(sys); err != nil || p.Kind != PlanTC {
+			t.Fatalf("%s: plan %v err %v, want PlanTC", rule, p, err)
+		}
+		for seed := int64(1); seed <= 5; seed++ {
+			db := tcTestDB(t, "a", 8, 14, 6, seed)
+			for _, qs := range queries {
+				q, err := parser.ParseQuery(qs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, _, err := Answer(StrategyNaive, sys, q, db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, st, err := Answer(StrategyAuto, sys, q, db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(ref) {
+					t.Errorf("%s seed %d %s: TC kernel %d tuples, naive %d",
+						rule, seed, qs, got.Len(), ref.Len())
+				}
+				if st.Plan == nil || st.Plan.Strategy != PlanTC.String() {
+					t.Errorf("%s %s: stats plan = %+v, want tc-frontier", rule, qs, st.Plan)
+				}
+			}
+		}
+	}
+}
+
+// TestTCEvalEdgeCases: absent edge relation (only the k = 0 stratum),
+// constants missing from the database, and multi-exit systems.
+func TestTCEvalEdgeCases(t *testing.T) {
+	sys := mustSystem(t, "p(X, Y) :- a(X, Z), p(Z, Y).",
+		"p(X, Y) :- e(X, Y).", "p(X, Y) :- g(Y, X).")
+	db := storage.NewDatabase()
+	storage.GenRandomRelation(db, "e", 2, 6, 5, 3)
+	storage.GenRandomRelation(db, "g", 2, 6, 5, 4)
+	// No "a" relation in the database at all.
+	for _, qs := range []string{"?- p(X, Y).", "?- p(n1, Y).", "?- p(X, n2)."} {
+		q, _ := parser.ParseQuery(qs)
+		ref, _, err := Answer(StrategyNaive, sys, q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Answer(StrategyAuto, sys, q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(ref) {
+			t.Errorf("%s: %d tuples, naive %d", qs, got.Len(), ref.Len())
+		}
+	}
+	q, _ := parser.ParseQuery("?- p(ghost, Y).")
+	if got, _, err := Answer(StrategyAuto, sys, q, db); err != nil || got.Len() != 0 {
+		t.Errorf("unknown constant: %v answers, err %v", got.Len(), err)
+	}
+}
+
+// TestTCKernelBeatsGenericWork: on a long chain with a bound-first query,
+// the frontier kernel must touch only the reachable suffix — strictly less
+// attempted work than the semi-naive fixpoint, which materializes the full
+// closure before selecting.
+func TestTCKernelBeatsGenericWork(t *testing.T) {
+	sys := mustSystem(t, "p(X, Y) :- a(X, Z), p(Z, Y).", "p(X, Y) :- e(X, Y).")
+	db := storage.NewDatabase()
+	storage.GenChain(db, "a", 200)
+	db.Set("e", db.Rel("a").Clone())
+	q, _ := parser.ParseQuery("?- p(n190, Y).")
+	ref, sn, err := Answer(StrategySemiNaive, sys, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Answer(StrategyAuto, sys, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ref) {
+		t.Fatalf("answers differ: %d vs %d", got.Len(), ref.Len())
+	}
+	if st.Facts*10 > sn.Facts {
+		t.Errorf("TC kernel attempted %d facts, semi-naive %d: expected ≥10× less work",
+			st.Facts, sn.Facts)
+	}
+}
+
+// TestAutoDifferentialRandomSystems is the auto-strategy half of the
+// differential suite: whatever plan the compiler picks for a random system
+// must agree with the semi-naive fixpoint on random databases and queries.
+func TestAutoDifferentialRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	kinds := make(map[PlanKind]int)
+	for trial := 0; trial < 60; trial++ {
+		sys := dlgen.RandomSystem(rng, dlgen.Config{MaxArity: 3, MaxAtoms: 3})
+		p, err := CompilePlan(sys)
+		if err != nil {
+			t.Fatalf("%v: %v", sys.Recursive, err)
+		}
+		kinds[p.Kind]++
+		db, err := dlgen.RandomDB(sys, 4, 8, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			q := dlgen.RandomQuery(rng, sys, 4)
+			ref, _, err := Answer(StrategySemiNaive, sys, q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := Answer(StrategyAuto, sys, q, db)
+			if err != nil {
+				t.Fatalf("%v %v: %v", sys.Recursive, q, err)
+			}
+			if !got.Equal(ref) {
+				t.Errorf("%v %v (plan %v): auto %d tuples, semi-naive %d",
+					sys.Recursive, q, p.Kind, got.Len(), ref.Len())
+			}
+			if st.Plan == nil || st.Plan.Strategy != p.Kind.String() {
+				t.Errorf("%v: stats plan %+v, want %v", sys.Recursive, st.Plan, p.Kind)
+			}
+		}
+	}
+	for _, k := range []PlanKind{PlanBounded, PlanGeneric} {
+		if kinds[k] == 0 {
+			t.Errorf("no random system compiled to %v: %v", k, kinds)
+		}
+	}
+	t.Logf("plan mix over random systems: %v", kinds)
+}
+
+// TestPlanKindStrings keeps the trace vocabulary stable.
+func TestPlanKindStrings(t *testing.T) {
+	want := map[PlanKind]string{
+		PlanTC:      "tc-frontier",
+		PlanBounded: "bounded-union",
+		PlanStable:  "stable-parallel",
+		PlanGeneric: "generic-parallel",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d: %s != %s", k, k, s)
+		}
+	}
+	if PlanKind(99).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+	info := PlanInfo{Class: "A5", Strategy: "tc-frontier"}
+	if info.String() != "class=A5 strategy=tc-frontier cache=miss" {
+		t.Errorf("PlanInfo rendering: %s", info)
+	}
+	info.CacheHit = true
+	if info.String() != "class=A5 strategy=tc-frontier cache=hit" {
+		t.Errorf("PlanInfo rendering: %s", info)
+	}
+	var st Stats
+	st.Plan = &info
+	if fmt.Sprint(st) != "rounds=0 derived=0 attempted=0 class=A5 strategy=tc-frontier cache=hit" {
+		t.Errorf("Stats rendering: %v", st)
+	}
+}

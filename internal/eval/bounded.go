@@ -23,9 +23,27 @@ func BoundedEval(sys *ast.RecursiveSystem, rank int, q ast.Query, db *storage.Da
 	if q.Atom.Pred != sys.Pred() || q.Atom.Arity() != n {
 		return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/%d", q, sys.Pred(), n)
 	}
-	rules := rewrite.NonRecursiveExpansions(sys, rank)
+	rules, err := rewrite.NonRecursiveExpansions(sys, rank)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	answers := storage.NewRelation(n)
 	var st Stats
+	if err := EvalNonRecursive(rules, q, db, answers, &st); err != nil {
+		return nil, Stats{}, err
+	}
+	return answers, st, nil
+}
+
+// EvalNonRecursive evaluates each non-recursive rule as a conjunctive query
+// with the query's constants pushed into the body binding, accumulating the
+// projected heads into answers. Head arguments may be constants (exit rules
+// with constant heads, and expansions whose exit unification pinned a
+// position): such a rule contributes only when the query agrees with the
+// constant, which then appears verbatim in every answer tuple. Shared by
+// BoundedEval and the auto planner's compiled bounded path.
+func EvalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answers *storage.Relation, st *Stats) error {
+	n := q.Atom.Arity()
 	rels := DBRels(db)
 	for _, r := range rules {
 		st.Rounds++
@@ -35,10 +53,20 @@ func BoundedEval(sys *ast.RecursiveSystem, rank int, q ast.Query, db *storage.Da
 		fixed := make(storage.Tuple, n)
 		ok := true
 		for i, t := range r.Head.Args {
-			if !t.IsVar() {
-				return nil, Stats{}, fmt.Errorf("eval: constant in expansion head %v", r.Head)
-			}
 			qa := q.Atom.Args[i]
+			if !t.IsVar() {
+				v := db.Syms.Intern(t.Name)
+				if !qa.IsVar() {
+					qv, found := db.Syms.Lookup(qa.Name)
+					if !found || qv != v {
+						ok = false
+						break
+					}
+				}
+				slots[i] = -1
+				fixed[i] = v
+				continue
+			}
 			slot := c.VarID(t.Name)
 			if !qa.IsVar() {
 				// Push the query constant into the body binding.
@@ -58,7 +86,7 @@ func BoundedEval(sys *ast.RecursiveSystem, rank int, q ast.Query, db *storage.Da
 				fixed[i] = v
 			} else {
 				if slot < 0 {
-					return nil, Stats{}, fmt.Errorf("eval: head variable %s unbound in expansion %v", t.Name, r)
+					return fmt.Errorf("eval: head variable %s unbound in expansion %v", t.Name, r)
 				}
 				slots[i] = slot
 			}
@@ -68,5 +96,5 @@ func BoundedEval(sys *ast.RecursiveSystem, rank int, q ast.Query, db *storage.Da
 		}
 		st.Derived += c.EvalProject(rels, binding, slots, fixed, answers)
 	}
-	return answers, st, nil
+	return nil
 }

@@ -82,7 +82,7 @@ func crossCheck(t *testing.T, sys *ast.RecursiveSystem, db *storage.Database, q 
 	if err != nil {
 		t.Fatalf("%v naive: %v", q, err)
 	}
-	for _, st := range []Strategy{StrategySemiNaive, StrategyMagic, StrategyState, StrategyClass, StrategyParallel} {
+	for _, st := range []Strategy{StrategySemiNaive, StrategyMagic, StrategyState, StrategyClass, StrategyParallel, StrategyAuto} {
 		got, _, err := Answer(st, sys, q, db)
 		if err != nil {
 			t.Fatalf("%v %v: %v", q, st, err)

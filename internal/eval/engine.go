@@ -29,6 +29,12 @@ const (
 	// StrategyParallel is bottom-up delta evaluation with each round's
 	// delta fanned out across a worker pool (see ParallelSemiNaive).
 	StrategyParallel
+	// StrategyAuto classifies the system once, compiles the fast path the
+	// classification licenses (the transitive-closure frontier kernel, the
+	// bounded expansion union, or the Theorem-2/4 stabilization feeding the
+	// parallel engine) and caches the plan per (program, adornment) in
+	// DefaultPlanner so repeated queries skip classification and rewriting.
+	StrategyAuto
 )
 
 // String names the strategy.
@@ -46,13 +52,15 @@ func (s Strategy) String() string {
 		return "class"
 	case StrategyParallel:
 		return "parallel"
+	case StrategyAuto:
+		return "auto"
 	}
 	return fmt.Sprintf("Strategy(%d)", uint8(s))
 }
 
 // Strategies lists every strategy, for cross-checking loops.
 func Strategies() []Strategy {
-	return []Strategy{StrategyNaive, StrategySemiNaive, StrategyMagic, StrategyState, StrategyClass, StrategyParallel}
+	return []Strategy{StrategyNaive, StrategySemiNaive, StrategyMagic, StrategyState, StrategyClass, StrategyParallel, StrategyAuto}
 }
 
 // Answer evaluates the query over the database with the chosen strategy and
@@ -86,6 +94,8 @@ func Answer(strategy Strategy, sys *ast.RecursiveSystem, q ast.Query, db *storag
 		return StateEval(sys, q, db)
 	case StrategyClass:
 		return ClassEval(sys, q, db)
+	case StrategyAuto:
+		return DefaultPlanner.Answer(sys, q, db)
 	default:
 		return nil, Stats{}, fmt.Errorf("eval: unknown strategy %v", strategy)
 	}

@@ -38,13 +38,14 @@ func TestStrategyStrings(t *testing.T) {
 		StrategyState:     "state",
 		StrategyClass:     "class",
 		StrategyParallel:  "parallel",
+		StrategyAuto:      "auto",
 	}
 	for s, want := range names {
 		if s.String() != want {
 			t.Errorf("%d: %s != %s", s, s, want)
 		}
 	}
-	if len(Strategies()) != 6 {
+	if len(Strategies()) != 7 {
 		t.Errorf("Strategies() = %d", len(Strategies()))
 	}
 	if Strategy(99).String() == "" {

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// Planner caches compiled plans per (program, adornment) so that repeated
+// queries skip classification and rewriting entirely. The key is the
+// canonical rule text of the system plus the query's d/v adornment string:
+// any change to the rule set yields a different key, so stale plans can
+// never be served for a modified program (invalidation by construction);
+// Invalidate drops a replaced program's entries eagerly. Cached plans are
+// immutable, so any number of goroutines may call Answer concurrently.
+type Planner struct {
+	mu     sync.RWMutex
+	plans  map[planKey]*Plan
+	hits   uint64
+	misses uint64
+}
+
+type planKey struct {
+	program string
+	adorn   string
+}
+
+// NewPlanner returns an empty plan cache.
+func NewPlanner() *Planner {
+	return &Planner{plans: make(map[planKey]*Plan)}
+}
+
+// DefaultPlanner backs StrategyAuto. Tools that want isolated hit/miss
+// accounting (or eager invalidation) create their own Planner.
+var DefaultPlanner = NewPlanner()
+
+// programKey renders the system's canonical rule text: the recursive rule
+// followed by the exit rules in order.
+func programKey(sys *ast.RecursiveSystem) string {
+	var b strings.Builder
+	b.WriteString(sys.Recursive.String())
+	for _, e := range sys.Exits {
+		b.WriteByte('\n')
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// PlanFor returns the cached plan for the system and query form, compiling
+// and inserting it on a miss. The second result reports a cache hit.
+func (pl *Planner) PlanFor(sys *ast.RecursiveSystem, q ast.Query) (*Plan, bool, error) {
+	key := planKey{program: programKey(sys), adorn: adorn.FromQuery(q).String()}
+	pl.mu.RLock()
+	p, ok := pl.plans[key]
+	pl.mu.RUnlock()
+	if ok {
+		pl.mu.Lock()
+		pl.hits++
+		pl.mu.Unlock()
+		return p, true, nil
+	}
+	p, err := CompilePlan(sys)
+	pl.mu.Lock()
+	pl.misses++
+	if err == nil {
+		// A concurrent compiler may have raced us here; keep the first
+		// entry so callers holding it stay coherent with the cache.
+		if prev, ok := pl.plans[key]; ok {
+			p = prev
+		} else {
+			pl.plans[key] = p
+		}
+	}
+	pl.mu.Unlock()
+	if err != nil {
+		return nil, false, err
+	}
+	return p, false, nil
+}
+
+// Answer evaluates the query through the cached plan (compiling it on the
+// first use of this program and query form). Stats.Plan reports the class,
+// the chosen strategy and whether the plan came from the cache.
+func (pl *Planner) Answer(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	p, hit, err := pl.PlanFor(sys, q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	rel, st, err := p.Answer(q, db)
+	if err != nil {
+		return nil, st, err
+	}
+	if st.Plan != nil {
+		st.Plan.CacheHit = hit
+	}
+	return rel, st, err
+}
+
+// Invalidate drops every cached plan (all adornments) of the given system,
+// returning how many entries were removed. Callers replacing a program's
+// rule set use it to bound the cache; correctness never requires it, since
+// a changed rule set keys differently.
+func (pl *Planner) Invalidate(sys *ast.RecursiveSystem) int {
+	prog := programKey(sys)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	n := 0
+	for k := range pl.plans {
+		if k.program == prog {
+			delete(pl.plans, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Metrics returns the hit and miss counters.
+func (pl *Planner) Metrics() (hits, misses uint64) {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.hits, pl.misses
+}
+
+// Len returns the number of cached plans.
+func (pl *Planner) Len() int {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return len(pl.plans)
+}
+
+// Reset empties the cache and zeroes the counters.
+func (pl *Planner) Reset() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.plans = make(map[planKey]*Plan)
+	pl.hits, pl.misses = 0, 0
+}

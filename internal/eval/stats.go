@@ -21,10 +21,38 @@ type Stats struct {
 	// per-round metrics (currently the parallel semi-naive engine); nil
 	// otherwise.
 	Trace []RoundStats
+	// Plan reports the auto planner's decision when the query went through
+	// StrategyAuto (or a Planner directly); nil for the explicit engines.
+	Plan *PlanInfo
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("rounds=%d derived=%d attempted=%d", s.Rounds, s.Derived, s.Facts)
+	base := fmt.Sprintf("rounds=%d derived=%d attempted=%d", s.Rounds, s.Derived, s.Facts)
+	if s.Plan != nil {
+		base += " " + s.Plan.String()
+	}
+	return base
+}
+
+// PlanInfo describes the outcome of classification-driven planning for one
+// evaluated query.
+type PlanInfo struct {
+	// Class is the paper's classification code (A1–A5, B, C, D, E, F).
+	Class string
+	// Strategy is the compiled fast path ("tc-frontier", "bounded-union",
+	// "stable-parallel" or "generic-parallel").
+	Strategy string
+	// CacheHit reports that the plan was served from the planner's cache,
+	// skipping classification and rewriting.
+	CacheHit bool
+}
+
+func (p PlanInfo) String() string {
+	cache := "miss"
+	if p.CacheHit {
+		cache = "hit"
+	}
+	return fmt.Sprintf("class=%s strategy=%s cache=%s", p.Class, p.Strategy, cache)
 }
 
 // RoundStats records one fixpoint round of the parallel semi-naive engine:

@@ -1,0 +1,259 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// The frontier-BFS kernel for unit-rotational (transitive-closure-shaped)
+// rules. A rule of the form
+//
+//	p(X, Y) :- q(X, Z), p(Z, Y).   (right-linear)
+//	p(X, Y) :- p(X, Z), q(Z, Y).   (left-linear)
+//
+// computes p = ∪_k q^k ∘ E (respectively ∪_k E ∘ q^k) over the exit
+// relation E. Instead of running generic conjunction joins round after
+// round, the kernel walks the q edge index directly: queries with a bound
+// argument become a breadth-first reachability sweep over a value frontier
+// (never touching the unreachable part of the graph), and the all-free
+// query becomes a semi-naive relational compose that joins only the
+// previous round's delta tuples against the edge index.
+
+// tcShape records the detected orientation of a transitive-closure rule.
+type tcShape struct {
+	edgePred string
+	// rightLinear: the edge literal precedes the recursive literal
+	// (p = ∪ q^k ∘ E); otherwise left-linear (p = ∪ E ∘ q^k).
+	rightLinear bool
+}
+
+// detectTC matches the recursive rule against the two transitive-closure
+// orientations: binary head, a body of exactly one positive binary edge
+// literal over a different predicate, and the chain variable linking the
+// edge to the recursive literal. Head and recursive arguments are distinct
+// variables by ValidateRecursive; the chain variable must be fresh.
+func detectTC(sys *ast.RecursiveSystem) (*tcShape, bool) {
+	rule := sys.Recursive
+	if sys.Arity() != 2 || len(rule.Body) != 2 || !rule.IsLinearRecursive() {
+		return nil, false
+	}
+	recAtom, recIdx := rule.RecursiveAtom()
+	if recAtom.Neg {
+		return nil, false
+	}
+	edge := rule.Body[1-recIdx]
+	if edge.Neg || edge.Pred == rule.Head.Pred || edge.Arity() != 2 {
+		return nil, false
+	}
+	for _, t := range edge.Args {
+		if !t.IsVar() {
+			return nil, false
+		}
+	}
+	hx, hy := rule.Head.Args[0].Name, rule.Head.Args[1].Name
+	// Right-linear: q(hx, Z), p(Z, hy) with Z fresh.
+	if z := edge.Args[1].Name; edge.Args[0].Name == hx &&
+		recAtom.Args[0].Name == z && recAtom.Args[1].Name == hy &&
+		z != hx && z != hy {
+		return &tcShape{edgePred: edge.Pred, rightLinear: true}, true
+	}
+	// Left-linear: p(hx, Z), q(Z, hy) with Z fresh.
+	if z := recAtom.Args[1].Name; recAtom.Args[0].Name == hx &&
+		edge.Args[0].Name == z && edge.Args[1].Name == hy &&
+		z != hx && z != hy {
+		return &tcShape{edgePred: edge.Pred, rightLinear: false}, true
+	}
+	return nil, false
+}
+
+// TCEval answers the query with the frontier kernel. The exit relation is
+// materialized from the system's exit rules; the edge relation is read from
+// the database (an absent edge relation leaves only the k = 0 stratum).
+func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	if q.Atom.Pred != sys.Pred() || q.Atom.Arity() != 2 {
+		return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/2", q, sys.Pred())
+	}
+	exitRel, err := MaterializeExit(sys, db)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	edges := db.Rel(shape.edgePred)
+	if edges != nil && edges.Arity() != 2 {
+		return nil, Stats{}, fmt.Errorf("eval: edge relation %s has arity %d, want 2", shape.edgePred, edges.Arity())
+	}
+	answers := storage.NewRelation(2)
+	var st Stats
+
+	var c0, c1 storage.Value
+	b0, b1 := !q.Atom.Args[0].IsVar(), !q.Atom.Args[1].IsVar()
+	if b0 {
+		v, ok := db.Syms.Lookup(q.Atom.Args[0].Name)
+		if !ok {
+			return answers, st, nil
+		}
+		c0 = v
+	}
+	if b1 {
+		v, ok := db.Syms.Lookup(q.Atom.Args[1].Name)
+		if !ok {
+			return answers, st, nil
+		}
+		c1 = v
+	}
+
+	if shape.rightLinear {
+		// p(x, y) ⟺ ∃z: x →q* z ∧ E(z, y).
+		switch {
+		case b0:
+			// Forward BFS from c0 over q, then join the closure with E.
+			closure := bfsClosure(edges, 0, 1, []storage.Value{c0}, &st)
+			for z := range closure {
+				exitRel.EachCol(0, z, func(t storage.Tuple) bool {
+					st.Facts++
+					if (!b1 || t[1] == c1) && answers.Insert(storage.Tuple{c0, t[1]}) {
+						st.Derived++
+					}
+					return true
+				})
+			}
+		case b1:
+			// Seeds {z : E(z, c1)}, then reverse BFS over q: every x that
+			// reaches a seed is an answer.
+			var seeds []storage.Value
+			exitRel.EachCol(1, c1, func(t storage.Tuple) bool {
+				seeds = append(seeds, t[0])
+				return true
+			})
+			for x := range bfsClosure(edges, 1, 0, seeds, &st) {
+				st.Facts++
+				if answers.Insert(storage.Tuple{x, c1}) {
+					st.Derived++
+				}
+			}
+		default:
+			// All free: semi-naive compose P ← P ∪ q ∘ ΔP seeded with E.
+			composeClosure(edges, exitRel, true, answers, &st)
+		}
+	} else {
+		// p(x, y) ⟺ ∃z: E(x, z) ∧ z →q* y.
+		switch {
+		case b0:
+			var seeds []storage.Value
+			exitRel.EachCol(0, c0, func(t storage.Tuple) bool {
+				seeds = append(seeds, t[1])
+				return true
+			})
+			for y := range bfsClosure(edges, 0, 1, seeds, &st) {
+				st.Facts++
+				if (!b1 || y == c1) && answers.Insert(storage.Tuple{c0, y}) {
+					st.Derived++
+				}
+			}
+		case b1:
+			// Reverse BFS from c1 over q, then join the closure with E.
+			closure := bfsClosure(edges, 1, 0, []storage.Value{c1}, &st)
+			for z := range closure {
+				exitRel.EachCol(1, z, func(t storage.Tuple) bool {
+					st.Facts++
+					if answers.Insert(storage.Tuple{t[0], c1}) {
+						st.Derived++
+					}
+					return true
+				})
+			}
+		default:
+			// All free: semi-naive compose P ← P ∪ ΔP ∘ q seeded with E.
+			composeClosure(edges, exitRel, false, answers, &st)
+		}
+	}
+	return answers, st, nil
+}
+
+// bfsClosure returns the set of values reachable from the seeds (seeds
+// included) by repeatedly following edge tuples from column `from` to
+// column `to`. Each BFS level counts as one round; each edge traversal
+// counts as one attempted fact.
+func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st *Stats) map[storage.Value]bool {
+	visited := make(map[storage.Value]bool, len(seeds))
+	frontier := make([]storage.Value, 0, len(seeds))
+	for _, v := range seeds {
+		if !visited[v] {
+			visited[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	if edges == nil {
+		if len(frontier) > 0 {
+			st.Rounds++
+		}
+		return visited
+	}
+	for len(frontier) > 0 {
+		st.Rounds++
+		var next []storage.Value
+		for _, v := range frontier {
+			edges.EachCol(from, v, func(t storage.Tuple) bool {
+				st.Facts++
+				if w := t[to]; !visited[w] {
+					visited[w] = true
+					next = append(next, w)
+				}
+				return true
+			})
+		}
+		frontier = next
+	}
+	return visited
+}
+
+// composeClosure computes the full closure relation for the all-free query:
+// answers start as the exit relation and each round composes the previous
+// delta with the edge relation — q ∘ Δ for the right-linear orientation
+// (new (x, y) from q(x, z), Δ(z, y)), Δ ∘ q for the left-linear one.
+func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers *storage.Relation, st *Stats) {
+	delta := make([]storage.Tuple, 0, exitRel.Len())
+	exitRel.Each(func(t storage.Tuple) bool {
+		st.Facts++
+		if answers.Insert(t) {
+			st.Derived++
+			delta = append(delta, t.Clone())
+		}
+		return true
+	})
+	if len(delta) > 0 {
+		st.Rounds++
+	}
+	if edges == nil {
+		return
+	}
+	for len(delta) > 0 {
+		st.Rounds++
+		var next []storage.Tuple
+		for _, d := range delta {
+			if rightLinear {
+				edges.EachCol(1, d[0], func(e storage.Tuple) bool {
+					st.Facts++
+					nt := storage.Tuple{e[0], d[1]}
+					if answers.Insert(nt) {
+						st.Derived++
+						next = append(next, nt)
+					}
+					return true
+				})
+			} else {
+				edges.EachCol(0, d[1], func(e storage.Tuple) bool {
+					st.Facts++
+					nt := storage.Tuple{d[0], e[1]}
+					if answers.Insert(nt) {
+						st.Derived++
+						next = append(next, nt)
+					}
+					return true
+				})
+			}
+		}
+		delta = next
+	}
+}

@@ -43,7 +43,10 @@ func TestExpansionMatchesResolutionGraph(t *testing.T) {
 		}
 		for k := 1; k <= 3; k++ {
 			res := igraph.ResolutionGraph(ig, k)
-			expRule := rewrite.Expand(sys, k)
+			expRule, err := rewrite.Expand(sys, k)
+			if err != nil {
+				t.Fatalf("expansion %d of %v: %v", k, sys.Recursive, err)
+			}
 			expIG, err := igraph.Build(expRule)
 			if err != nil {
 				t.Fatalf("expansion %d of %v invalid: %v", k, sys.Recursive, err)
@@ -80,7 +83,11 @@ func TestResolutionFrontierMatchesExpansionRecAtom(t *testing.T) {
 		r := igraph.NewResolution(ig)
 		for k := 2; k <= 4; k++ {
 			r.Step()
-			rec, _ := rewrite.Expand(sys, k).RecursiveAtom()
+			exp, err := rewrite.Expand(sys, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, _ := exp.RecursiveAtom()
 			for i, tm := range rec.Args {
 				if r.Frontier[i] != tm.Name {
 					t.Fatalf("k=%d pos %d: frontier %s vs expansion %s (%v)",

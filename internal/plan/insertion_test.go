@@ -1,0 +1,51 @@
+package plan
+
+import "testing"
+
+// TestApplyInsertionsUnsorted is the regression test for the old "must be
+// sorted by position" assumption: before the defensive sort, an unsorted
+// insertion slice sliced base backwards (base[prev:in.pos] with prev >
+// in.pos) and paniced instead of producing the plan.
+func TestApplyInsertionsUnsorted(t *testing.T) {
+	base := []Step{{Text: "σa"}, {Text: "b", Conn: "-"}, {Text: "E", Conn: "-"}}
+	ins := []insertion{
+		{pos: 2, block: []Step{{Text: "c", Conn: "-"}}},
+		{pos: 1, block: []Step{{Text: "a", Conn: "-"}}},
+	}
+	got := applyInsertions(base, ins, 2)
+	want := []Step{
+		{Text: "σa"},
+		{Text: "a", Conn: "-"}, {Text: "a", Conn: "-"},
+		{Text: "b", Conn: "-"},
+		{Text: "c", Conn: "-"}, {Text: "c", Conn: "-"},
+		{Text: "E", Conn: "-"},
+	}
+	if !stepsEqual(got, want) {
+		t.Fatalf("applyInsertions = %v, want %v", got, want)
+	}
+	// Sorting happens on a copy: the caller's slice keeps its order.
+	if ins[0].pos != 2 || ins[1].pos != 1 {
+		t.Fatalf("input slice mutated: %v", ins)
+	}
+	// Sorted input is unaffected by the guard.
+	sorted := []insertion{ins[1], ins[0]}
+	if !stepsEqual(applyInsertions(base, sorted, 2), want) {
+		t.Fatal("sorted insertions changed behavior")
+	}
+}
+
+// TestApplyInsertionsStableAtEqualPositions: two blocks at the same position
+// keep their relative order (the stable sort), matching what findInsertions
+// verified them against.
+func TestApplyInsertionsStableAtEqualPositions(t *testing.T) {
+	base := []Step{{Text: "E"}}
+	ins := []insertion{
+		{pos: 0, block: []Step{{Text: "x"}}},
+		{pos: 0, block: []Step{{Text: "y"}}},
+	}
+	got := applyInsertions(base, ins, 1)
+	want := []Step{{Text: "x"}, {Text: "y"}, {Text: "E"}}
+	if !stepsEqual(got, want) {
+		t.Fatalf("applyInsertions = %v, want %v", got, want)
+	}
+}

@@ -14,6 +14,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/adorn"
@@ -123,8 +124,18 @@ type insertion struct {
 }
 
 // applyInsertions returns base with every insertion's block repeated n
-// times at its position. Insertions must be sorted by position.
+// times at its position. Insertions are processed in position order; an
+// unsorted slice would otherwise slice base backwards (base[prev:in.pos]
+// with prev > in.pos panics, and equal positions out of order reorder the
+// inserted blocks), so the order is enforced here rather than assumed from
+// the caller. The input slice is left untouched.
 func applyInsertions(base []Step, ins []insertion, n int) []Step {
+	if !sort.SliceIsSorted(ins, func(i, j int) bool { return ins[i].pos < ins[j].pos }) {
+		sorted := make([]insertion, len(ins))
+		copy(sorted, ins)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].pos < sorted[j].pos })
+		ins = sorted
+	}
 	var out []Step
 	prev := 0
 	for _, in := range ins {

@@ -49,7 +49,11 @@ func Compile(sys *ast.RecursiveSystem, a adorn.Adornment, maxDepth int) (*Formul
 		}
 	}
 	for k := 0; k <= maxDepth; k++ {
-		f.Depths = append(f.Depths, planDepth(sys, a, k))
+		dp, err := planDepth(sys, a, k)
+		if err != nil {
+			return nil, err
+		}
+		f.Depths = append(f.Depths, dp)
 	}
 	f.Closed = detectPeriod(f.Depths)
 	if res.Stable {
@@ -63,7 +67,7 @@ func Compile(sys *ast.RecursiveSystem, a adorn.Adornment, maxDepth int) (*Formul
 }
 
 // planDepth builds the concrete evaluation plan of the k-th expansion.
-func planDepth(sys *ast.RecursiveSystem, a adorn.Adornment, k int) DepthPlan {
+func planDepth(sys *ast.RecursiveSystem, a adorn.Adornment, k int) (DepthPlan, error) {
 	dp := DepthPlan{K: k}
 	headVars := make([]string, sys.Arity())
 	boundHead := make(map[string]bool)
@@ -82,9 +86,12 @@ func planDepth(sys *ast.RecursiveSystem, a adorn.Adornment, k int) DepthPlan {
 			text = "σE"
 		}
 		dp.Steps = []Step{{Text: text}}
-		return dp
+		return dp, nil
 	}
-	exp := rewrite.Expand(sys, k)
+	exp, err := rewrite.Expand(sys, k)
+	if err != nil {
+		return DepthPlan{}, err
+	}
 	recAtom, _ := exp.RecursiveAtom()
 	type lit struct {
 		label string
@@ -239,7 +246,7 @@ func planDepth(sys *ast.RecursiveSystem, a adorn.Adornment, k int) DepthPlan {
 		}
 		dp.ExistsPrefix = later
 	}
-	return dp
+	return dp, nil
 }
 
 func touchesBoundHead(vars []string, bound map[string]bool) bool {

@@ -13,7 +13,8 @@ import (
 func ExampleExpand() {
 	rule := parser.MustParseRule("p(X, Y) :- a(X, Z), p(Z, U), b(U, Y).")
 	sys, _ := ast.NewRecursiveSystem(rule, ast.DefaultExit("p", 2, "e"))
-	fmt.Println(rewrite.Expand(sys, 2))
+	e2, _ := rewrite.Expand(sys, 2)
+	fmt.Println(e2)
 	// Output:
 	// p(X, Y) :- a(X, Z), b(U, Y), a(Z, Z#2), p(Z#2, U#2), b(U#2, U).
 }
@@ -39,7 +40,8 @@ func ExampleToStable() {
 func ExampleNonRecursiveExpansions() {
 	rule := parser.MustParseRule("p(X, Y) :- b(Y), c(X, Y1), p(X1, Y1).")
 	sys, _ := ast.NewRecursiveSystem(rule, ast.DefaultExit("p", 2, "e"))
-	for _, r := range rewrite.NonRecursiveExpansions(sys, 2) {
+	rules, _ := rewrite.NonRecursiveExpansions(sys, 2)
+	for _, r := range rules {
 		fmt.Println(r)
 	}
 	// Output:

@@ -18,17 +18,22 @@ import (
 // the rule whose body carries k copies of the non-recursive literals and a
 // single recursive literal. Expand(sys, 1) is the original rule. Fresh
 // variables introduced at expansion i are named with igraph.RenameVar, so
-// expansions line up with resolution graphs.
-func Expand(sys *ast.RecursiveSystem, k int) ast.Rule {
+// expansions line up with resolution graphs. It returns an error when k < 1
+// or when the system's rule is not linear recursive, so malformed input
+// surfaces as a diagnostic instead of a panic.
+func Expand(sys *ast.RecursiveSystem, k int) (ast.Rule, error) {
 	if k < 1 {
-		panic(fmt.Sprintf("rewrite: expansion index %d < 1", k))
+		return ast.Rule{}, fmt.Errorf("rewrite: expansion index %d < 1", k)
 	}
 	rule := sys.Recursive
+	if !rule.IsLinearRecursive() {
+		return ast.Rule{}, fmt.Errorf("rewrite: rule %v is not linear recursive", rule)
+	}
 	out := rule.Clone()
 	for i := 2; i <= k; i++ {
 		out = expandOnce(out, rule, i)
 	}
-	return out
+	return out, nil
 }
 
 // expandOnce unfolds cur's recursive literal against base, renaming base's
@@ -57,28 +62,47 @@ func expandOnce(cur, base ast.Rule, k int) ast.Rule {
 
 // SubstituteExit replaces the recursive literal of rule with the body of the
 // exit rule, unifying the exit head with the recursive literal's arguments.
-// Exit-rule variables not bound by the unification are renamed with the
-// given suffix to stay fresh.
+// The recursive literal's arguments are distinct variables (§2), so the
+// unification never fails: each exit head variable maps to the recursive
+// argument at its first occurrence, while a repeated exit head variable or a
+// constant binds the recursive argument itself — that equality is propagated
+// through the surrounding rule (head included). Exit-rule variables not
+// bound by the unification are renamed with the given suffix to stay fresh.
 func SubstituteExit(rule ast.Rule, exit ast.Rule, freshSuffix string) ast.Rule {
 	recAtom, recIdx := rule.RecursiveAtom()
-	sub := make(map[string]ast.Term, len(exit.Head.Args))
+	exitSub := make(map[string]ast.Term, len(exit.Head.Args))
+	outerSub := make(map[string]ast.Term)
 	for i, t := range exit.Head.Args {
+		recArg := recAtom.Args[i]
 		if !t.IsVar() {
-			panic("rewrite: exit rule with constant head argument")
+			// Constant head argument: the recursive argument is forced to
+			// the constant everywhere in the surrounding rule.
+			outerSub[recArg.Name] = t
+			continue
 		}
-		sub[t.Name] = recAtom.Args[i]
+		if prev, ok := exitSub[t.Name]; ok {
+			// Repeated head variable: the recursive arguments at both
+			// occurrences must be equal; rename this one to the first.
+			outerSub[recArg.Name] = prev
+			continue
+		}
+		exitSub[t.Name] = recArg
 	}
 	for _, v := range exit.Vars() {
-		if _, ok := sub[v]; !ok {
-			sub[v] = ast.V(v + freshSuffix)
+		if _, ok := exitSub[v]; !ok {
+			exitSub[v] = ast.V(v + freshSuffix)
 		}
 	}
-	renamed := exit.Rename(sub)
+	renamed := exit.Rename(exitSub)
 	body := make([]ast.Atom, 0, len(rule.Body)-1+len(renamed.Body))
 	body = append(body, rule.Body[:recIdx]...)
 	body = append(body, renamed.Body...)
 	body = append(body, rule.Body[recIdx+1:]...)
-	return ast.NewRule(rule.Head, body...)
+	out := ast.NewRule(rule.Head, body...)
+	if len(outerSub) > 0 {
+		out = out.Rename(outerSub)
+	}
+	return out
 }
 
 // NonRecursiveExpansions returns, for each i in 0..rank, the non-recursive
@@ -87,16 +111,22 @@ func SubstituteExit(rule ast.Rule, exit ast.Rule, freshSuffix string) ast.Rule {
 // bounded formula with the given rank this finite set is equivalent to the
 // original recursion — the paper's "pseudo recursion" elimination (§5,
 // statements s8a', s8b').
-func NonRecursiveExpansions(sys *ast.RecursiveSystem, rank int) []ast.Rule {
+func NonRecursiveExpansions(sys *ast.RecursiveSystem, rank int) ([]ast.Rule, error) {
+	if rank < 0 {
+		return nil, fmt.Errorf("rewrite: negative rank %d", rank)
+	}
 	var out []ast.Rule
 	out = append(out, cloneRules(sys.Exits)...)
 	for i := 1; i <= rank; i++ {
-		exp := Expand(sys, i)
+		exp, err := Expand(sys, i)
+		if err != nil {
+			return nil, err
+		}
 		for j, exit := range sys.Exits {
 			out = append(out, SubstituteExit(exp, exit, fmt.Sprintf("@x%d_%d", i, j)))
 		}
 	}
-	return out
+	return out, nil
 }
 
 func cloneRules(rs []ast.Rule) []ast.Rule {
@@ -137,11 +167,17 @@ func toStable(sys *ast.RecursiveSystem, res *classify.Result) (*ast.RecursiveSys
 		// Already stable.
 		return ast.NewRecursiveSystem(sys.Recursive.Clone(), cloneRules(sys.Exits)...)
 	}
-	newRec := Expand(sys, L)
+	newRec, err := Expand(sys, L)
+	if err != nil {
+		return nil, err
+	}
 	var exits []ast.Rule
 	exits = append(exits, cloneRules(sys.Exits)...)
 	for i := 1; i < L; i++ {
-		exp := Expand(sys, i)
+		exp, err := Expand(sys, i)
+		if err != nil {
+			return nil, err
+		}
 		for j, exit := range sys.Exits {
 			exits = append(exits, SubstituteExit(exp, exit, fmt.Sprintf("@x%d_%d", i, j)))
 		}

@@ -16,7 +16,10 @@ import (
 
 func TestExpandIdentityAtOne(t *testing.T) {
 	sys := paper.S2a.System()
-	e1 := rewrite.Expand(sys, 1)
+	e1, err := rewrite.Expand(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e1.String() != sys.Recursive.String() {
 		t.Errorf("rewrite.Expand(1) = %v, want original", e1)
 	}
@@ -27,7 +30,10 @@ func TestExpandIdentityAtOne(t *testing.T) {
 // p(x,y) :- a(x,z) ∧ a(z,z₁) ∧ p(z₁,u₁) ∧ b(u₁,u) ∧ b(u,y).
 func TestExpandS2Matches(t *testing.T) {
 	sys := paper.S2a.System()
-	e2 := rewrite.Expand(sys, 2)
+	e2, err := rewrite.Expand(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Count literal multiset by predicate.
 	counts := map[string]int{}
 	for _, a := range e2.Body {
@@ -57,7 +63,10 @@ func TestExpandS2Matches(t *testing.T) {
 func TestExpandGrowth(t *testing.T) {
 	sys := paper.S3.System()
 	for k := 1; k <= 5; k++ {
-		e := rewrite.Expand(sys, k)
+		e, err := rewrite.Expand(sys, k)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got := len(e.NonRecursiveAtoms()); got != 3*k {
 			t.Errorf("expansion %d: %d non-recursive literals, want %d", k, got, 3*k)
 		}
@@ -67,13 +76,28 @@ func TestExpandGrowth(t *testing.T) {
 	}
 }
 
-func TestExpandPanicsBelowOne(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("rewrite.Expand(0) did not panic")
-		}
-	}()
-	rewrite.Expand(paper.S3.System(), 0)
+// TestExpandRejectsBadInput: malformed expansion requests surface as errors,
+// not panics (k < 1, non-linear rules).
+func TestExpandRejectsBadInput(t *testing.T) {
+	if _, err := rewrite.Expand(paper.S3.System(), 0); err == nil {
+		t.Error("rewrite.Expand(0) did not return an error")
+	}
+	if _, err := rewrite.Expand(paper.S3.System(), -3); err == nil {
+		t.Error("rewrite.Expand(-3) did not return an error")
+	}
+	nonLinear := &ast.RecursiveSystem{
+		Recursive: parser.MustParseRule("p(X, Y) :- p(X, Z), p(Z, Y)."),
+		Exits:     []ast.Rule{parser.MustParseRule("p(X, Y) :- e(X, Y).")},
+	}
+	if _, err := rewrite.Expand(nonLinear, 2); err == nil {
+		t.Error("rewrite.Expand on non-linear rule did not return an error")
+	}
+	if _, err := rewrite.NonRecursiveExpansions(nonLinear, 2); err == nil {
+		t.Error("rewrite.NonRecursiveExpansions on non-linear rule did not return an error")
+	}
+	if _, err := rewrite.NonRecursiveExpansions(paper.S8.System(), -1); err == nil {
+		t.Error("rewrite.NonRecursiveExpansions(-1) did not return an error")
+	}
 }
 
 func TestSubstituteExit(t *testing.T) {
@@ -105,7 +129,10 @@ func TestNonRecursiveExpansionsS8(t *testing.T) {
 	if !res.Bounded || res.RankBound != 2 {
 		t.Fatalf("s8 classification wrong: %+v", res)
 	}
-	rules := rewrite.NonRecursiveExpansions(sys, res.RankBound)
+	rules, err := rewrite.NonRecursiveExpansions(sys, res.RankBound)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rules) != 3 {
 		t.Fatalf("rules = %d, want 3 (exit + 2 expansions)", len(rules))
 	}
@@ -259,7 +286,10 @@ func TestBoundedEquivalenceOnData(t *testing.T) {
 		if !res.Bounded {
 			t.Fatalf("%s not bounded", id)
 		}
-		rules := rewrite.NonRecursiveExpansions(sys, res.RankBound)
+		rules, err := rewrite.NonRecursiveExpansions(sys, res.RankBound)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for seed := int64(1); seed <= 3; seed++ {
 			db, err := dlgen.RandomDB(sys, 5, 12, seed)
 			if err != nil {

@@ -179,6 +179,17 @@ func (r *Relation) LookupCol(col int, v Value) []int {
 	return r.ensureIndex(col)[v]
 }
 
+// EachCol calls f for every tuple whose column col equals v until f returns
+// false, building the column index on first use. It is the single-column
+// fast path of EachMatch, used by the frontier kernels for edge traversal.
+func (r *Relation) EachCol(col int, v Value, f func(Tuple) bool) {
+	for _, pos := range r.ensureIndex(col)[v] {
+		if !f(r.tuples[pos]) {
+			return
+		}
+	}
+}
+
 // BuildIndexes materializes every column index now. Relations are not safe
 // for concurrent use while indexes build lazily; after BuildIndexes, any
 // number of goroutines may read the relation concurrently (as long as no
