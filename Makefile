@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race verify cover bench experiments fuzz clean
+.PHONY: all build vet test test-short race verify cover bench bench-smoke experiments fuzz clean
 
 all: build vet test
 
@@ -34,6 +34,11 @@ cover:
 # per-package micro-benchmarks live next to their packages.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every storage/eval benchmark: catches benchmarks that
+# no longer compile or crash, cheap enough for CI.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem ./internal/storage ./internal/eval
 
 # Regenerate the full experiment report (paper claim vs measured).
 experiments:

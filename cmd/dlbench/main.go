@@ -2,12 +2,13 @@
 // paper's figures (F1–F6) as graph structures, the worked examples
 // (E1–E12) with their classifications, compiled plans and engine
 // cross-checks, the theorem property sweeps (T), and the quantitative
-// comparisons (Q1–Q7) between the paper's compiled plans and the
-// bottom-up / magic-sets / parallel baselines.
+// comparisons (Q1–Q8) between the paper's compiled plans and the
+// bottom-up / magic-sets / parallel baselines (Q8 benchmarks the storage
+// core itself and writes BENCH_storage.json).
 //
 // Usage:
 //
-//	dlbench [-experiment all|figures|examples|theorems|q1|q2|q3|q4|q5|q6|q7] [-quick]
+//	dlbench [-experiment all|figures|examples|theorems|q1|q2|q3|q4|q5|q6|q7|q8] [-quick]
 //
 // Output is a plain-text report; EXPERIMENTS.md embeds a captured run.
 package main
@@ -38,8 +39,9 @@ func main() {
 		"q5":       r.q5,
 		"q6":       r.q6,
 		"q7":       r.q7,
+		"q8":       r.q8,
 	}
-	order := []string{"figures", "examples", "theorems", "q1", "q2", "q3", "q4", "q5", "q6", "q7"}
+	order := []string{"figures", "examples", "theorems", "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"}
 	if *experiment == "all" {
 		for _, g := range order {
 			groups[g]()

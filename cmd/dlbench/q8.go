@@ -1,0 +1,304 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// q8: the storage core itself. Benchmarks the arena/word-hash/CSR relation
+// against a faithful replica of the previous representation (string map
+// keys via Tuple.Key, clone-on-insert tuple storage, map[Value][]int column
+// indexes) on three workloads: insert-heavy with many duplicates,
+// probe-heavy membership + column traversal, and a full semi-naive
+// transitive-closure fixpoint. Results (ns/op, B/op, allocs/op) go to
+// stdout and BENCH_storage.json.
+
+// tupleStore is the slice of the Relation API both implementations share.
+type tupleStore interface {
+	Insert(t storage.Tuple) bool
+	Contains(t storage.Tuple) bool
+	EachCol(col int, v storage.Value, f func(storage.Tuple) bool)
+	Len() int
+}
+
+// legacyRelation reproduces the pre-arena storage layout: a set of
+// Tuple.Key() strings for dedup (the key is built before the duplicate
+// check, as the old Insert did), a Clone per stored tuple, and lazily built
+// map-of-slices column indexes maintained on insert.
+type legacyRelation struct {
+	arity  int
+	set    map[string]struct{}
+	tuples []storage.Tuple
+	colIdx []map[storage.Value][]int
+}
+
+func newLegacyRelation(arity int) *legacyRelation {
+	return &legacyRelation{
+		arity:  arity,
+		set:    make(map[string]struct{}),
+		colIdx: make([]map[storage.Value][]int, arity),
+	}
+}
+
+func (r *legacyRelation) Insert(t storage.Tuple) bool {
+	key := t.Key()
+	if _, ok := r.set[key]; ok {
+		return false
+	}
+	r.set[key] = struct{}{}
+	c := t.Clone()
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, c)
+	for col, idx := range r.colIdx {
+		if idx != nil {
+			idx[c[col]] = append(idx[c[col]], pos)
+		}
+	}
+	return true
+}
+
+func (r *legacyRelation) Contains(t storage.Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	_, ok := r.set[t.Key()]
+	return ok
+}
+
+func (r *legacyRelation) EachCol(col int, v storage.Value, f func(storage.Tuple) bool) {
+	idx := r.colIdx[col]
+	if idx == nil {
+		idx = make(map[storage.Value][]int)
+		for pos, t := range r.tuples {
+			idx[t[col]] = append(idx[t[col]], pos)
+		}
+		r.colIdx[col] = idx
+	}
+	for _, pos := range idx[v] {
+		if !f(r.tuples[pos]) {
+			return
+		}
+	}
+}
+
+func (r *legacyRelation) Len() int { return len(r.tuples) }
+
+// genTuples returns n pseudo-random binary tuples over a domain sized so
+// roughly half the stream repeats earlier tuples — the duplicate-heavy mix
+// a fixpoint engine feeds its head relations.
+func genTuples(n int, seed int64) []storage.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	dom := 1
+	for dom*dom < n {
+		dom++
+	}
+	out := make([]storage.Tuple, n)
+	for i := range out {
+		out[i] = storage.Tuple{storage.Value(rng.Intn(dom)), storage.Value(rng.Intn(dom))}
+	}
+	return out
+}
+
+// benchInsert measures inserting the stream into a fresh store.
+func benchInsert(mk func() tupleStore, stream []storage.Tuple) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := mk()
+			for _, t := range stream {
+				s.Insert(t)
+			}
+		}
+	})
+}
+
+// benchProbe measures membership checks and column traversals against a
+// prepopulated store with warm indexes.
+func benchProbe(s tupleStore, stream []storage.Tuple) testing.BenchmarkResult {
+	s.EachCol(0, 0, func(storage.Tuple) bool { return true }) // warm the index
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		count := func(storage.Tuple) bool { sink++; return true }
+		for i := 0; i < b.N; i++ {
+			for _, t := range stream {
+				if s.Contains(t) {
+					sink++
+				}
+				s.EachCol(0, t[0], count)
+			}
+		}
+		_ = sink
+	})
+}
+
+// fixpointTC runs a semi-naive transitive closure over the store
+// interface: the per-round frontier is a flat value slice so the only
+// per-tuple costs measured are the stores' own.
+func fixpointTC(edges tupleStore, edgeTuples []storage.Tuple, mk func() tupleStore) int {
+	closure := mk()
+	var frontier, next []storage.Value
+	for _, t := range edgeTuples {
+		if closure.Insert(t) {
+			frontier = append(frontier, t[0], t[1])
+		}
+	}
+	// One compose callback reused across every traversal, so the loop's only
+	// per-tuple costs are the stores' own.
+	buf := make(storage.Tuple, 2)
+	var x storage.Value
+	compose := func(t storage.Tuple) bool {
+		buf[0], buf[1] = x, t[1]
+		if closure.Insert(buf) {
+			next = append(next, x, t[1])
+		}
+		return true
+	}
+	for len(frontier) > 0 {
+		next = next[:0]
+		for i := 0; i < len(frontier); i += 2 {
+			x = frontier[i]
+			edges.EachCol(0, frontier[i+1], compose)
+		}
+		frontier, next = next, frontier
+	}
+	return closure.Len()
+}
+
+func benchFixpoint(edges tupleStore, edgeTuples []storage.Tuple, mk func() tupleStore) testing.BenchmarkResult {
+	edges.EachCol(0, 0, func(storage.Tuple) bool { return true })
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fixpointTC(edges, edgeTuples, mk)
+		}
+	})
+}
+
+type benchRow struct {
+	Workload    string  `json:"workload"`
+	Impl        string  `json:"impl"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
+type benchReport struct {
+	Generated              string     `json:"generated"`
+	Quick                  bool       `json:"quick"`
+	Rows                   []benchRow `json:"rows"`
+	FixpointAllocsReduce   float64    `json:"fixpoint_allocs_reduction"`
+	InsertAllocsReduce     float64    `json:"insert_allocs_reduction"`
+	ProbeHeavyAllocsPerRun int64      `json:"probe_heavy_allocs_per_run_new"`
+}
+
+func (r *runner) q8() {
+	r.section("Q8: storage core — arena relation vs string-keyed baseline")
+
+	nInsert, nGraphEdges, graphNodes := 20000, 600, 200
+	if r.quick {
+		nInsert, nGraphEdges, graphNodes = 4000, 200, 80
+	}
+	insertStream := genTuples(nInsert, 11)
+	rng := rand.New(rand.NewSource(12))
+	edgeTuples := make([]storage.Tuple, 0, nGraphEdges)
+	seen := make(map[string]struct{})
+	for len(edgeTuples) < nGraphEdges {
+		t := storage.Tuple{storage.Value(rng.Intn(graphNodes)), storage.Value(rng.Intn(graphNodes))}
+		if _, ok := seen[t.Key()]; ok {
+			continue
+		}
+		seen[t.Key()] = struct{}{}
+		edgeTuples = append(edgeTuples, t)
+	}
+
+	mkNew := func() tupleStore { return storage.NewRelation(2) }
+	mkOld := func() tupleStore { return newLegacyRelation(2) }
+	fill := func(mk func() tupleStore, ts []storage.Tuple) tupleStore {
+		s := mk()
+		for _, t := range ts {
+			s.Insert(t)
+		}
+		return s
+	}
+
+	// The two fixpoints must agree before we time them.
+	if a, b := fixpointTC(fill(mkNew, edgeTuples), edgeTuples, mkNew),
+		fixpointTC(fill(mkOld, edgeTuples), edgeTuples, mkOld); a != b {
+		r.check("Q8", "both storage layers compute the same closure", false,
+			fmt.Sprintf("arena closure = %d, legacy closure = %d", a, b))
+		return
+	}
+
+	type workload struct {
+		name string
+		run  func(mk func() tupleStore) testing.BenchmarkResult
+	}
+	workloads := []workload{
+		{"insert-heavy", func(mk func() tupleStore) testing.BenchmarkResult {
+			return benchInsert(mk, insertStream)
+		}},
+		{"probe-heavy", func(mk func() tupleStore) testing.BenchmarkResult {
+			return benchProbe(fill(mk, insertStream), insertStream)
+		}},
+		{"fixpoint-tc", func(mk func() tupleStore) testing.BenchmarkResult {
+			return benchFixpoint(fill(mk, edgeTuples), edgeTuples, mk)
+		}},
+	}
+
+	report := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Quick:     r.quick,
+	}
+	fmt.Printf("  %-13s %-7s %14s %14s %14s\n", "workload", "impl", "ns/op", "B/op", "allocs/op")
+	ratios := map[string]float64{}
+	for _, w := range workloads {
+		old := w.run(mkOld)
+		new_ := w.run(mkNew)
+		rows := []benchRow{
+			{Workload: w.name, Impl: "legacy-string", NsPerOp: old.NsPerOp(),
+				BytesPerOp: old.AllocedBytesPerOp(), AllocsPerOp: old.AllocsPerOp()},
+			{Workload: w.name, Impl: "arena", NsPerOp: new_.NsPerOp(),
+				BytesPerOp: new_.AllocedBytesPerOp(), AllocsPerOp: new_.AllocsPerOp(),
+				Speedup: float64(old.NsPerOp()) / float64(new_.NsPerOp())},
+		}
+		report.Rows = append(report.Rows, rows...)
+		for _, row := range rows {
+			fmt.Printf("  %-13s %-7s %14d %14d %14d\n",
+				row.Workload, map[string]string{"legacy-string": "legacy", "arena": "arena"}[row.Impl],
+				row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+		}
+		denom := new_.AllocsPerOp()
+		if denom == 0 {
+			denom = 1
+		}
+		ratios[w.name] = float64(old.AllocsPerOp()) / float64(denom)
+		r.row("%-13s allocs/op reduction %.1fx, wall speedup %.2fx", w.name,
+			ratios[w.name], float64(old.NsPerOp())/float64(new_.NsPerOp()))
+		if w.name == "probe-heavy" {
+			report.ProbeHeavyAllocsPerRun = new_.AllocsPerOp()
+		}
+	}
+	report.FixpointAllocsReduce = ratios["fixpoint-tc"]
+	report.InsertAllocsReduce = ratios["insert-heavy"]
+
+	if data, err := json.MarshalIndent(report, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_storage.json", append(data, '\n'), 0o644); err != nil {
+			r.row("BENCH_storage.json not written: %v", err)
+		} else {
+			r.row("wrote BENCH_storage.json")
+		}
+	}
+
+	r.check("Q8", "arena storage cuts fixpoint allocs/op by >=5x vs the string-keyed baseline",
+		ratios["fixpoint-tc"] >= 5,
+		fmt.Sprintf("insert-heavy %.1fx, probe-heavy %.1fx, fixpoint-tc %.1fx allocs/op reduction",
+			ratios["insert-heavy"], ratios["probe-heavy"], ratios["fixpoint-tc"]))
+}

@@ -45,12 +45,14 @@ func BoundedEval(sys *ast.RecursiveSystem, rank int, q ast.Query, db *storage.Da
 func EvalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answers *storage.Relation, st *Stats) error {
 	n := q.Atom.Arity()
 	rels := DBRels(db)
+	// The projection buffers are written from scratch for every rule and
+	// consumed within its EvalProject call, so one pair serves all rules.
+	slots := make([]int, n)
+	fixed := make(storage.Tuple, n)
 	for _, r := range rules {
 		st.Rounds++
 		c := CompileConj(db.Syms, r.Body)
 		binding := c.NewBinding()
-		slots := make([]int, n)
-		fixed := make(storage.Tuple, n)
 		ok := true
 		for i, t := range r.Head.Args {
 			qa := q.Atom.Args[i]

@@ -11,6 +11,12 @@
 //
 // All engines answer the same (system, query, database) triple and are
 // cross-checked against each other in the tests.
+//
+// The hot path is allocation-lean by construction: conjunction enumeration
+// keeps per-atom scratch buffers in the enumeration state (no per-step
+// allocations), derived tuples land in the storage layer's columnar arena
+// through word-hashed dedup (no string keys), and index probes hit
+// CSR-style posting arrays.
 package eval
 
 import (
@@ -186,8 +192,20 @@ func (c *Conj) eval(rels RelFunc, binding []storage.Value, yield func([]storage.
 	e := enumState{
 		c: c, rels: rels, binding: binding, yield: yield,
 		dynamic: dynamic, done: make([]bool, len(c.atoms)),
+		scratch: make([]atomScratch, len(c.atoms)),
 	}
 	return e.step(len(c.atoms))
+}
+
+// atomScratch holds one atom's per-enumeration buffers. Each atom is done
+// at most once along any search path, so its scratch is never live at two
+// recursion depths at the same time — the buffers are allocated once per
+// enumState instead of once per step invocation, which used to dominate
+// the fixpoint engines' allocation profile.
+type atomScratch struct {
+	bound    []bool
+	vals     storage.Tuple
+	assigned []int
 }
 
 // enumState is the backtracking search over the atoms not yet marked done.
@@ -202,6 +220,19 @@ type enumState struct {
 	yield   func([]storage.Value) bool
 	dynamic bool
 	done    []bool
+	scratch []atomScratch
+}
+
+// atomScratch returns the (lazily sized) scratch buffers of atom i.
+func (e *enumState) atomScratch(i, nargs int) *atomScratch {
+	s := &e.scratch[i]
+	if cap(s.vals) < nargs {
+		s.bound = make([]bool, nargs)
+		s.vals = make(storage.Tuple, nargs)
+	}
+	s.bound = s.bound[:nargs]
+	s.vals = s.vals[:nargs]
+	return s
 }
 
 func (e *enumState) step(remaining int) bool {
@@ -216,13 +247,14 @@ func (e *enumState) step(remaining int) bool {
 		panic("eval: unsafe negation reached the evaluator")
 	}
 	a := c.atoms[best]
+	sc := e.atomScratch(best, len(a.args))
 	if a.neg {
 		rel := e.rels(a.pred, a.idx)
 		if rel != nil && rel.Arity() != len(a.args) {
 			panic(fmt.Sprintf("eval: negated literal %s/%d read against relation of arity %d",
 				a.pred, len(a.args), rel.Arity()))
 		}
-		vals := make(storage.Tuple, len(a.args))
+		vals := sc.vals
 		for j, s := range a.args {
 			if s.isVar {
 				vals[j] = binding[s.varID]
@@ -249,21 +281,26 @@ func (e *enumState) step(remaining int) bool {
 	e.done[best] = true
 	defer func() { e.done[best] = false }()
 
-	boundCols := make([]bool, len(a.args))
-	vals := make(storage.Tuple, len(a.args))
+	boundCols, vals := sc.bound, sc.vals
 	for j, s := range a.args {
-		if !s.isVar {
+		switch {
+		case !s.isVar:
 			boundCols[j] = true
 			vals[j] = s.val
-		} else if binding[s.varID] != Unbound {
+		case binding[s.varID] != Unbound:
 			boundCols[j] = true
 			vals[j] = binding[s.varID]
+		default:
+			boundCols[j] = false
 		}
 	}
 	cont := true
 	rel.EachMatch(boundCols, vals, func(t storage.Tuple) bool {
 		// Bind free columns; handle repeated free variables in the atom.
-		var assigned []int
+		// The assigned buffer is safe to reuse: EachMatch invokes this
+		// callback sequentially and recursion only touches other atoms'
+		// scratch.
+		sc.assigned = sc.assigned[:0]
 		okTuple := true
 		for j, s := range a.args {
 			if boundCols[j] || !s.isVar {
@@ -271,7 +308,7 @@ func (e *enumState) step(remaining int) bool {
 			}
 			if binding[s.varID] == Unbound {
 				binding[s.varID] = t[j]
-				assigned = append(assigned, s.varID)
+				sc.assigned = append(sc.assigned, s.varID)
 			} else if binding[s.varID] != t[j] {
 				okTuple = false
 				break
@@ -280,7 +317,7 @@ func (e *enumState) step(remaining int) bool {
 		if okTuple {
 			cont = e.step(remaining - 1)
 		}
-		for _, id := range assigned {
+		for _, id := range sc.assigned {
 			binding[id] = Unbound
 		}
 		return cont
@@ -313,6 +350,7 @@ func newSeeder(c *Conj, rels RelFunc, binding []storage.Value, yield func([]stor
 	return &seeder{e: enumState{
 		c: c, rels: rels, binding: binding, yield: yield,
 		dynamic: true, done: make([]bool, len(c.atoms)),
+		scratch: make([]atomScratch, len(c.atoms)),
 	}}
 }
 

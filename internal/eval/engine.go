@@ -28,6 +28,8 @@ const (
 	StrategyClass
 	// StrategyParallel is bottom-up delta evaluation with each round's
 	// delta fanned out across a worker pool (see ParallelSemiNaive).
+	// Workers share the database read-only through the storage layer's
+	// frozen CSR indexes and write into pooled arena-backed buffers.
 	StrategyParallel
 	// StrategyAuto classifies the system once, compiles the fast path the
 	// classification licenses (the transitive-closure frontier kernel, the

@@ -75,8 +75,9 @@ func ParallelSemiNaiveOpts(prog *ast.Program, db *storage.Database, opts Paralle
 // local body occurrence restricted to one partition of that predicate's
 // delta (or, for the seed round, evaluate the whole rule once: seedIdx −1).
 // head is the rule's head relation as frozen at round start; workers only
-// call Contains on it, to prefilter derivations that are already known so
-// the single-threaded merge touches near-new tuples only.
+// call Contains on it (an allocation-free word-hash probe), to prefilter
+// derivations that are already known so the single-threaded merge touches
+// near-new tuples only.
 type parTask struct {
 	cr      *compiledRule
 	seedIdx int
@@ -84,11 +85,60 @@ type parTask struct {
 	head    *storage.Relation
 }
 
-// parResult is a task's private output buffer, merged single-threaded.
+// parResult is a task's private output buffer, merged single-threaded. The
+// buffer relation comes from the fixpoint's pool and is returned to it
+// right after the merge, so steady-state rounds reuse the same arenas and
+// hash tables instead of reallocating them per task.
 type parResult struct {
 	out       *storage.Relation
 	attempted int
 	busy      time.Duration
+}
+
+// relPool recycles task output relations across rounds. A pooled relation
+// is Reset (arena blocks and membership table kept, contents dropped)
+// before reuse, so after the first round task buffers allocate only when a
+// task derives more than any previous task did.
+type relPool struct{ p sync.Pool }
+
+func (rp *relPool) get(arity int) *storage.Relation {
+	if v := rp.p.Get(); v != nil {
+		r := v.(*storage.Relation)
+		r.Reset(arity)
+		return r
+	}
+	return storage.NewRelation(arity)
+}
+
+func (rp *relPool) put(r *storage.Relation) {
+	if r != nil {
+		rp.p.Put(r)
+	}
+}
+
+// workerScratch holds one worker goroutine's reusable binding and head
+// projection buffers, sized up lazily to the widest rule it has run.
+type workerScratch struct {
+	binding []storage.Value
+	buf     storage.Tuple
+}
+
+func (ws *workerScratch) bindingFor(n int) []storage.Value {
+	if cap(ws.binding) < n {
+		ws.binding = make([]storage.Value, n)
+	}
+	b := ws.binding[:n]
+	for i := range b {
+		b[i] = Unbound
+	}
+	return b
+}
+
+func (ws *workerScratch) bufFor(n int) storage.Tuple {
+	if cap(ws.buf) < n {
+		ws.buf = make(storage.Tuple, n)
+	}
+	return ws.buf[:n]
 }
 
 // parallelFixpoint saturates one rule group with delta evaluation, fanning
@@ -105,8 +155,11 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 	// Deltas are plain tuple slices, not relations: the head relations
 	// already deduplicate (so a new tuple is appended exactly once, in
 	// deterministic merge order), and the next round only partitions the
-	// slice into seed chunks. The appended tuples alias the finished task
-	// buffers' private clones, so the merge allocates nothing per tuple.
+	// slice into seed chunks. The appended tuples alias the head
+	// relation's arena (Insert copied them there; At returns the
+	// arena-backed header), so the merge allocates nothing per tuple and
+	// the task buffers are free to return to the pool immediately.
+	pool := &relPool{}
 	merge := func(tasks []parTask, results []parResult, next map[string][]storage.Tuple) (added, attempted int) {
 		for i, res := range results {
 			attempted += res.attempted
@@ -116,11 +169,13 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 				if head.Insert(t) {
 					added++
 					if next != nil {
-						next[pred] = append(next[pred], t)
+						next[pred] = append(next[pred], head.At(head.Len()-1))
 					}
 				}
 				return true
 			})
+			pool.put(res.out)
+			results[i].out = nil
 		}
 		return added, attempted
 	}
@@ -145,7 +200,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 		*round++
 		st.Rounds++
 		start := time.Now()
-		results, busy, err := runTasks(seedTasks, workers, full)
+		results, busy, err := runTasks(seedTasks, workers, full, pool)
 		if err != nil {
 			return err
 		}
@@ -195,7 +250,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 		added, attempted := 0, 0
 		var busy time.Duration
 		if len(tasks) > 0 {
-			results, b, err := runTasks(tasks, workers, full)
+			results, b, err := runTasks(tasks, workers, full, pool)
 			if err != nil {
 				return err
 			}
@@ -221,7 +276,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 // beyond the WaitGroup). The first task error aborts the remaining work;
 // panics inside workers are converted to errors so a misbehaving rule
 // cannot kill unrelated goroutines. All workers are joined before return.
-func runTasks(tasks []parTask, workers int, rels RelFunc) ([]parResult, time.Duration, error) {
+func runTasks(tasks []parTask, workers int, rels RelFunc, pool *relPool) ([]parResult, time.Duration, error) {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
@@ -242,6 +297,7 @@ func runTasks(tasks []parTask, workers int, rels RelFunc) ([]parResult, time.Dur
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch workerScratch
 			for {
 				select {
 				case <-abort:
@@ -250,7 +306,7 @@ func runTasks(tasks []parTask, workers int, rels RelFunc) ([]parResult, time.Dur
 					if !ok {
 						return
 					}
-					if err := runTask(&results[id], tasks[id], rels); err != nil {
+					if err := runTask(&results[id], tasks[id], rels, pool, &scratch); err != nil {
 						fail(err)
 						return
 					}
@@ -280,8 +336,9 @@ feed:
 	return results, busy, nil
 }
 
-// runTask evaluates one task into its private buffer.
-func runTask(res *parResult, task parTask, rels RelFunc) (err error) {
+// runTask evaluates one task into a pooled private buffer, reusing the
+// worker's binding and projection scratch.
+func runTask(res *parResult, task parTask, rels RelFunc, pool *relPool, scratch *workerScratch) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("eval: parallel task for rule %v: %v", task.cr.rule, r)
@@ -289,8 +346,8 @@ func runTask(res *parResult, task parTask, rels RelFunc) (err error) {
 	}()
 	start := time.Now()
 	cr := task.cr
-	out := storage.NewRelation(len(cr.slots))
-	buf := make(storage.Tuple, len(cr.slots))
+	out := pool.get(len(cr.slots))
+	buf := scratch.bufFor(len(cr.slots))
 	attempted := 0
 	yield := func(b []storage.Value) bool {
 		for i, s := range cr.slots {
@@ -302,17 +359,18 @@ func runTask(res *parResult, task parTask, rels RelFunc) (err error) {
 		}
 		attempted++
 		// Derivations already in the head (frozen this round; reads are
-		// safe) cost one lookup here instead of a buffer insert plus a
-		// merge insert on the coordinator.
+		// safe) cost one hash probe here instead of a buffer insert plus
+		// a merge insert on the coordinator.
 		if !task.head.Contains(buf) {
 			out.Insert(buf)
 		}
 		return true
 	}
+	binding := scratch.bindingFor(cr.conj.NumVars())
 	if task.seedIdx < 0 {
-		cr.conj.Eval(rels, cr.conj.NewBinding(), yield)
+		cr.conj.Eval(rels, binding, yield)
 	} else {
-		s := newSeeder(cr.conj, rels, cr.conj.NewBinding(), yield)
+		s := newSeeder(cr.conj, rels, binding, yield)
 		for _, t := range task.chunk {
 			s.seed(task.seedIdx, t)
 		}

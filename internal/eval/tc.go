@@ -103,21 +103,24 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 		c1 = v
 	}
 
+	buf := make(storage.Tuple, 2)
 	if shape.rightLinear {
 		// p(x, y) ⟺ ∃z: x →q* z ∧ E(z, y).
 		switch {
 		case b0:
 			// Forward BFS from c0 over q, then join the closure with E.
 			closure := bfsClosure(edges, 0, 1, []storage.Value{c0}, &st)
-			for z := range closure {
+			closure.Each(func(z storage.Value) bool {
 				exitRel.EachCol(0, z, func(t storage.Tuple) bool {
 					st.Facts++
-					if (!b1 || t[1] == c1) && answers.Insert(storage.Tuple{c0, t[1]}) {
+					buf[0], buf[1] = c0, t[1]
+					if (!b1 || t[1] == c1) && answers.Insert(buf) {
 						st.Derived++
 					}
 					return true
 				})
-			}
+				return true
+			})
 		case b1:
 			// Seeds {z : E(z, c1)}, then reverse BFS over q: every x that
 			// reaches a seed is an answer.
@@ -126,12 +129,14 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 				seeds = append(seeds, t[0])
 				return true
 			})
-			for x := range bfsClosure(edges, 1, 0, seeds, &st) {
+			bfsClosure(edges, 1, 0, seeds, &st).Each(func(x storage.Value) bool {
 				st.Facts++
-				if answers.Insert(storage.Tuple{x, c1}) {
+				buf[0], buf[1] = x, c1
+				if answers.Insert(buf) {
 					st.Derived++
 				}
-			}
+				return true
+			})
 		default:
 			// All free: semi-naive compose P ← P ∪ q ∘ ΔP seeded with E.
 			composeClosure(edges, exitRel, true, answers, &st)
@@ -145,24 +150,28 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 				seeds = append(seeds, t[1])
 				return true
 			})
-			for y := range bfsClosure(edges, 0, 1, seeds, &st) {
+			bfsClosure(edges, 0, 1, seeds, &st).Each(func(y storage.Value) bool {
 				st.Facts++
-				if (!b1 || y == c1) && answers.Insert(storage.Tuple{c0, y}) {
+				buf[0], buf[1] = c0, y
+				if (!b1 || y == c1) && answers.Insert(buf) {
 					st.Derived++
 				}
-			}
+				return true
+			})
 		case b1:
 			// Reverse BFS from c1 over q, then join the closure with E.
 			closure := bfsClosure(edges, 1, 0, []storage.Value{c1}, &st)
-			for z := range closure {
+			closure.Each(func(z storage.Value) bool {
 				exitRel.EachCol(1, z, func(t storage.Tuple) bool {
 					st.Facts++
-					if answers.Insert(storage.Tuple{t[0], c1}) {
+					buf[0], buf[1] = t[0], c1
+					if answers.Insert(buf) {
 						st.Derived++
 					}
 					return true
 				})
-			}
+				return true
+			})
 		default:
 			// All free: semi-naive compose P ← P ∪ ΔP ∘ q seeded with E.
 			composeClosure(edges, exitRel, false, answers, &st)
@@ -174,13 +183,14 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 // bfsClosure returns the set of values reachable from the seeds (seeds
 // included) by repeatedly following edge tuples from column `from` to
 // column `to`. Each BFS level counts as one round; each edge traversal
-// counts as one attempted fact.
-func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st *Stats) map[storage.Value]bool {
-	visited := make(map[storage.Value]bool, len(seeds))
+// counts as one attempted fact. The visited set is a word-hashed
+// storage.ValueSet, so the sweep allocates only for set growth and the
+// frontier slices.
+func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st *Stats) *storage.ValueSet {
+	visited := storage.NewValueSet(len(seeds))
 	frontier := make([]storage.Value, 0, len(seeds))
 	for _, v := range seeds {
-		if !visited[v] {
-			visited[v] = true
+		if visited.Add(v) {
 			frontier = append(frontier, v)
 		}
 	}
@@ -196,8 +206,7 @@ func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st
 		for _, v := range frontier {
 			edges.EachCol(from, v, func(t storage.Tuple) bool {
 				st.Facts++
-				if w := t[to]; !visited[w] {
-					visited[w] = true
+				if w := t[to]; visited.Add(w) {
 					next = append(next, w)
 				}
 				return true
@@ -211,14 +220,16 @@ func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st
 // composeClosure computes the full closure relation for the all-free query:
 // answers start as the exit relation and each round composes the previous
 // delta with the edge relation — q ∘ Δ for the right-linear orientation
-// (new (x, y) from q(x, z), Δ(z, y)), Δ ∘ q for the left-linear one.
+// (new (x, y) from q(x, z), Δ(z, y)), Δ ∘ q for the left-linear one. Delta
+// entries alias the answers relation's arena (At after a successful
+// Insert), so no tuple is ever cloned.
 func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers *storage.Relation, st *Stats) {
 	delta := make([]storage.Tuple, 0, exitRel.Len())
 	exitRel.Each(func(t storage.Tuple) bool {
 		st.Facts++
 		if answers.Insert(t) {
 			st.Derived++
-			delta = append(delta, t.Clone())
+			delta = append(delta, answers.At(answers.Len()-1))
 		}
 		return true
 	})
@@ -228,6 +239,7 @@ func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers 
 	if edges == nil {
 		return
 	}
+	nt := make(storage.Tuple, 2)
 	for len(delta) > 0 {
 		st.Rounds++
 		var next []storage.Tuple
@@ -235,20 +247,20 @@ func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers 
 			if rightLinear {
 				edges.EachCol(1, d[0], func(e storage.Tuple) bool {
 					st.Facts++
-					nt := storage.Tuple{e[0], d[1]}
+					nt[0], nt[1] = e[0], d[1]
 					if answers.Insert(nt) {
 						st.Derived++
-						next = append(next, nt)
+						next = append(next, answers.At(answers.Len()-1))
 					}
 					return true
 				})
 			} else {
 				edges.EachCol(0, d[1], func(e storage.Tuple) bool {
 					st.Facts++
-					nt := storage.Tuple{d[0], e[1]}
+					nt[0], nt[1] = d[0], e[1]
 					if answers.Insert(nt) {
 						st.Derived++
-						next = append(next, nt)
+						next = append(next, answers.At(answers.Len()-1))
 					}
 					return true
 				})

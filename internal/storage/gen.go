@@ -65,9 +65,10 @@ func GenRandomGraph(db *Database, pred string, n, m int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	buf := make(Tuple, 2)
 	for r.Len() < m {
-		a, b := rng.Intn(n), rng.Intn(n)
-		r.Insert(Tuple{node(db, a), node(db, b)})
+		buf[0], buf[1] = node(db, rng.Intn(n)), node(db, rng.Intn(n))
+		r.Insert(buf)
 	}
 	return nil
 }
@@ -83,8 +84,8 @@ func GenRandomRelation(db *Database, pred string, arity, n, m int, seed int64) e
 	if m > pow(n, arity) {
 		m = pow(n, arity)
 	}
+	t := make(Tuple, arity)
 	for r.Len() < m {
-		t := make(Tuple, arity)
 		for i := range t {
 			t[i] = node(db, rng.Intn(n))
 		}

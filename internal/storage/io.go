@@ -68,7 +68,10 @@ func (db *Database) ReadFacts(r io.Reader) error {
 	return db.LoadFacts(string(data))
 }
 
-// LoadFacts parses ground facts from source text into the database.
+// LoadFacts parses ground facts from source text into the database. The
+// scanner reuses one name buffer and one value buffer across facts — the
+// relation's Insert copies values into its arena, so bulk loads allocate
+// per new tuple only, not per parsed line.
 func (db *Database) LoadFacts(src string) error {
 	// The storage package cannot depend on the parser (the parser has no
 	// dependencies on storage, but keeping the layering acyclic and the
@@ -103,6 +106,12 @@ func (db *Database) LoadFacts(src string) error {
 		}
 		return src[start:i], nil
 	}
+	var (
+		names    []string
+		vals     Tuple
+		lastPred string
+		lastRel  *Relation
+	)
 	for {
 		skipSpace()
 		if i >= n {
@@ -117,7 +126,7 @@ func (db *Database) LoadFacts(src string) error {
 			return fmt.Errorf("storage: expected '(' after %s", pred)
 		}
 		i++
-		var names []string
+		names = names[:0]
 		for {
 			skipSpace()
 			if i < n && src[i] == '"' {
@@ -159,9 +168,21 @@ func (db *Database) LoadFacts(src string) error {
 			return fmt.Errorf("storage: expected '.' after %s fact", pred)
 		}
 		i++
-		if _, err := db.Insert(pred, names...); err != nil {
-			return err
+		if lastRel == nil || pred != lastPred || lastRel.Arity() != len(names) {
+			rel, err := db.Ensure(pred, len(names))
+			if err != nil {
+				return err
+			}
+			lastPred, lastRel = pred, rel
 		}
+		if cap(vals) < len(names) {
+			vals = make(Tuple, len(names))
+		}
+		vals = vals[:len(names)]
+		for j, name := range names {
+			vals[j] = db.Syms.Intern(name)
+		}
+		lastRel.Insert(vals)
 	}
 }
 

@@ -1,7 +1,13 @@
 // Package storage implements the extensional layer of the deductive
-// database: interned constants, tuples, relations with per-column hash
-// indexes, and whole databases, plus deterministic synthetic EDB generators
-// for the experiments.
+// database: interned constants, tuples, relations, and whole databases,
+// plus deterministic synthetic EDB generators for the experiments.
+//
+// The tuple store is built for the fixpoint engines' hot path. Tuple values
+// live in one chunked arena of flat []Value blocks (no per-tuple clone
+// allocation); membership is an open-addressing table keyed by a 64-bit
+// word hash of the values (no string keys — Insert of a duplicate and
+// Contains are allocation-free); and column indexes are CSR-style
+// (offsets, positions) arrays built in one counting pass (see csr.go).
 package storage
 
 import (
@@ -57,7 +63,10 @@ func (s *Symbols) Len() int { return len(s.names) }
 // Tuple is a fixed-arity row of values.
 type Tuple []Value
 
-// Key serializes the tuple into a map key.
+// Key serializes the tuple into a map key. The relation's own dedup no
+// longer uses string keys (see hashWords); Key remains the reference
+// semantics that the word-hash set is differentially tested against, and a
+// convenient map key for callers outside the hot path.
 func (t Tuple) Key() string {
 	b := make([]byte, 4*len(t))
 	for i, v := range t {
@@ -86,33 +95,48 @@ func (t Tuple) Equal(o Tuple) bool {
 	return true
 }
 
-// Relation is a set of tuples of fixed arity with optional per-column hash
-// indexes built lazily and maintained incrementally thereafter.
+// Arena block sizing: blocks double from minBlockTuples tuples up to
+// maxBlockValues values, so small relations stay small and big ones
+// amortize to one allocation per ~16k values.
+const (
+	minBlockTuples = 64
+	maxBlockValues = 1 << 14
+)
+
+// Relation is a set of tuples of fixed arity. Tuple storage is a chunked
+// value arena (tuple headers alias arena blocks and stay valid forever —
+// blocks never move or shrink), dedup is a word-hashed open-addressing
+// position table, and per-column CSR indexes are built lazily on first
+// probe and maintained incrementally thereafter.
 //
 // Concurrency contract: a Relation is not safe for concurrent use while its
-// indexes build lazily — EachMatch and LookupCol materialize missing column
-// indexes on first use, which mutates the relation even on a logically
-// read-only path. Call BuildIndexes first (or Database.BuildIndexes for a
-// whole database); after that, any number of goroutines may call the read
-// methods (Len, Contains, Tuples, Each, EachMatch, LookupCol, Partition)
-// concurrently as long as no writer runs. Insert and InsertAll always
-// require exclusive access; they keep already-built indexes current, so a
-// single-threaded write phase may be followed by another concurrent read
-// phase without rebuilding.
+// indexes build lazily — EachMatch, EachCol and LookupCol materialize
+// missing column indexes on first use, which mutates the relation even on a
+// logically read-only path. Call BuildIndexes first (or
+// Database.BuildIndexes for a whole database); after that the read path
+// never mutates — a probe for a column that somehow lacks an index returns
+// an empty result instead of building one — and any number of goroutines
+// may call the read methods (Len, Contains, Tuples, At, Each, EachCol,
+// EachMatch, LookupCol, Partition) concurrently as long as no writer runs.
+// Insert, InsertAll and Reset always require exclusive access; Insert keeps
+// already-built indexes current, so a single-threaded write phase may be
+// followed by another concurrent read phase without rebuilding.
 type Relation struct {
 	arity  int
-	tuples []Tuple
-	set    map[string]struct{}
-	colIdx []map[Value][]int // nil per column until first use
+	blocks [][]Value // value arena; the last block is the open one
+	tuples []Tuple   // insertion-ordered headers aliasing the arena
+	table  []uint32  // open addressing; 0 empty, else position+1
+	colIdx []*colIndex
+	// published flips at BuildIndexes: it freezes the read path (no lazy
+	// index construction) until the next Insert-free Reset.
+	published bool
+	// hashFn overrides hashWords in tests (collision handling coverage).
+	hashFn func(Tuple) uint64
 }
 
 // NewRelation returns an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
-	return &Relation{
-		arity:  arity,
-		set:    make(map[string]struct{}),
-		colIdx: make([]map[Value][]int, arity),
-	}
+	return &Relation{arity: arity, colIdx: make([]*colIndex, arity)}
 }
 
 // Arity returns the relation's arity.
@@ -121,37 +145,134 @@ func (r *Relation) Arity() int { return r.arity }
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.tuples) }
 
-// Insert adds t (copied) and reports whether it was new. Inserting a tuple
-// of the wrong arity panics: that is always a programming error.
+func (r *Relation) hash(t Tuple) uint64 {
+	if r.hashFn != nil {
+		return r.hashFn(t)
+	}
+	return hashWords(t)
+}
+
+// find returns the position of t, or −1. Allocation-free.
+func (r *Relation) find(t Tuple, h uint64) int {
+	if len(r.table) == 0 {
+		return -1
+	}
+	mask := h & uint64(len(r.table)-1)
+	i := mask
+	mask = uint64(len(r.table) - 1)
+	for {
+		e := r.table[i]
+		if e == 0 {
+			return -1
+		}
+		pos := int(e - 1)
+		if r.tuples[pos].Equal(t) {
+			return pos
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// growTable rehashes every stored tuple into a doubled table.
+func (r *Relation) growTable() {
+	size := len(r.table) * 2
+	if size < 16 {
+		size = 16
+	}
+	r.table = make([]uint32, size)
+	mask := uint64(size - 1)
+	for pos, t := range r.tuples {
+		i := r.hash(t) & mask
+		for r.table[i] != 0 {
+			i = (i + 1) & mask
+		}
+		r.table[i] = uint32(pos + 1)
+	}
+}
+
+// alloc copies t into the arena and returns the arena-backed header.
+func (r *Relation) alloc(t Tuple) Tuple {
+	k := r.arity
+	if k == 0 {
+		return Tuple{}
+	}
+	var b []Value
+	if n := len(r.blocks); n > 0 {
+		b = r.blocks[n-1]
+	}
+	if cap(b)-len(b) < k {
+		size := minBlockTuples * k
+		if n := len(r.blocks); n > 0 && 2*cap(r.blocks[n-1]) > size {
+			size = 2 * cap(r.blocks[n-1])
+		}
+		if size > maxBlockValues && size > 2*k {
+			size = maxBlockValues
+			if size < k {
+				size = k
+			}
+		}
+		b = make([]Value, 0, size)
+		r.blocks = append(r.blocks, b)
+	}
+	off := len(b)
+	b = append(b, t...)
+	r.blocks[len(r.blocks)-1] = b
+	return b[off : off+k : off+k]
+}
+
+// Insert adds t (copied into the arena) and reports whether it was new.
+// A duplicate insert performs no allocation: the arena copy happens only
+// after the membership probe misses. Inserting a tuple of the wrong arity
+// panics: that is always a programming error.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("storage: insert arity %d into relation of arity %d", len(t), r.arity))
 	}
-	k := t.Key()
-	if _, ok := r.set[k]; ok {
+	h := r.hash(t)
+	if r.find(t, h) >= 0 {
 		return false
 	}
-	r.set[k] = struct{}{}
-	c := t.Clone()
+	if (len(r.tuples)+1)*4 >= len(r.table)*3 {
+		r.growTable()
+	}
+	c := r.alloc(t)
 	pos := len(r.tuples)
 	r.tuples = append(r.tuples, c)
-	for col, idx := range r.colIdx {
-		if idx != nil {
-			idx[c[col]] = append(idx[c[col]], pos)
+	mask := uint64(len(r.table) - 1)
+	i := h & mask
+	for r.table[i] != 0 {
+		i = (i + 1) & mask
+	}
+	r.table[i] = uint32(pos + 1)
+	for col, ci := range r.colIdx {
+		if ci == nil {
+			continue
+		}
+		ci.add(c[col], int32(pos))
+		if ci.stale() {
+			r.colIdx[col] = buildColIndex(r.tuples, col)
 		}
 	}
 	return true
 }
 
-// Contains reports membership.
+// Contains reports membership. Allocation-free.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.set[t.Key()]
-	return ok
+	if len(t) != r.arity {
+		return false
+	}
+	return r.find(t, r.hash(t)) >= 0
 }
 
-// Tuples returns the underlying tuple slice. Callers must not mutate it or
-// its elements.
+// Tuples returns the tuple headers in insertion order. Callers must not
+// mutate the slice or its elements. The returned snapshot stays valid while
+// the relation grows: appends never move stored values.
 func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// At returns the i-th tuple in insertion order. The header aliases the
+// arena, so holding it does not pin a private copy — the frontier kernels
+// use it to build delta slices without cloning.
+func (r *Relation) At(i int) Tuple { return r.tuples[i] }
 
 // Each calls f for every tuple until f returns false.
 func (r *Relation) Each(f func(Tuple) bool) {
@@ -162,42 +283,69 @@ func (r *Relation) Each(f func(Tuple) bool) {
 	}
 }
 
-func (r *Relation) ensureIndex(col int) map[Value][]int {
-	if r.colIdx[col] == nil {
-		idx := make(map[Value][]int)
-		for i, t := range r.tuples {
-			idx[t[col]] = append(idx[t[col]], i)
-		}
-		r.colIdx[col] = idx
+// probeIndex returns the column's index, building it when the relation is
+// still in its single-threaded lazy phase. After BuildIndexes the read path
+// must not mutate under concurrent readers, so a missing index (which
+// BuildIndexes makes impossible short of a reset) yields nil and the caller
+// returns an empty result.
+func (r *Relation) probeIndex(col int) *colIndex {
+	ci := r.colIdx[col]
+	if ci == nil && !r.published {
+		ci = buildColIndex(r.tuples, col)
+		r.colIdx[col] = ci
 	}
-	return r.colIdx[col]
+	return ci
 }
 
 // LookupCol returns the positions of tuples whose column col equals v,
-// building the column index on first use.
-func (r *Relation) LookupCol(col int, v Value) []int {
-	return r.ensureIndex(col)[v]
+// building the column index on first use (pre-BuildIndexes only). When v
+// gained no tuples since the last index build the result is a view of the
+// CSR positions array and no allocation happens.
+func (r *Relation) LookupCol(col int, v Value) []int32 {
+	ci := r.probeIndex(col)
+	if ci == nil {
+		return nil
+	}
+	return ci.lookup(v)
 }
 
 // EachCol calls f for every tuple whose column col equals v until f returns
-// false, building the column index on first use. It is the single-column
-// fast path of EachMatch, used by the frontier kernels for edge traversal.
+// false, building the column index on first use (pre-BuildIndexes only). It
+// is the single-column fast path of EachMatch, used by the frontier kernels
+// for edge traversal; it never allocates.
 func (r *Relation) EachCol(col int, v Value, f func(Tuple) bool) {
-	for _, pos := range r.ensureIndex(col)[v] {
+	ci := r.probeIndex(col)
+	if ci == nil {
+		return
+	}
+	// Iterate postings inline rather than through colIndex.each: wrapping f
+	// in an adapter closure would force a heap allocation on every call.
+	for _, pos := range ci.csrRange(v) {
+		if !f(r.tuples[pos]) {
+			return
+		}
+	}
+	if ci.nextra == 0 {
+		return
+	}
+	for _, pos := range ci.extra[v] {
 		if !f(r.tuples[pos]) {
 			return
 		}
 	}
 }
 
-// BuildIndexes materializes every column index now. Relations are not safe
-// for concurrent use while indexes build lazily; after BuildIndexes, any
-// number of goroutines may read the relation concurrently (as long as no
-// writer runs).
+// BuildIndexes materializes every column index now and freezes the read
+// path: from here on, reads never build indexes lazily, so any number of
+// goroutines may read the relation concurrently (as long as no writer
+// runs).
 func (r *Relation) BuildIndexes() {
 	for col := 0; col < r.arity; col++ {
-		r.ensureIndex(col)
+		if r.colIdx[col] == nil {
+			r.colIdx[col] = buildColIndex(r.tuples, col)
+		}
 	}
+	r.published = true
 }
 
 // Indexed reports whether every column index is materialized, i.e. whether
@@ -250,24 +398,23 @@ func PartitionTuples(tuples []Tuple, parts int) [][]Tuple {
 // true means the tuple's column i must equal vals[i]. It picks the most
 // selective bound column's index when one exists and scans otherwise.
 func (r *Relation) EachMatch(bound []bool, vals Tuple, f func(Tuple) bool) {
+	var bestIdx *colIndex
 	best := -1
 	bestLen := -1
 	for col, b := range bound {
 		if !b {
 			continue
 		}
-		n := len(r.ensureIndex(col)[vals[col]])
+		ci := r.probeIndex(col)
+		if ci == nil {
+			// Read-phase probe of an unbuilt column: defensively empty
+			// rather than lazily mutating (see probeIndex).
+			return
+		}
+		n := ci.count(vals[col])
 		if best == -1 || n < bestLen {
-			best, bestLen = col, n
+			best, bestLen, bestIdx = col, n, ci
 		}
-	}
-	match := func(t Tuple) bool {
-		for col, b := range bound {
-			if b && t[col] != vals[col] {
-				return false
-			}
-		}
-		return true
 	}
 	if best == -1 {
 		for _, t := range r.tuples {
@@ -277,12 +424,33 @@ func (r *Relation) EachMatch(bound []bool, vals Tuple, f func(Tuple) bool) {
 		}
 		return
 	}
-	for _, pos := range r.colIdx[best][vals[best]] {
+	// Inline iteration keeps f and the binding check off the heap (see
+	// EachCol).
+	for _, pos := range bestIdx.csrRange(vals[best]) {
 		t := r.tuples[pos]
-		if match(t) && !f(t) {
+		if matchBinding(bound, vals, t) && !f(t) {
 			return
 		}
 	}
+	if bestIdx.nextra == 0 {
+		return
+	}
+	for _, pos := range bestIdx.extra[vals[best]] {
+		t := r.tuples[pos]
+		if matchBinding(bound, vals, t) && !f(t) {
+			return
+		}
+	}
+}
+
+// matchBinding reports whether t satisfies the partial binding.
+func matchBinding(bound []bool, vals, t Tuple) bool {
+	for col, b := range bound {
+		if b && t[col] != vals[col] {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone returns a deep copy (indexes are not copied).
@@ -292,6 +460,33 @@ func (r *Relation) Clone() *Relation {
 		out.Insert(t)
 	}
 	return out
+}
+
+// Reset empties the relation in place, re-arities it, and keeps the arena
+// blocks and membership table capacity for reuse — the parallel engine
+// pools task output buffers through it. Resetting requires exclusive
+// access and unfreezes the read path (indexes build lazily again).
+func (r *Relation) Reset(arity int) {
+	if arity != r.arity {
+		r.arity = arity
+		r.colIdx = make([]*colIndex, arity)
+	} else {
+		for i := range r.colIdx {
+			r.colIdx[i] = nil
+		}
+	}
+	r.tuples = r.tuples[:0]
+	if n := len(r.blocks); n > 1 {
+		// Keep only the largest (most recent) block.
+		r.blocks[0] = r.blocks[n-1][:0]
+		r.blocks = r.blocks[:1]
+	} else if n == 1 {
+		r.blocks[0] = r.blocks[0][:0]
+	}
+	for i := range r.table {
+		r.table[i] = 0
+	}
+	r.published = false
 }
 
 // InsertAll inserts every tuple of o and returns the number of new tuples.
@@ -310,8 +505,8 @@ func (r *Relation) Equal(o *Relation) bool {
 	if r.arity != o.arity || len(r.tuples) != len(o.tuples) {
 		return false
 	}
-	for k := range r.set {
-		if _, ok := o.set[k]; !ok {
+	for _, t := range r.tuples {
+		if !o.Contains(t) {
 			return false
 		}
 	}

@@ -320,6 +320,155 @@ func TestPartition(t *testing.T) {
 	}
 }
 
+// TestInsertDuplicateZeroAllocs pins the tentpole regression: inserting a
+// duplicate must not allocate (the old representation built the arena copy
+// — previously a Clone — and a string key before the membership check).
+// Contains shares the same probe and must be allocation-free too.
+func TestInsertDuplicateZeroAllocs(t *testing.T) {
+	r := NewRelation(3)
+	for i := 0; i < 100; i++ {
+		r.Insert(Tuple{Value(i), Value(i % 7), Value(i % 3)})
+	}
+	r.BuildIndexes() // duplicates must stay free with live indexes too
+	probe := Tuple{5, 5, 2}
+	if !r.Contains(probe) {
+		t.Fatal("probe tuple missing")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if r.Insert(probe) {
+			t.Error("duplicate insert reported new")
+		}
+	}); n != 0 {
+		t.Errorf("duplicate Insert allocates %v times", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if !r.Contains(probe) {
+			t.Error("Contains lost the tuple")
+		}
+	}); n != 0 {
+		t.Errorf("Contains allocates %v times", n)
+	}
+}
+
+// TestReadPhaseNeverBuildsLazily checks the post-BuildIndexes contract: a
+// probe of a column whose index is somehow missing returns an error-free
+// empty result and must not build the index (which would mutate the
+// relation under concurrent readers).
+func TestReadPhaseNeverBuildsLazily(t *testing.T) {
+	r := NewRelation(2)
+	r.Insert(Tuple{1, 2})
+	r.Insert(Tuple{3, 2})
+	r.BuildIndexes()
+	r.colIdx[1] = nil // simulate a missing index in the frozen phase
+	if got := r.LookupCol(1, 2); got != nil {
+		t.Errorf("frozen LookupCol = %v, want empty", got)
+	}
+	n := 0
+	r.EachCol(1, 2, func(Tuple) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("frozen EachCol visited %d tuples", n)
+	}
+	r.EachMatch([]bool{false, true}, Tuple{0, 2}, func(Tuple) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("frozen EachMatch visited %d tuples", n)
+	}
+	if r.colIdx[1] != nil {
+		t.Error("frozen read path rebuilt the index")
+	}
+	// Column 0's index is intact and must still answer.
+	if got := len(r.LookupCol(0, 1)); got != 1 {
+		t.Errorf("intact column lookup = %d, want 1", got)
+	}
+	// Reset unfreezes: lazy building is legal again.
+	r.Reset(2)
+	r.Insert(Tuple{7, 8})
+	if got := len(r.LookupCol(1, 8)); got != 1 {
+		t.Errorf("post-Reset lazy lookup = %d, want 1", got)
+	}
+}
+
+// TestPartitionTuplesEdgeCases covers the slice-level partitioner directly:
+// empty input, more workers than tuples, and arity-1 relations.
+func TestPartitionTuplesEdgeCases(t *testing.T) {
+	if got := PartitionTuples(nil, 4); got != nil {
+		t.Errorf("nil slice partitioned into %d chunks", len(got))
+	}
+	if got := PartitionTuples([]Tuple{}, 0); got != nil {
+		t.Errorf("empty slice partitioned into %d chunks", len(got))
+	}
+	one := []Tuple{{1}}
+	for _, parts := range []int{-3, 0, 1, 2, 100} {
+		chunks := PartitionTuples(one, parts)
+		if len(chunks) != 1 || len(chunks[0]) != 1 || chunks[0][0][0] != 1 {
+			t.Errorf("parts=%d: chunks = %v", parts, chunks)
+		}
+	}
+	// workers > len: every tuple in its own chunk, none empty.
+	five := []Tuple{{0}, {1}, {2}, {3}, {4}}
+	chunks := PartitionTuples(five, 99)
+	if len(chunks) != 5 {
+		t.Fatalf("got %d chunks, want 5", len(chunks))
+	}
+	for i, c := range chunks {
+		if len(c) != 1 || c[0][0] != Value(i) {
+			t.Errorf("chunk %d = %v", i, c)
+		}
+	}
+	// Arity-1 relation through the method, non-divisible split.
+	r := NewRelation(1)
+	for i := 0; i < 7; i++ {
+		r.Insert(Tuple{Value(i)})
+	}
+	total := 0
+	for _, c := range r.Partition(3) {
+		total += len(c)
+	}
+	if total != 7 {
+		t.Errorf("partitioned arity-1 chunks cover %d tuples, want 7", total)
+	}
+}
+
+// TestConcurrentReadsWithOverflowIndexes is the overflow variant of the
+// concurrent-read contract: inserts after BuildIndexes land in per-value
+// overflow lists, and a subsequent read phase must serve merged results to
+// many goroutines without mutation. Meaningful under -race.
+func TestConcurrentReadsWithOverflowIndexes(t *testing.T) {
+	r := NewRelation(2)
+	for i := 0; i < 50; i++ {
+		r.Insert(Tuple{Value(i % 10), Value(i)})
+	}
+	r.BuildIndexes()
+	// Exclusive write phase: these go through the overflow path.
+	for i := 50; i < 80; i++ {
+		r.Insert(Tuple{Value(i % 10), Value(i)})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := Value(0); v < 10; v++ {
+				if got := len(r.LookupCol(0, v)); got != 8 {
+					errs <- "overflow LookupCol wrong"
+					return
+				}
+				n := 0
+				r.EachCol(0, v, func(Tuple) bool { n++; return true })
+				if n != 8 {
+					errs <- "overflow EachCol wrong"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
 // TestConcurrentReadsAfterBuildIndexes exercises the relation's documented
 // concurrency contract: once the indexes are prebuilt, any number of
 // readers may run at once. Meaningful under -race (the Makefile race
@@ -345,6 +494,12 @@ func TestConcurrentReadsAfterBuildIndexes(t *testing.T) {
 				})
 				if n != len(r.LookupCol(0, v)) {
 					errs <- "EachMatch and LookupCol disagree"
+					return
+				}
+				m := 0
+				r.EachCol(0, v, func(Tuple) bool { m++; return true })
+				if m != n {
+					errs <- "EachCol and EachMatch disagree"
 					return
 				}
 			}
