@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race verify cover bench bench-smoke experiments fuzz clean
+.PHONY: all build vet test test-short race verify cover bench bench-smoke obs-smoke experiments fuzz clean
 
 all: build vet test
 
@@ -20,8 +20,11 @@ test-short:
 	$(GO) test -short ./...
 
 # The parallel engines (eval.ParallelSemiNaive, the stable evaluator's
-# frontier pool) are only trustworthy race-detector clean.
+# frontier pool) and the obs span/metrics layer are only trustworthy
+# race-detector clean; vet runs first so the race build never masks a
+# static diagnostic.
 race:
+	$(GO) vet ./internal/obs ./internal/eval
 	$(GO) test -race ./...
 
 # Full pre-merge gate: build, vet, tests, race detector.
@@ -39,6 +42,13 @@ bench:
 # no longer compile or crash, cheap enough for CI.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./internal/storage ./internal/eval
+
+# End-to-end observability smoke: dlrun emits a -trace-json span tree that
+# the schema-checking CLI test validates, plus the -serve endpoint test and
+# the span-tree goldens.
+obs-smoke:
+	$(GO) test -run 'TestCLIDlrunTraceJSON|TestCLIDlrunServe' -count=1 .
+	$(GO) test -run 'TestSpanTreeGolden' -count=1 ./internal/eval
 
 # Regenerate the full experiment report (paper claim vs measured).
 experiments:

@@ -4,6 +4,10 @@ package repro
 // the runnable examples exactly as a user would.
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -212,5 +216,131 @@ func TestExampleClassifyTour(t *testing.T) {
 	}
 	if got := strings.Count(out, "MATCHES naive baseline"); got != 13 {
 		t.Errorf("tour validated %d statements, want 13", got)
+	}
+}
+
+// TestCLIDlrunTraceJSON: -trace-json must emit a well-formed span tree
+// containing the planner and fixpoint phases for an auto query.
+func TestCLIDlrunTraceJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	in := `p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+e(a, b). e(b, c). e(c, d).
+?- p(a, Y).
+`
+	runTool(t, in, "run", "./cmd/dlrun", "-strategy", "auto", "-trace-json", tracePath)
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type span struct {
+		Name     string  `json:"name"`
+		StartUS  *int64  `json:"start_us"`
+		DurUS    *int64  `json:"dur_us"`
+		Children []*span `json:"children"`
+	}
+	var root span
+	if err := json.Unmarshal(data, &root); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, data)
+	}
+	names := map[string]int{}
+	var walk func(s *span)
+	walk = func(s *span) {
+		if s.Name == "" || s.StartUS == nil || s.DurUS == nil {
+			t.Errorf("span missing required fields: %+v", s)
+		}
+		names[s.Name]++
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(&root)
+	if root.Name != "dlrun" {
+		t.Errorf("root span = %q, want dlrun", root.Name)
+	}
+	for _, want := range []string{"parse", "query", "plan-cache", "classify", "plan-compile", "fixpoint", "round"} {
+		if names[want] == 0 {
+			t.Errorf("trace has no %q span (saw %v)", want, names)
+		}
+	}
+	if names["round"] < 2 {
+		t.Errorf("trace has %d round spans, want several", names["round"])
+	}
+}
+
+// TestCLIDlrunServe: -serve must expose working /metrics, /debug/vars and
+// /debug/pprof/ endpoints while queries run.
+func TestCLIDlrunServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	in := `p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+e(a, b). e(b, c). e(c, d).
+?- p(a, Y).
+`
+	// Build the binary and run it directly (not `go run`): the test must be
+	// able to kill the server process itself, not just the go tool.
+	bin := filepath.Join(t.TempDir(), "dlrun")
+	runTool(t, "", "build", "-o", bin, "./cmd/dlrun")
+	cmd := exec.Command(bin, "-serve", "127.0.0.1:0")
+	cmd.Dir = "."
+	cmd.Stdin = strings.NewReader(in)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// dlrun prints "%% serving http://ADDR/metrics ..." once the listener is
+	// up, then answers the queries and blocks.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, "serving http://") {
+			rest := line[strings.Index(line, "http://")+len("http://"):]
+			base = "http://" + rest[:strings.Index(rest, "/")]
+		}
+		if strings.Contains(line, "answers)") {
+			break // queries done: counters are flushed
+		}
+	}
+	if base == "" {
+		t.Fatal("dlrun never printed the serving address")
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "dl_rounds_total") ||
+		!strings.Contains(body, "dl_tuples_derived_total") {
+		t.Errorf("/metrics missing engine counters:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "datalog") {
+		t.Errorf("/debug/vars missing datalog var:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index:\n%s", body)
 	}
 }

@@ -8,9 +8,12 @@
 //
 // Usage:
 //
-//	dlbench [-experiment all|figures|examples|theorems|q1|q2|q3|q4|q5|q6|q7|q8] [-quick]
+//	dlbench [-experiment all|figures|examples|theorems|q1|q2|q3|q4|q5|q6|q7|q8] [-quick] [-serve ADDR]
 //
 // Output is a plain-text report; EXPERIMENTS.md embeds a captured run.
+// -serve exposes /metrics, /debug/vars and /debug/pprof/ on ADDR for the
+// duration of the run, so CPU and heap profiles of any experiment (e.g. Q6
+// or Q8) can be captured while it executes; see EXPERIMENTS.md.
 package main
 
 import (
@@ -18,14 +21,25 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "which experiment group to run")
 		quick      = flag.Bool("quick", false, "smaller sizes and fewer repetitions")
+		serveAddr  = flag.String("serve", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while the experiments run")
 	)
 	flag.Parse()
+	if *serveAddr != "" {
+		addr, err := obs.Listen(*serveAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving http://%s/metrics /debug/vars /debug/pprof/\n", addr)
+	}
 
 	r := &runner{quick: *quick}
 	groups := map[string]func(){

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	dlrun [-strategy naive|seminaive|parallel|magic|state|class|auto] [-stats] [-trace] [file]
+//	dlrun [-strategy naive|seminaive|parallel|magic|state|class|auto]
+//	      [-stats] [-trace] [-trace-json FILE] [-serve ADDR] [file]
 //
 // Example input:
 //
@@ -18,8 +19,15 @@
 // Datalog. "auto" classifies the system per the paper's taxonomy and picks
 // the fastest licensed plan (TC frontier kernel, bounded expansion union,
 // stabilized parallel, or generic parallel), caching the compiled plan per
-// (program, query form). -trace prints one line per fixpoint round (parallel
-// and auto strategies) plus, for auto, the chosen plan and cache status.
+// (program, query form).
+//
+// Observability: -trace prints one line per fixpoint round for every
+// strategy plus the final stats line (no -stats needed) and, for auto, the
+// chosen plan and cache status. -trace-json writes the full hierarchical
+// span tree (parse → classify → plan-compile → fixpoint → round → join) as
+// JSON to FILE ("-" for stdout). -serve ADDR exposes /metrics (Prometheus
+// text), /debug/vars (expvar) and /debug/pprof/ on ADDR and blocks after
+// the queries so profiles can be captured.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/storage"
 )
@@ -43,13 +52,25 @@ func main() {
 		showStats    = flag.Bool("stats", false, "print evaluation statistics")
 		factsPath    = flag.String("facts", "", "load additional ground facts from this file")
 		interactive  = flag.Bool("i", false, "interactive mode: read clauses and queries from stdin")
+		traceJSON    = flag.String("trace-json", "", "write the hierarchical span tree as JSON to this file (\"-\" for stdout)")
+		serveAddr    = flag.String("serve", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address and block after the queries")
 	)
-	flag.BoolVar(&trace, "trace", false, "print one line per fixpoint round (parallel and auto strategies) and the compiled plan (auto)")
+	flag.BoolVar(&trace, "trace", false, "print one line per fixpoint round (every strategy) and the compiled plan (auto)")
 	flag.Parse()
 
 	strategy, err := parseStrategy(*strategyName)
 	if err != nil {
 		fatal(err)
+	}
+	if *serveAddr != "" {
+		addr, err := obs.Listen(*serveAddr, obs.Default())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%% serving http://%s/metrics /debug/vars /debug/pprof/\n", addr)
+	}
+	if *traceJSON != "" {
+		tracer = obs.New("dlrun")
 	}
 	db := storage.NewDatabase()
 	if *factsPath != "" {
@@ -66,6 +87,7 @@ func main() {
 
 	if *interactive {
 		repl(strategy, db, *showStats)
+		writeTrace(*traceJSON)
 		return
 	}
 
@@ -73,10 +95,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ps := tracer.Root().Child("parse")
 	prog, queries, err := parser.ParseProgram(src)
 	if err != nil {
+		ps.End()
 		fatal(err)
 	}
+	ps.SetInt("rules", int64(len(prog.Rules))).SetInt("queries", int64(len(queries))).End()
 	if len(queries) == 0 {
 		fatal(fmt.Errorf("no query in input (write e.g. '?- p(a, Y).')"))
 	}
@@ -88,6 +113,32 @@ func main() {
 		if err := runQuery(strategy, rulesOnly, q, db, *showStats); err != nil {
 			fatal(err)
 		}
+	}
+	writeTrace(*traceJSON)
+	if *serveAddr != "" {
+		// Keep the process alive so /metrics and /debug/pprof/ stay
+		// scrapeable after the queries finish.
+		select {}
+	}
+}
+
+// writeTrace finishes the tracer and writes the span tree as JSON.
+func writeTrace(path string) {
+	if tracer == nil || path == "" {
+		return
+	}
+	tracer.Finish()
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tracer.WriteJSON(w); err != nil {
+		fatal(err)
 	}
 }
 
@@ -126,7 +177,9 @@ func runQuery(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storag
 	for _, l := range lines {
 		fmt.Println(l)
 	}
-	if showStats {
+	// -trace implies the summary line: the per-round lines are useless
+	// without the totals they add up to.
+	if showStats || trace {
 		fmt.Printf("%% stats: %v\n", st)
 	}
 	return nil
@@ -171,8 +224,31 @@ func repl(strategy eval.Strategy, db *storage.Database, showStats bool) {
 	fmt.Println()
 }
 
-// trace enables the per-round observer of the parallel strategy.
-var trace bool
+// trace enables per-round observer lines for every strategy; tracer is
+// non-nil when -trace-json collects the hierarchical span tree.
+var (
+	trace  bool
+	tracer *obs.Tracer
+)
+
+// queryOpts builds the instrumentation options for one query: the round
+// observer when -trace is set, and a per-query span subtree when -trace-json
+// is set.
+func queryOpts(q ast.Query) (eval.Opts, *obs.Span) {
+	opts := eval.Opts{}
+	if trace {
+		opts.Observer = eval.ObserverFunc(func(r eval.RoundStats) {
+			fmt.Printf("%% %v\n", r)
+		})
+	}
+	var qs *obs.Span
+	if tracer != nil {
+		qs = tracer.Root().Child("query").SetStr("query", q.String())
+		opts.Tracer = tracer
+		opts.Parent = qs
+	}
+	return opts, qs
+}
 
 func answer(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storage.Database) (ans *storage.Relation, st eval.Stats, err error) {
 	// The rewrite and plan layers report malformed systems as errors, but a
@@ -182,29 +258,16 @@ func answer(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storage.
 			ans, err = nil, fmt.Errorf("internal error evaluating query: %v", r)
 		}
 	}()
+	opts, qs := queryOpts(q)
+	defer qs.End()
 	switch strategy {
-	case eval.StrategyNaive:
-		out, st, err := eval.Naive(prog, db)
-		if err != nil {
-			return nil, st, err
-		}
-		ans, err := eval.AnswerQuery(out, q)
-		return ans, st, err
-	case eval.StrategySemiNaive:
-		out, st, err := eval.SemiNaive(prog, db)
-		if err != nil {
-			return nil, st, err
-		}
-		ans, err := eval.AnswerQuery(out, q)
-		return ans, st, err
-	case eval.StrategyParallel:
-		opts := eval.ParallelOpts{}
-		if trace {
-			opts.Observer = eval.ObserverFunc(func(r eval.RoundStats) {
-				fmt.Printf("%% %v\n", r)
-			})
-		}
-		out, st, err := eval.ParallelSemiNaiveOpts(prog, db, opts)
+	case eval.StrategyNaive, eval.StrategySemiNaive, eval.StrategyParallel:
+		run := map[eval.Strategy]func(*ast.Program, *storage.Database, eval.Opts) (*storage.Database, eval.Stats, error){
+			eval.StrategyNaive:     eval.NaiveOpts,
+			eval.StrategySemiNaive: eval.SemiNaiveOpts,
+			eval.StrategyParallel:  eval.ParallelSemiNaiveOpts,
+		}[strategy]
+		out, st, err := run(prog, db, opts)
 		if err != nil {
 			return nil, st, err
 		}
@@ -215,7 +278,7 @@ func answer(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storage.
 		if err != nil {
 			return nil, eval.Stats{}, fmt.Errorf("strategy %v needs a single linear recursive system: %w", strategy, err)
 		}
-		return eval.Answer(strategy, sys, q, db)
+		return eval.AnswerOpts(strategy, sys, q, db, opts)
 	}
 }
 

@@ -71,10 +71,36 @@ type Plan struct {
 // elimination), then transformability (stabilize, then parallel
 // semi-naive), then the generic parallel engine.
 func CompilePlan(sys *ast.RecursiveSystem) (*Plan, error) {
+	return CompilePlanOpts(sys, Opts{})
+}
+
+// CompilePlanOpts is CompilePlan with instrumentation: the classification is
+// recorded under a "classify" span (class code, rank when bounded) and the
+// strategy selection plus rewriting under a "plan-compile" span (kind).
+func CompilePlanOpts(sys *ast.RecursiveSystem, opts Opts) (*Plan, error) {
+	cls := opts.parent().Child("classify")
 	res, err := classify.Classify(sys.Recursive)
+	if err != nil {
+		cls.End()
+		return nil, err
+	}
+	cls.SetStr("class", res.Class.Code())
+	if res.Bounded {
+		cls.SetInt("rank", int64(res.RankBound))
+	}
+	cls.End()
+	pc := opts.parent().Child("plan-compile")
+	defer pc.End()
+	p, err := compilePlan(sys, res)
 	if err != nil {
 		return nil, err
 	}
+	pc.SetStr("kind", p.Kind.String())
+	return p, nil
+}
+
+// compilePlan builds the plan for a precomputed classification.
+func compilePlan(sys *ast.RecursiveSystem, res *classify.Result) (*Plan, error) {
 	p := &Plan{Class: res.Class.Code(), sys: sys}
 	if shape, ok := detectTC(sys); ok {
 		p.Kind = PlanTC
@@ -108,7 +134,13 @@ func CompilePlan(sys *ast.RecursiveSystem) (*Plan, error) {
 // Stats.Plan carries the plan's class and strategy; the planner overwrites
 // its CacheHit field when the plan came from the cache.
 func (p *Plan) Answer(q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
-	rel, st, err := p.answer(q, db)
+	return p.AnswerOpts(q, db, Opts{})
+}
+
+// AnswerOpts is Answer with instrumentation threaded into the compiled
+// path's engine.
+func (p *Plan) AnswerOpts(q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
+	rel, st, err := p.answer(q, db, opts)
 	if err != nil {
 		return nil, st, err
 	}
@@ -116,32 +148,23 @@ func (p *Plan) Answer(q ast.Query, db *storage.Database) (*storage.Relation, Sta
 	return rel, st, nil
 }
 
-func (p *Plan) answer(q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+func (p *Plan) answer(q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
 	switch p.Kind {
 	case PlanTC:
-		return TCEval(p.sys, p.tc, q, db)
+		return TCEvalOpts(p.sys, p.tc, q, db, opts)
 	case PlanBounded:
-		n := p.sys.Arity()
-		if q.Atom.Pred != p.sys.Pred() || q.Atom.Arity() != n {
-			return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/%d", q, p.sys.Pred(), n)
-		}
-		answers := storage.NewRelation(n)
-		var st Stats
-		if err := EvalNonRecursive(p.rules, q, db, answers, &st); err != nil {
-			return nil, st, err
-		}
-		return answers, st, nil
+		return boundedAnswer(p.sys, p.rules, q, db, opts)
 	case PlanStable:
-		return parallelAnswer(p.stable, q, db)
+		return parallelAnswer(p.stable, q, db, opts)
 	default:
-		return parallelAnswer(p.sys, q, db)
+		return parallelAnswer(p.sys, q, db, opts)
 	}
 }
 
 // parallelAnswer runs the parallel semi-naive engine over the system's
 // program and selects the query's answers from the fixpoint.
-func parallelAnswer(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
-	out, st, err := ParallelSemiNaive(sys.Program(), db)
+func parallelAnswer(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
+	out, st, err := ParallelSemiNaiveOpts(sys.Program(), db, opts)
 	if err != nil {
 		return nil, st, err
 	}

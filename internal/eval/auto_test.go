@@ -18,12 +18,12 @@ func TestCompilePlanSelection(t *testing.T) {
 		id   string
 		kind PlanKind
 	}{
-		{"s1a", PlanTC},       // p(X,Y) :- a(X,Z), p(Z,Y): the TC shape
-		{"s8", PlanBounded},   // bounded, rank 2
-		{"s10", PlanBounded},  // bounded, rank 2
-		{"s4a", PlanStable},   // one-directional cycle of weight 3
-		{"s9", PlanGeneric},   // no licensed fast path
-		{"s12", PlanGeneric},  // mixed cycles
+		{"s1a", PlanTC},      // p(X,Y) :- a(X,Z), p(Z,Y): the TC shape
+		{"s8", PlanBounded},  // bounded, rank 2
+		{"s10", PlanBounded}, // bounded, rank 2
+		{"s4a", PlanStable},  // one-directional cycle of weight 3
+		{"s9", PlanGeneric},  // no licensed fast path
+		{"s12", PlanGeneric}, // mixed cycles
 	}
 	for _, c := range cases {
 		sys := mustStatement(t, c.id).System()

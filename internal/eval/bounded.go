@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ast"
+	"repro/internal/obs"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
 )
@@ -16,22 +17,40 @@ import (
 // fixpoint is ever computed: the work is independent of how much deeper the
 // naive evaluation would iterate.
 func BoundedEval(sys *ast.RecursiveSystem, rank int, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	return BoundedEvalOpts(sys, rank, q, db, Opts{})
+}
+
+// BoundedEvalOpts is BoundedEval with instrumentation: each expansion rule
+// becomes one round under a "fixpoint" span tagged engine=bounded.
+func BoundedEvalOpts(sys *ast.RecursiveSystem, rank int, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
 	if rank < 0 {
 		return nil, Stats{}, fmt.Errorf("eval: negative rank %d", rank)
-	}
-	n := sys.Arity()
-	if q.Atom.Pred != sys.Pred() || q.Atom.Arity() != n {
-		return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/%d", q, sys.Pred(), n)
 	}
 	rules, err := rewrite.NonRecursiveExpansions(sys, rank)
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	return boundedAnswer(sys, rules, q, db, opts)
+}
+
+// boundedAnswer evaluates a pre-expanded bounded union (from BoundedEval or a
+// compiled PlanBounded) under the engine's span and metric plumbing.
+func boundedAnswer(sys *ast.RecursiveSystem, rules []ast.Rule, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
+	n := sys.Arity()
+	if q.Atom.Pred != sys.Pred() || q.Atom.Arity() != n {
+		return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/%d", q, sys.Pred(), n)
+	}
+	fix := opts.parent().Child("fixpoint").SetStr("engine", "bounded")
+	defer fix.End()
 	answers := storage.NewRelation(n)
 	var st Stats
-	if err := EvalNonRecursive(rules, q, db, answers, &st); err != nil {
-		return nil, Stats{}, err
+	sink := newRoundSink(&st, opts, fix)
+	if err := evalNonRecursive(rules, q, db, answers, &st, &sink); err != nil {
+		return nil, st, err
 	}
+	fix.SetInt("rounds", int64(st.Rounds)).SetInt("derived", int64(st.Derived))
+	sink.stratumDone(st.Rounds)
+	flushRels(opts, &st, answers)
 	return answers, st, nil
 }
 
@@ -43,6 +62,13 @@ func BoundedEval(sys *ast.RecursiveSystem, rank int, q ast.Query, db *storage.Da
 // constant, which then appears verbatim in every answer tuple. Shared by
 // BoundedEval and the auto planner's compiled bounded path.
 func EvalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answers *storage.Relation, st *Stats) error {
+	sink := newRoundSink(st, Opts{}, nil)
+	return evalNonRecursive(rules, q, db, answers, st, &sink)
+}
+
+// evalNonRecursive is EvalNonRecursive feeding the caller's round sink: one
+// round (and one join span) per expansion rule.
+func evalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answers *storage.Relation, st *Stats, sink *roundSink) error {
 	n := q.Atom.Arity()
 	rels := DBRels(db)
 	// The projection buffers are written from scratch for every rule and
@@ -51,6 +77,11 @@ func EvalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answe
 	fixed := make(storage.Tuple, n)
 	for _, r := range rules {
 		st.Rounds++
+		sink.begin()
+		var rsp *obs.Span
+		if sink.traced() {
+			rsp = sink.rule(r.String())
+		}
 		c := CompileConj(db.Syms, r.Body)
 		binding := c.NewBinding()
 		ok := true
@@ -94,9 +125,14 @@ func EvalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answe
 			}
 		}
 		if !ok {
+			rsp.End()
+			sink.end(RoundStats{Round: st.Rounds})
 			continue
 		}
-		st.Derived += c.EvalProject(rels, binding, slots, fixed, answers)
+		d := c.EvalProject(rels, binding, slots, fixed, answers)
+		st.Derived += d
+		rsp.SetInt("derived", int64(d)).End()
+		sink.end(RoundStats{Round: st.Rounds, Derived: d})
 	}
 	return nil
 }

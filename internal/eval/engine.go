@@ -68,36 +68,43 @@ func Strategies() []Strategy {
 // Answer evaluates the query over the database with the chosen strategy and
 // returns the answer relation (arity = the recursive predicate's).
 func Answer(strategy Strategy, sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	return AnswerOpts(strategy, sys, q, db, Opts{})
+}
+
+// AnswerOpts is Answer with instrumentation threaded into whichever engine
+// the strategy selects: every strategy feeds the same tracer, metrics
+// registry and (deprecated) Observer through Opts.
+func AnswerOpts(strategy Strategy, sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
 	switch strategy {
 	case StrategyNaive:
-		out, st, err := Naive(sys.Program(), db)
+		out, st, err := NaiveOpts(sys.Program(), db, opts)
 		if err != nil {
 			return nil, st, err
 		}
 		ans, err := AnswerQuery(out, q)
 		return ans, st, err
 	case StrategySemiNaive:
-		out, st, err := SemiNaive(sys.Program(), db)
+		out, st, err := SemiNaiveOpts(sys.Program(), db, opts)
 		if err != nil {
 			return nil, st, err
 		}
 		ans, err := AnswerQuery(out, q)
 		return ans, st, err
 	case StrategyParallel:
-		out, st, err := ParallelSemiNaive(sys.Program(), db)
+		out, st, err := ParallelSemiNaiveOpts(sys.Program(), db, opts)
 		if err != nil {
 			return nil, st, err
 		}
 		ans, err := AnswerQuery(out, q)
 		return ans, st, err
 	case StrategyMagic:
-		return MagicSets(sys, q, db)
+		return MagicSetsOpts(sys, q, db, opts)
 	case StrategyState:
-		return StateEval(sys, q, db)
+		return StateEvalOpts(sys, q, db, opts)
 	case StrategyClass:
-		return ClassEval(sys, q, db)
+		return ClassEvalOpts(sys, q, db, opts)
 	case StrategyAuto:
-		return DefaultPlanner.Answer(sys, q, db)
+		return DefaultPlanner.AnswerOpts(sys, q, db, opts)
 	default:
 		return nil, Stats{}, fmt.Errorf("eval: unknown strategy %v", strategy)
 	}
@@ -106,28 +113,43 @@ func Answer(strategy Strategy, sys *ast.RecursiveSystem, q ast.Query, db *storag
 // ClassEval classifies the system and dispatches to the most specific
 // evaluator the paper's analysis licenses.
 func ClassEval(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	return ClassEvalOpts(sys, q, db, Opts{})
+}
+
+// ClassEvalOpts is ClassEval with instrumentation: the classification is
+// recorded under a "classify" span before dispatch.
+func ClassEvalOpts(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
+	cls := opts.parent().Child("classify")
 	res, err := classify.Classify(sys.Recursive)
 	if err != nil {
+		cls.End()
 		return nil, Stats{}, err
 	}
-	return ClassEvalWith(sys, res, q, db)
+	cls.SetStr("class", res.Class.Code()).End()
+	return ClassEvalWithOpts(sys, res, q, db, opts)
 }
 
 // ClassEvalWith is ClassEval with a precomputed classification (so callers
 // can amortize the compilation across queries — the paper's compiled-query
 // setting).
 func ClassEvalWith(sys *ast.RecursiveSystem, res *classify.Result, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	return ClassEvalWithOpts(sys, res, q, db, Opts{})
+}
+
+// ClassEvalWithOpts is ClassEvalWith with instrumentation threaded into the
+// dispatched evaluator.
+func ClassEvalWithOpts(sys *ast.RecursiveSystem, res *classify.Result, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
 	switch {
 	case res.Bounded:
 		// Classes B, D and the bounded combinations (Theorems 10, 11):
 		// finitely many non-recursive expansions.
-		return BoundedEval(sys, res.RankBound, q, db)
+		return BoundedEvalOpts(sys, res.RankBound, q, db, opts)
 	case res.Stable:
 		se, err := NewStableEval(sys, res, db)
 		if err != nil {
 			return nil, Stats{}, err
 		}
-		return se.Answer(q)
+		return se.AnswerOpts(q, opts)
 	case res.Transformable:
 		// Theorem 2/4: unfold to an equivalent stable system, then run the
 		// stable plan.
@@ -143,10 +165,10 @@ func ClassEvalWith(sys *ast.RecursiveSystem, res *classify.Result, q ast.Query, 
 		if err != nil {
 			return nil, Stats{}, err
 		}
-		return se.Answer(q)
+		return se.AnswerOpts(q, opts)
 	default:
 		// Classes C, E, F: the paper gives no general closed plan; the
 		// resolution-graph-driven compiled evaluator is the uniform method.
-		return StateEval(sys, q, db)
+		return StateEvalOpts(sys, q, db, opts)
 	}
 }

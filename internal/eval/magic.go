@@ -18,10 +18,19 @@ import (
 // variable closure (adorn.Step), so one recursive rule can fan out into a
 // small family of adorned rules, one per reachable adornment.
 func MagicSets(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	return MagicSetsOpts(sys, q, db, Opts{})
+}
+
+// MagicSetsOpts is MagicSets with instrumentation: the rewriting itself is
+// recorded under a "magic-rewrite" span (adornment count, generated rules)
+// and the semi-naive evaluation of the rewritten program attaches its own
+// fixpoint span as a sibling.
+func MagicSetsOpts(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
 	n := sys.Arity()
 	if q.Atom.Pred != sys.Pred() || q.Atom.Arity() != n {
 		return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/%d", q, sys.Pred(), n)
 	}
+	mr := opts.parent().Child("magic-rewrite")
 	a0 := adorn.FromQuery(q)
 	prog := &ast.Program{}
 	rule := sys.Recursive
@@ -81,10 +90,12 @@ func MagicSets(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*st
 	if len(seed.Args) == 0 || seed.IsGround() {
 		prog.Facts = append(prog.Facts, seed)
 	} else {
+		mr.End()
 		return nil, Stats{}, fmt.Errorf("eval: non-ground magic seed %v", seed)
 	}
+	mr.SetInt("adornments", int64(len(seen))).SetInt("rules", int64(len(prog.Rules))).End()
 
-	out, st, err := SemiNaive(prog, db)
+	out, st, err := SemiNaiveOpts(prog, db, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}

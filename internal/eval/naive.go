@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ast"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -98,7 +99,14 @@ func strataOf(prog *ast.Program) ([][]ast.Rule, error) {
 // The returned database shares EDB relations with db and holds the
 // materialized IDB relations.
 func Naive(prog *ast.Program, db *storage.Database) (*storage.Database, Stats, error) {
-	work, _, err := prepare(prog, db)
+	return NaiveOpts(prog, db, Opts{})
+}
+
+// NaiveOpts is Naive with instrumentation: per-round records in Stats.Trace
+// and through opts.Observer, spans (fixpoint → round → per-rule join) on
+// opts.Tracer, and counters on the metrics registry.
+func NaiveOpts(prog *ast.Program, db *storage.Database, opts Opts) (*storage.Database, Stats, error) {
+	work, idb, err := prepare(prog, db)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -106,27 +114,43 @@ func Naive(prog *ast.Program, db *storage.Database) (*storage.Database, Stats, e
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	fix := opts.parent().Child("fixpoint").SetStr("engine", "naive")
+	defer fix.End()
 	var st Stats
-	for _, group := range strata {
+	sink := newRoundSink(&st, opts, fix)
+	round := 0
+	for si, group := range strata {
 		rules, err := compileRules(db.Syms, group)
 		if err != nil {
 			return nil, st, err
 		}
-		if err := naiveFixpoint(work, rules, &st); err != nil {
+		r0 := round
+		if err := naiveFixpoint(work, rules, si, &round, &st, &sink); err != nil {
 			return nil, st, err
 		}
+		sink.stratumDone(round - r0)
 	}
+	fix.SetInt("rounds", int64(st.Rounds)).SetInt("derived", int64(st.Derived))
+	flushDB(opts, &st, work, idb)
 	return work, st, nil
 }
 
 // naiveFixpoint runs full re-evaluation rounds of the rule group to
 // saturation within work.
-func naiveFixpoint(work *storage.Database, rules []compiledRule, st *Stats) error {
+func naiveFixpoint(work *storage.Database, rules []compiledRule, stratum int, round *int, st *Stats, sink *roundSink) error {
 	rels := DBRels(work)
 	for {
+		*round++
 		st.Rounds++
+		sink.begin()
 		added := 0
+		facts0 := st.Facts
 		for _, cr := range rules {
+			var rsp *obs.Span
+			if sink.traced() {
+				rsp = sink.rule(cr.rule.String())
+			}
+			ruleAdded, ruleFacts := added, st.Facts
 			head := work.Rel(cr.rule.Head.Pred)
 			buf := make(storage.Tuple, len(cr.slots))
 			cr.conj.Eval(rels, cr.conj.NewBinding(), func(b []storage.Value) bool {
@@ -143,8 +167,10 @@ func naiveFixpoint(work *storage.Database, rules []compiledRule, st *Stats) erro
 				}
 				return true
 			})
+			rsp.SetInt("derived", int64(added-ruleAdded)).SetInt("attempted", int64(st.Facts-ruleFacts)).End()
 		}
 		st.Derived += added
+		sink.end(RoundStats{Round: *round, Stratum: stratum, Derived: added, Attempted: st.Facts - facts0})
 		if added == 0 {
 			return nil
 		}
@@ -158,7 +184,15 @@ func naiveFixpoint(work *storage.Database, rules []compiledRule, st *Stats) erro
 // literals are evaluated stratum by stratum; within a stratum, negated
 // literals and lower-strata predicates read fully materialized relations.
 func SemiNaive(prog *ast.Program, db *storage.Database) (*storage.Database, Stats, error) {
-	work, _, err := prepare(prog, db)
+	return SemiNaiveOpts(prog, db, Opts{})
+}
+
+// SemiNaiveOpts is SemiNaive with instrumentation: per-round records in
+// Stats.Trace and through opts.Observer (which earlier releases silently
+// ignored for this engine), spans on opts.Tracer, and counters on the
+// metrics registry.
+func SemiNaiveOpts(prog *ast.Program, db *storage.Database, opts Opts) (*storage.Database, Stats, error) {
+	work, idb, err := prepare(prog, db)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -166,8 +200,12 @@ func SemiNaive(prog *ast.Program, db *storage.Database) (*storage.Database, Stat
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	fix := opts.parent().Child("fixpoint").SetStr("engine", "seminaive")
+	defer fix.End()
 	var st Stats
-	for _, group := range strata {
+	sink := newRoundSink(&st, opts, fix)
+	round := 0
+	for si, group := range strata {
 		rules, err := compileRules(db.Syms, group)
 		if err != nil {
 			return nil, st, err
@@ -178,16 +216,20 @@ func SemiNaive(prog *ast.Program, db *storage.Database) (*storage.Database, Stat
 		for _, r := range group {
 			local[r.Head.Pred] = true
 		}
-		if err := semiNaiveFixpoint(work, rules, local, &st); err != nil {
+		r0 := round
+		if err := semiNaiveFixpoint(work, rules, local, si, &round, &st, &sink); err != nil {
 			return nil, st, err
 		}
+		sink.stratumDone(round - r0)
 	}
+	fix.SetInt("rounds", int64(st.Rounds)).SetInt("derived", int64(st.Derived))
+	flushDB(opts, &st, work, idb)
 	return work, st, nil
 }
 
 // semiNaiveFixpoint saturates one rule group with delta evaluation over the
 // group's own head predicates.
-func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[string]bool, st *Stats) error {
+func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[string]bool, stratum int, round *int, st *Stats, sink *roundSink) error {
 	delta := make(map[string]*storage.Relation)
 	for pred := range local {
 		delta[pred] = storage.NewRelation(work.Rel(pred).Arity())
@@ -200,51 +242,76 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 	// whole pass is a single fixpoint round no matter how many such rules
 	// the group has, and its insertions are accumulated through the same
 	// per-round counter as the delta rounds below.
-	seeded := false
-	added0 := 0
-	for _, cr := range rules {
-		hasLocal := false
+	hasLocalLit := func(cr *compiledRule) bool {
 		for _, a := range cr.rule.Body {
 			if !a.Neg && local[a.Pred] {
-				hasLocal = true
-				break
+				return true
 			}
 		}
-		if hasLocal {
-			continue
-		}
-		if !seeded {
-			seeded = true
-			st.Rounds++
-		}
-		head := work.Rel(cr.rule.Head.Pred)
-		buf := make(storage.Tuple, len(cr.slots))
-		cr.conj.Eval(full, cr.conj.NewBinding(), func(b []storage.Value) bool {
-			for i, s := range cr.slots {
-				if s >= 0 {
-					buf[i] = b[s]
-				} else {
-					buf[i] = cr.fixed[i]
-				}
-			}
-			st.Facts++
-			if head.Insert(buf) {
-				added0++
-				delta[cr.rule.Head.Pred].Insert(buf)
-			}
-			return true
-		})
+		return false
 	}
-	st.Derived += added0
+	seeded := false
+	for i := range rules {
+		if !hasLocalLit(&rules[i]) {
+			seeded = true
+			break
+		}
+	}
+	if seeded {
+		st.Rounds++
+		*round++
+		sink.begin()
+		facts0 := st.Facts
+		added0 := 0
+		for i := range rules {
+			cr := &rules[i]
+			if hasLocalLit(cr) {
+				continue
+			}
+			var rsp *obs.Span
+			if sink.traced() {
+				rsp = sink.rule(cr.rule.String())
+			}
+			ruleAdded, ruleFacts := added0, st.Facts
+			head := work.Rel(cr.rule.Head.Pred)
+			buf := make(storage.Tuple, len(cr.slots))
+			cr.conj.Eval(full, cr.conj.NewBinding(), func(b []storage.Value) bool {
+				for i, s := range cr.slots {
+					if s >= 0 {
+						buf[i] = b[s]
+					} else {
+						buf[i] = cr.fixed[i]
+					}
+				}
+				st.Facts++
+				if head.Insert(buf) {
+					added0++
+					delta[cr.rule.Head.Pred].Insert(buf)
+				}
+				return true
+			})
+			rsp.SetInt("derived", int64(added0-ruleAdded)).SetInt("attempted", int64(st.Facts-ruleFacts)).End()
+		}
+		st.Derived += added0
+		sink.end(RoundStats{Round: *round, Stratum: stratum, Derived: added0, Attempted: st.Facts - facts0})
+	}
 
 	for {
 		st.Rounds++
+		*round++
+		sink.begin()
+		facts0 := st.Facts
+		deltaSize := 0
+		for _, d := range delta {
+			deltaSize += d.Len()
+		}
 		next := make(map[string]*storage.Relation)
 		for pred := range local {
 			next[pred] = storage.NewRelation(work.Rel(pred).Arity())
 		}
 		added := 0
-		for _, cr := range rules {
+		for ri := range rules {
+			cr := &rules[ri]
 			for bi, a := range cr.rule.Body {
 				if a.Neg || !local[a.Pred] {
 					continue
@@ -254,6 +321,11 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 				if delta[deltaPred].Len() == 0 {
 					continue
 				}
+				var rsp *obs.Span
+				if sink.traced() {
+					rsp = sink.rule(cr.rule.String())
+				}
+				ruleAdded, ruleFacts := added, st.Facts
 				rels := func(pred string, atomIdx int) *storage.Relation {
 					if atomIdx == deltaIdx {
 						return delta[deltaPred]
@@ -277,9 +349,11 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 					}
 					return true
 				})
+				rsp.SetInt("derived", int64(added-ruleAdded)).SetInt("attempted", int64(st.Facts-ruleFacts)).End()
 			}
 		}
 		st.Derived += added
+		sink.end(RoundStats{Round: *round, Stratum: stratum, Delta: deltaSize, Derived: added, Attempted: st.Facts - facts0})
 		if added == 0 {
 			return nil
 		}

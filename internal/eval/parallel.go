@@ -7,18 +7,15 @@ import (
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
-// ParallelOpts configures the parallel semi-naive engine.
-type ParallelOpts struct {
-	// Workers is the size of the worker pool; 0 or negative means
-	// runtime.GOMAXPROCS(0).
-	Workers int
-	// Observer, when non-nil, receives one RoundStats per fixpoint round,
-	// in round order, from the coordinating goroutine.
-	Observer Observer
-}
+// ParallelOpts is the former name of the engine-wide Opts; kept as an alias
+// so existing callers (and their composite literals) keep compiling.
+//
+// Deprecated: use Opts.
+type ParallelOpts = Opts
 
 // ParallelSemiNaive is SemiNaive with each round's delta fanned out across a
 // worker pool: the round's work is split into (rule, delta-occurrence,
@@ -34,8 +31,8 @@ func ParallelSemiNaive(prog *ast.Program, db *storage.Database) (*storage.Databa
 
 // ParallelSemiNaiveOpts is ParallelSemiNaive with an explicit worker count
 // and an optional per-round observer.
-func ParallelSemiNaiveOpts(prog *ast.Program, db *storage.Database, opts ParallelOpts) (*storage.Database, Stats, error) {
-	work, _, err := prepare(prog, db)
+func ParallelSemiNaiveOpts(prog *ast.Program, db *storage.Database, opts Opts) (*storage.Database, Stats, error) {
+	work, idb, err := prepare(prog, db)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -53,7 +50,10 @@ func ParallelSemiNaiveOpts(prog *ast.Program, db *storage.Database, opts Paralle
 	// contract). Inserts during the single-threaded merges keep the
 	// indexes current.
 	work.BuildIndexes()
+	fix := opts.parent().Child("fixpoint").SetStr("engine", "parallel")
+	defer fix.End()
 	var st Stats
+	sink := newRoundSink(&st, opts, fix)
 	round := 0
 	for si, group := range strata {
 		rules, err := compileRules(db.Syms, group)
@@ -64,10 +64,14 @@ func ParallelSemiNaiveOpts(prog *ast.Program, db *storage.Database, opts Paralle
 		for _, r := range group {
 			local[r.Head.Pred] = true
 		}
-		if err := parallelFixpoint(work, rules, local, workers, si, &round, opts.Observer, &st); err != nil {
+		r0 := round
+		if err := parallelFixpoint(work, rules, local, workers, si, &round, &sink, &st); err != nil {
 			return nil, st, err
 		}
+		sink.stratumDone(round - r0)
 	}
+	fix.SetInt("rounds", int64(st.Rounds)).SetInt("derived", int64(st.Derived))
+	flushDB(opts, &st, work, idb)
 	return work, st, nil
 }
 
@@ -83,6 +87,9 @@ type parTask struct {
 	seedIdx int
 	chunk   []storage.Tuple
 	head    *storage.Relation
+	// span is the round span the task's join span attaches under; nil when
+	// untraced. Workers emit concurrently — obs.Span serializes internally.
+	span *obs.Span
 }
 
 // parResult is a task's private output buffer, merged single-threaded. The
@@ -143,15 +150,9 @@ func (ws *workerScratch) bufFor(n int) storage.Tuple {
 
 // parallelFixpoint saturates one rule group with delta evaluation, fanning
 // each round's tasks across the worker pool and merging serially.
-func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[string]bool, workers, stratum int, round *int, obs Observer, st *Stats) error {
+func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[string]bool, workers, stratum int, round *int, sink *roundSink, st *Stats) error {
 	full := DBRels(work)
 
-	emit := func(rs RoundStats) {
-		st.Trace = append(st.Trace, rs)
-		if obs != nil {
-			obs.Round(rs)
-		}
-	}
 	// Deltas are plain tuple slices, not relations: the head relations
 	// already deduplicate (so a new tuple is appended exactly once, in
 	// deterministic merge order), and the next round only partitions the
@@ -182,7 +183,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 
 	// Seed round: rules with no positive local literal run once in full,
 	// one task per rule.
-	var seedTasks []parTask
+	hasSeed := false
 	for i := range rules {
 		cr := &rules[i]
 		hasLocal := false
@@ -193,13 +194,29 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 			}
 		}
 		if !hasLocal {
-			seedTasks = append(seedTasks, parTask{cr: cr, seedIdx: -1, head: work.Rel(cr.rule.Head.Pred)})
+			hasSeed = true
+			break
 		}
 	}
-	if len(seedTasks) > 0 {
+	if hasSeed {
 		*round++
 		st.Rounds++
 		start := time.Now()
+		sink.begin()
+		var seedTasks []parTask
+		for i := range rules {
+			cr := &rules[i]
+			hasLocal := false
+			for _, a := range cr.rule.Body {
+				if !a.Neg && local[a.Pred] {
+					hasLocal = true
+					break
+				}
+			}
+			if !hasLocal {
+				seedTasks = append(seedTasks, parTask{cr: cr, seedIdx: -1, head: work.Rel(cr.rule.Head.Pred), span: sink.span})
+			}
+		}
 		results, busy, err := runTasks(seedTasks, workers, full, pool)
 		if err != nil {
 			return err
@@ -207,7 +224,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 		added, attempted := merge(seedTasks, results, nil)
 		st.Facts += attempted
 		st.Derived += added
-		emit(RoundStats{
+		sink.end(RoundStats{
 			Round: *round, Stratum: stratum, Tasks: len(seedTasks),
 			Derived: added, Attempted: attempted, Workers: workers,
 			Duration: time.Since(start), Busy: busy,
@@ -226,6 +243,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 		*round++
 		st.Rounds++
 		start := time.Now()
+		sink.begin()
 		deltaSize := 0
 		var tasks []parTask
 		for i := range rules {
@@ -239,7 +257,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 					continue
 				}
 				for _, chunk := range storage.PartitionTuples(d, workers*3) {
-					tasks = append(tasks, parTask{cr: cr, seedIdx: bi, chunk: chunk, head: work.Rel(cr.rule.Head.Pred)})
+					tasks = append(tasks, parTask{cr: cr, seedIdx: bi, chunk: chunk, head: work.Rel(cr.rule.Head.Pred), span: sink.span})
 				}
 			}
 		}
@@ -259,7 +277,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 		}
 		st.Facts += attempted
 		st.Derived += added
-		emit(RoundStats{
+		sink.end(RoundStats{
 			Round: *round, Stratum: stratum, Tasks: len(tasks), Delta: deltaSize,
 			Derived: added, Attempted: attempted, Workers: workers,
 			Duration: time.Since(start), Busy: busy,
@@ -346,6 +364,16 @@ func runTask(res *parResult, task parTask, rels RelFunc, pool *relPool, scratch 
 	}()
 	start := time.Now()
 	cr := task.cr
+	// Workers attach join spans concurrently; obs.Span serializes through
+	// the tracer. Guard the rule.String() so untraced runs stay
+	// allocation-free.
+	var js *obs.Span
+	if task.span != nil {
+		js = task.span.Child("join").SetStr("rule", cr.rule.String())
+		if task.seedIdx >= 0 {
+			js.SetInt("chunk", int64(len(task.chunk)))
+		}
+	}
 	out := pool.get(len(cr.slots))
 	buf := scratch.bufFor(len(cr.slots))
 	attempted := 0
@@ -378,5 +406,6 @@ func runTask(res *parResult, task parTask, rels RelFunc, pool *relPool, scratch 
 	res.out = out
 	res.attempted = attempted
 	res.busy = time.Since(start)
+	js.SetInt("attempted", int64(attempted)).SetInt("buffered", int64(out.Len())).End()
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adorn"
 	"repro/internal/ast"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -16,11 +17,18 @@ import (
 // never be served for a modified program (invalidation by construction);
 // Invalidate drops a replaced program's entries eagerly. Cached plans are
 // immutable, so any number of goroutines may call Answer concurrently.
+//
+// Hit, miss and invalidation counts live in an obs.Registry (the
+// dl_plancache_*_total counters), so a planner wired to the default registry
+// surfaces its cache behavior on /metrics. Metrics and Reset work against
+// per-planner baselines: Reset re-bases the planner's view while the
+// registry counters stay monotonic, as Prometheus-style counters must.
 type Planner struct {
-	mu     sync.RWMutex
-	plans  map[planKey]*Plan
-	hits   uint64
-	misses uint64
+	mu    sync.RWMutex
+	plans map[planKey]*Plan
+
+	hits, misses, invalidations       *obs.Counter
+	baseHits, baseMisses, baseInvalid int64
 }
 
 type planKey struct {
@@ -28,14 +36,28 @@ type planKey struct {
 	adorn   string
 }
 
-// NewPlanner returns an empty plan cache.
+// NewPlanner returns an empty plan cache with isolated counters (its own
+// registry), so per-tool hit/miss accounting never mixes with the
+// process-wide registry.
 func NewPlanner() *Planner {
-	return &Planner{plans: make(map[planKey]*Plan)}
+	return NewPlannerWith(obs.NewRegistry())
 }
 
-// DefaultPlanner backs StrategyAuto. Tools that want isolated hit/miss
+// NewPlannerWith returns an empty plan cache whose counters live in reg
+// under the dl_plancache_*_total names.
+func NewPlannerWith(reg *obs.Registry) *Planner {
+	return &Planner{
+		plans:         make(map[planKey]*Plan),
+		hits:          reg.Counter(mPlanHits),
+		misses:        reg.Counter(mPlanMisses),
+		invalidations: reg.Counter(mPlanInvalid),
+	}
+}
+
+// DefaultPlanner backs StrategyAuto; its counters live in obs.Default() so
+// dlrun/dlbench -serve expose them. Tools that want isolated hit/miss
 // accounting (or eager invalidation) create their own Planner.
-var DefaultPlanner = NewPlanner()
+var DefaultPlanner = NewPlannerWith(obs.Default())
 
 // programKey renders the system's canonical rule text: the recursive rule
 // followed by the exit rules in order.
@@ -52,32 +74,38 @@ func programKey(sys *ast.RecursiveSystem) string {
 // PlanFor returns the cached plan for the system and query form, compiling
 // and inserting it on a miss. The second result reports a cache hit.
 func (pl *Planner) PlanFor(sys *ast.RecursiveSystem, q ast.Query) (*Plan, bool, error) {
+	return pl.PlanForOpts(sys, q, Opts{})
+}
+
+// PlanForOpts is PlanFor with instrumentation: the lookup is recorded under
+// a "plan-cache" span (result=hit|miss) and a miss compiles under the
+// classify/plan-compile spans of CompilePlanOpts.
+func (pl *Planner) PlanForOpts(sys *ast.RecursiveSystem, q ast.Query, opts Opts) (*Plan, bool, error) {
 	key := planKey{program: programKey(sys), adorn: adorn.FromQuery(q).String()}
+	sp := opts.parent().Child("plan-cache").SetStr("adorn", key.adorn)
 	pl.mu.RLock()
 	p, ok := pl.plans[key]
 	pl.mu.RUnlock()
 	if ok {
-		pl.mu.Lock()
-		pl.hits++
-		pl.mu.Unlock()
+		pl.hits.Inc()
+		sp.SetStr("result", "hit").End()
 		return p, true, nil
 	}
-	p, err := CompilePlan(sys)
-	pl.mu.Lock()
-	pl.misses++
-	if err == nil {
-		// A concurrent compiler may have raced us here; keep the first
-		// entry so callers holding it stay coherent with the cache.
-		if prev, ok := pl.plans[key]; ok {
-			p = prev
-		} else {
-			pl.plans[key] = p
-		}
-	}
-	pl.mu.Unlock()
+	sp.SetStr("result", "miss").End()
+	p, err := CompilePlanOpts(sys, opts)
+	pl.misses.Inc()
 	if err != nil {
 		return nil, false, err
 	}
+	pl.mu.Lock()
+	// A concurrent compiler may have raced us here; keep the first entry so
+	// callers holding it stay coherent with the cache.
+	if prev, ok := pl.plans[key]; ok {
+		p = prev
+	} else {
+		pl.plans[key] = p
+	}
+	pl.mu.Unlock()
 	return p, false, nil
 }
 
@@ -85,11 +113,17 @@ func (pl *Planner) PlanFor(sys *ast.RecursiveSystem, q ast.Query) (*Plan, bool, 
 // first use of this program and query form). Stats.Plan reports the class,
 // the chosen strategy and whether the plan came from the cache.
 func (pl *Planner) Answer(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
-	p, hit, err := pl.PlanFor(sys, q)
+	return pl.AnswerOpts(sys, q, db, Opts{})
+}
+
+// AnswerOpts is Answer with instrumentation threaded through the plan lookup
+// and the compiled path's engine.
+func (pl *Planner) AnswerOpts(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
+	p, hit, err := pl.PlanForOpts(sys, q, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	rel, st, err := p.Answer(q, db)
+	rel, st, err := p.AnswerOpts(q, db, opts)
 	if err != nil {
 		return nil, st, err
 	}
@@ -114,14 +148,24 @@ func (pl *Planner) Invalidate(sys *ast.RecursiveSystem) int {
 			n++
 		}
 	}
+	pl.invalidations.Add(int64(n))
 	return n
 }
 
-// Metrics returns the hit and miss counters.
+// Metrics returns the hit and miss counters accumulated since the planner
+// was created or last Reset.
 func (pl *Planner) Metrics() (hits, misses uint64) {
 	pl.mu.RLock()
 	defer pl.mu.RUnlock()
-	return pl.hits, pl.misses
+	return uint64(pl.hits.Value() - pl.baseHits), uint64(pl.misses.Value() - pl.baseMisses)
+}
+
+// Invalidations returns the number of plans dropped by Invalidate since the
+// planner was created or last Reset.
+func (pl *Planner) Invalidations() uint64 {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return uint64(pl.invalidations.Value() - pl.baseInvalid)
 }
 
 // Len returns the number of cached plans.
@@ -131,10 +175,14 @@ func (pl *Planner) Len() int {
 	return len(pl.plans)
 }
 
-// Reset empties the cache and zeroes the counters.
+// Reset empties the cache and zeroes the planner's view of the counters.
+// The underlying registry counters are never decremented (scrapes must see
+// them monotonic); Reset only moves the baselines Metrics subtracts.
 func (pl *Planner) Reset() {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	pl.plans = make(map[planKey]*Plan)
-	pl.hits, pl.misses = 0, 0
+	pl.baseHits = pl.hits.Value()
+	pl.baseMisses = pl.misses.Value()
+	pl.baseInvalid = pl.invalidations.Value()
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/ast"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/storage"
 )
@@ -176,5 +177,55 @@ func TestPlannerConcurrent(t *testing.T) {
 	}
 	if misses < uint64(pl.Len()) || misses > uint64(workers*len(systems)*len(queries)) {
 		t.Errorf("misses = %d outside [%d, %d]", misses, pl.Len(), workers*len(systems)*len(queries))
+	}
+}
+
+// TestPlannerRegistryCounters checks the planner's cache accounting lands in
+// the obs registry as monotonic counters, including across Reset (which only
+// re-bases the per-planner Metrics view).
+func TestPlannerRegistryCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	pl := NewPlannerWith(reg)
+	sys := mustSystem(t, "p(X, Y) :- a(X, Z), p(Z, Y).", "p(X, Y) :- e(X, Y).")
+	db := chainDB(t, 6)
+	q, _ := parser.ParseQuery("?- p(n0, Y).")
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := pl.Answer(sys, q, db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("dl_plancache_misses_total").Value(); got != 1 {
+		t.Errorf("registry misses = %d, want 1", got)
+	}
+	if got := reg.Counter("dl_plancache_hits_total").Value(); got != 2 {
+		t.Errorf("registry hits = %d, want 2", got)
+	}
+	if n := pl.Invalidate(sys); n != 1 {
+		t.Fatalf("Invalidate removed %d, want 1", n)
+	}
+	if got := reg.Counter("dl_plancache_invalidations_total").Value(); got != 1 {
+		t.Errorf("registry invalidations = %d, want 1", got)
+	}
+	if got := pl.Invalidations(); got != 1 {
+		t.Errorf("Invalidations() = %d, want 1", got)
+	}
+
+	// Reset zeroes the planner's view but never decrements the registry.
+	pl.Reset()
+	if h, m := pl.Metrics(); h != 0 || m != 0 {
+		t.Fatalf("post-Reset Metrics = %d/%d, want 0/0", h, m)
+	}
+	if got := reg.Counter("dl_plancache_hits_total").Value(); got != 2 {
+		t.Errorf("Reset changed registry hits to %d, want 2 (monotonic)", got)
+	}
+	if _, _, err := pl.Answer(sys, q, db); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := pl.Metrics(); h != 0 || m != 1 {
+		t.Errorf("post-Reset lookup Metrics = %d/%d, want 0/1", h, m)
+	}
+	if got := reg.Counter("dl_plancache_misses_total").Value(); got != 2 {
+		t.Errorf("registry misses = %d, want 2 (cumulative)", got)
 	}
 }

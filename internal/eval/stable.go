@@ -209,6 +209,12 @@ func (p pairRel) sortedKey() string {
 
 // Answer runs the stable compiled plan for the query.
 func (se *StableEval) Answer(q ast.Query) (*storage.Relation, Stats, error) {
+	return se.AnswerOpts(q, Opts{})
+}
+
+// AnswerOpts is Answer with instrumentation: each chain depth becomes one
+// round under a "fixpoint" span tagged engine=stable.
+func (se *StableEval) AnswerOpts(q ast.Query, opts Opts) (*storage.Relation, Stats, error) {
 	n := se.n
 	if q.Atom.Pred != se.sys.Pred() || q.Atom.Arity() != n {
 		return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/%d", q, se.sys.Pred(), n)
@@ -216,6 +222,16 @@ func (se *StableEval) Answer(q ast.Query) (*storage.Relation, Stats, error) {
 	var st Stats
 	answers := storage.NewRelation(n)
 	rels := DBRels(se.db)
+	fix := opts.parent().Child("fixpoint").SetStr("engine", "stable")
+	defer fix.End()
+	sink := newRoundSink(&st, opts, fix)
+	defer func() {
+		fix.SetInt("rounds", int64(st.Rounds)).SetInt("derived", int64(st.Derived))
+		sink.stratumDone(st.Rounds)
+		// The exit relation is shared across Answer calls on the same
+		// StableEval, so only the per-call answers relation is flushed.
+		flushRels(opts, &st, answers)
+	}()
 
 	var boundPos, freePos []int
 	consts := make(storage.Tuple, n)
@@ -234,6 +250,7 @@ func (se *StableEval) Answer(q ast.Query) (*storage.Relation, Stats, error) {
 
 	// Depth 0: σ_query(E).
 	st.Rounds++
+	sink.begin()
 	bound := make([]bool, n)
 	for _, p := range boundPos {
 		bound[p] = true
@@ -245,6 +262,7 @@ func (se *StableEval) Answer(q ast.Query) (*storage.Relation, Stats, error) {
 		}
 		return true
 	})
+	sink.end(RoundStats{Round: st.Rounds, Derived: st.Derived, Attempted: st.Facts})
 
 	// The trivial-component existence check is the same at every depth.
 	if se.trivialConj != nil {
@@ -403,8 +421,14 @@ func (se *StableEval) Answer(q ast.Query) (*storage.Relation, Stats, error) {
 		return nw
 	}
 
+	facts0, derived0 := 0, 0
+	endRound := func() {
+		sink.end(RoundStats{Round: st.Rounds, Derived: st.Derived - derived0, Attempted: st.Facts - facts0})
+	}
 	for {
 		st.Rounds++
+		sink.begin()
+		facts0, derived0 = st.Facts, st.Derived
 		// Advance every cycle one step, independently — concurrently when
 		// Parallel is set. Each goroutine computes its own frontier; the
 		// shared maps are committed serially afterwards.
@@ -437,6 +461,7 @@ func (se *StableEval) Answer(q ast.Query) (*storage.Relation, Stats, error) {
 		}
 		for _, p := range movingBound {
 			if len(D[p]) == 0 {
+				endRound()
 				return answers, st, nil
 			}
 		}
@@ -453,6 +478,7 @@ func (se *StableEval) Answer(q ast.Query) (*storage.Relation, Stats, error) {
 					}
 				}
 				if len(delta) == 0 {
+					endRound()
 					return answers, st, nil
 				}
 				D[p] = delta
@@ -475,6 +501,7 @@ func (se *StableEval) Answer(q ast.Query) (*storage.Relation, Stats, error) {
 					}
 				}
 				if len(delta) == 0 {
+					endRound()
 					return answers, st, nil
 				}
 				W[p] = delta
@@ -487,10 +514,12 @@ func (se *StableEval) Answer(q ast.Query) (*storage.Relation, Stats, error) {
 		if !singleMoving {
 			k := stateKey()
 			if seenStates[k] {
+				endRound()
 				return answers, st, nil
 			}
 			seenStates[k] = true
 		}
+		endRound()
 	}
 }
 

@@ -90,6 +90,13 @@ func MaterializeExit(sys *ast.RecursiveSystem, db *storage.Database) (*storage.R
 // terminates on all inputs (finite state space); class-specific evaluators
 // beat it where the paper's analysis applies.
 func StateEval(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	return StateEvalOpts(sys, q, db, Opts{})
+}
+
+// StateEvalOpts is StateEval with instrumentation: each worklist sweep (one
+// expansion depth) becomes one round under a "fixpoint" span tagged
+// engine=state.
+func StateEvalOpts(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
 	n := sys.Arity()
 	if q.Atom.Pred != sys.Pred() || q.Atom.Arity() != n {
 		return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/%d", q, sys.Pred(), n)
@@ -125,6 +132,14 @@ func StateEval(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*st
 
 	answers := storage.NewRelation(n)
 	var st Stats
+	fix := opts.parent().Child("fixpoint").SetStr("engine", "state")
+	defer fix.End()
+	sink := newRoundSink(&st, opts, fix)
+	defer func() {
+		fix.SetInt("rounds", int64(st.Rounds)).SetInt("derived", int64(st.Derived))
+		sink.stratumDone(st.Rounds)
+		flushRels(opts, &st, answers, exitRel)
+	}()
 
 	// Initial state from the query.
 	init := expState{ans: make(storage.Tuple, n), frontier: make([]frontierSlot, n)}
@@ -191,6 +206,8 @@ func StateEval(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*st
 	rels := DBRels(db)
 	for len(worklist) > 0 {
 		st.Rounds++
+		sink.begin()
+		facts0, derived0 := st.Facts, st.Derived
 		var next []expState
 		for _, s := range worklist {
 			// Instantiate the rule copy: head variable i takes the state's
@@ -272,6 +289,10 @@ func StateEval(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database) (*st
 				return true
 			})
 		}
+		sink.end(RoundStats{
+			Round: st.Rounds, Delta: len(worklist),
+			Derived: st.Derived - derived0, Attempted: st.Facts - facts0,
+		})
 		worklist = next
 	}
 	return answers, st, nil

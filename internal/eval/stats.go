@@ -55,9 +55,12 @@ func (p PlanInfo) String() string {
 	return fmt.Sprintf("class=%s strategy=%s cache=%s", p.Class, p.Strategy, cache)
 }
 
-// RoundStats records one fixpoint round of the parallel semi-naive engine:
-// how much delta was consumed, how the round was split into tasks, what it
-// produced, and how well the worker pool was used.
+// RoundStats records one fixpoint round: how much delta was consumed, what
+// the round produced, and — for the parallel engine — how the round was
+// split into tasks and how well the worker pool was used. Every engine
+// (naive, semi-naive, parallel, the compiled kernels) emits one RoundStats
+// per round into Stats.Trace; the task/worker fields stay zero for the
+// sequential engines.
 type RoundStats struct {
 	// Round is the 1-based global round number across all strata.
 	Round int
@@ -97,13 +100,25 @@ func (r RoundStats) Utilization() float64 {
 }
 
 func (r RoundStats) String() string {
-	return fmt.Sprintf("round=%d stratum=%d tasks=%d delta=%d derived=%d attempted=%d workers=%d util=%.0f%% wall=%v",
-		r.Round, r.Stratum, r.Tasks, r.Delta, r.Derived, r.Attempted, r.Workers, 100*r.Utilization(), r.Duration)
+	s := fmt.Sprintf("round=%d stratum=%d delta=%d derived=%d attempted=%d",
+		r.Round, r.Stratum, r.Delta, r.Derived, r.Attempted)
+	if r.Workers > 0 {
+		// Only the parallel engine fills the pool fields; sequential rounds
+		// would otherwise print meaningless tasks=0 workers=0 util=0%.
+		s += fmt.Sprintf(" tasks=%d workers=%d util=%.0f%%", r.Tasks, r.Workers, 100*r.Utilization())
+	}
+	return s + fmt.Sprintf(" wall=%v", r.Duration)
 }
 
-// Observer receives one callback per fixpoint round from engines that
-// collect per-round metrics. Calls are made from the coordinating goroutine
-// only, in round order, so implementations need no locking.
+// Observer receives one callback per fixpoint round. Calls are made from
+// the coordinating goroutine only, in round order, so implementations need
+// no locking. Every engine feeds it through the same round sink that emits
+// round spans, so it now fires for the sequential engines too (it was
+// silently ignored by them before).
+//
+// Deprecated: Observer predates the obs.Tracer span plumbing. New callers
+// should read Stats.Trace after evaluation or attach an Opts.Tracer for
+// live, hierarchical data.
 type Observer interface {
 	Round(RoundStats)
 }

@@ -72,6 +72,12 @@ func detectTC(sys *ast.RecursiveSystem) (*tcShape, bool) {
 // materialized from the system's exit rules; the edge relation is read from
 // the database (an absent edge relation leaves only the k = 0 stratum).
 func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.Database) (*storage.Relation, Stats, error) {
+	return TCEvalOpts(sys, shape, q, db, Opts{})
+}
+
+// TCEvalOpts is TCEval with instrumentation: each BFS level (or compose
+// round) becomes one round under a "fixpoint" span tagged engine=tc-frontier.
+func TCEvalOpts(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
 	if q.Atom.Pred != sys.Pred() || q.Atom.Arity() != 2 {
 		return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/2", q, sys.Pred())
 	}
@@ -85,6 +91,14 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 	}
 	answers := storage.NewRelation(2)
 	var st Stats
+	fix := opts.parent().Child("fixpoint").SetStr("engine", "tc-frontier")
+	defer fix.End()
+	sink := newRoundSink(&st, opts, fix)
+	defer func() {
+		fix.SetInt("rounds", int64(st.Rounds)).SetInt("derived", int64(st.Derived))
+		sink.stratumDone(st.Rounds)
+		flushRels(opts, &st, answers, exitRel)
+	}()
 
 	var c0, c1 storage.Value
 	b0, b1 := !q.Atom.Args[0].IsVar(), !q.Atom.Args[1].IsVar()
@@ -109,7 +123,7 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 		switch {
 		case b0:
 			// Forward BFS from c0 over q, then join the closure with E.
-			closure := bfsClosure(edges, 0, 1, []storage.Value{c0}, &st)
+			closure := bfsClosure(edges, 0, 1, []storage.Value{c0}, &st, &sink)
 			closure.Each(func(z storage.Value) bool {
 				exitRel.EachCol(0, z, func(t storage.Tuple) bool {
 					st.Facts++
@@ -129,7 +143,7 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 				seeds = append(seeds, t[0])
 				return true
 			})
-			bfsClosure(edges, 1, 0, seeds, &st).Each(func(x storage.Value) bool {
+			bfsClosure(edges, 1, 0, seeds, &st, &sink).Each(func(x storage.Value) bool {
 				st.Facts++
 				buf[0], buf[1] = x, c1
 				if answers.Insert(buf) {
@@ -139,7 +153,7 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 			})
 		default:
 			// All free: semi-naive compose P ← P ∪ q ∘ ΔP seeded with E.
-			composeClosure(edges, exitRel, true, answers, &st)
+			composeClosure(edges, exitRel, true, answers, &st, &sink)
 		}
 	} else {
 		// p(x, y) ⟺ ∃z: E(x, z) ∧ z →q* y.
@@ -150,7 +164,7 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 				seeds = append(seeds, t[1])
 				return true
 			})
-			bfsClosure(edges, 0, 1, seeds, &st).Each(func(y storage.Value) bool {
+			bfsClosure(edges, 0, 1, seeds, &st, &sink).Each(func(y storage.Value) bool {
 				st.Facts++
 				buf[0], buf[1] = c0, y
 				if (!b1 || y == c1) && answers.Insert(buf) {
@@ -160,7 +174,7 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 			})
 		case b1:
 			// Reverse BFS from c1 over q, then join the closure with E.
-			closure := bfsClosure(edges, 1, 0, []storage.Value{c1}, &st)
+			closure := bfsClosure(edges, 1, 0, []storage.Value{c1}, &st, &sink)
 			closure.Each(func(z storage.Value) bool {
 				exitRel.EachCol(1, z, func(t storage.Tuple) bool {
 					st.Facts++
@@ -174,7 +188,7 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 			})
 		default:
 			// All free: semi-naive compose P ← P ∪ ΔP ∘ q seeded with E.
-			composeClosure(edges, exitRel, false, answers, &st)
+			composeClosure(edges, exitRel, false, answers, &st, &sink)
 		}
 	}
 	return answers, st, nil
@@ -186,7 +200,7 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 // counts as one attempted fact. The visited set is a word-hashed
 // storage.ValueSet, so the sweep allocates only for set growth and the
 // frontier slices.
-func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st *Stats) *storage.ValueSet {
+func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st *Stats, sink *roundSink) *storage.ValueSet {
 	visited := storage.NewValueSet(len(seeds))
 	frontier := make([]storage.Value, 0, len(seeds))
 	for _, v := range seeds {
@@ -197,11 +211,15 @@ func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st
 	if edges == nil {
 		if len(frontier) > 0 {
 			st.Rounds++
+			sink.begin()
+			sink.end(RoundStats{Round: st.Rounds, Delta: len(frontier)})
 		}
 		return visited
 	}
 	for len(frontier) > 0 {
 		st.Rounds++
+		sink.begin()
+		facts0 := st.Facts
 		var next []storage.Value
 		for _, v := range frontier {
 			edges.EachCol(from, v, func(t storage.Tuple) bool {
@@ -212,6 +230,7 @@ func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st
 				return true
 			})
 		}
+		sink.end(RoundStats{Round: st.Rounds, Delta: len(frontier), Derived: len(next), Attempted: st.Facts - facts0})
 		frontier = next
 	}
 	return visited
@@ -223,7 +242,8 @@ func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st
 // (new (x, y) from q(x, z), Δ(z, y)), Δ ∘ q for the left-linear one. Delta
 // entries alias the answers relation's arena (At after a successful
 // Insert), so no tuple is ever cloned.
-func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers *storage.Relation, st *Stats) {
+func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers *storage.Relation, st *Stats, sink *roundSink) {
+	sink.begin()
 	delta := make([]storage.Tuple, 0, exitRel.Len())
 	exitRel.Each(func(t storage.Tuple) bool {
 		st.Facts++
@@ -236,12 +256,15 @@ func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers 
 	if len(delta) > 0 {
 		st.Rounds++
 	}
+	sink.end(RoundStats{Round: st.Rounds, Derived: len(delta), Attempted: exitRel.Len()})
 	if edges == nil {
 		return
 	}
 	nt := make(storage.Tuple, 2)
 	for len(delta) > 0 {
 		st.Rounds++
+		sink.begin()
+		facts0, derived0 := st.Facts, st.Derived
 		var next []storage.Tuple
 		for _, d := range delta {
 			if rightLinear {
@@ -266,6 +289,7 @@ func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers 
 				})
 			}
 		}
+		sink.end(RoundStats{Round: st.Rounds, Delta: len(delta), Derived: st.Derived - derived0, Attempted: st.Facts - facts0})
 		delta = next
 	}
 }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WriteText renders the span tree as indented human-readable lines:
+//
+//	name 1.234ms key=value ...
+//	  child 567µs ...
+//
+// Attributes are ordered by key. Safe to call while spans are still being
+// emitted (it snapshots under the tracer mutex first).
+func (t *Tracer) WriteText(w io.Writer) {
+	snap := t.snapshot()
+	if snap == nil {
+		return
+	}
+	writeTextSpan(w, snap, 0)
+}
+
+func writeTextSpan(w io.Writer, s *spanSnap, depth int) {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(s.name)
+	b.WriteByte(' ')
+	b.WriteString(s.dur.String())
+	for _, a := range s.sortedAttrs() {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		if a.IsInt {
+			b.WriteString(strconv.FormatInt(a.Int, 10))
+		} else {
+			b.WriteString(a.Str)
+		}
+	}
+	b.WriteByte('\n')
+	io.WriteString(w, b.String())
+	for _, c := range s.children {
+		writeTextSpan(w, c, depth+1)
+	}
+}
+
+// jsonSpan is the exported JSON shape of one span. Timings are integral
+// microseconds from the tracer epoch (start) and span start (dur).
+type jsonSpan struct {
+	Name     string         `json:"name"`
+	StartUS  int64          `json:"start_us"`
+	DurUS    int64          `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*jsonSpan    `json:"children,omitempty"`
+}
+
+func jsonFromSnap(s *spanSnap) *jsonSpan {
+	out := &jsonSpan{
+		Name:    s.name,
+		StartUS: s.start.Microseconds(),
+		DurUS:   s.dur.Microseconds(),
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			if a.IsInt {
+				out.Attrs[a.Key] = a.Int
+			} else {
+				out.Attrs[a.Key] = a.Str
+			}
+		}
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, jsonFromSnap(c))
+	}
+	return out
+}
+
+// WriteJSON renders the span tree as one indented JSON document (a single
+// root object with nested children) — the `dlrun -trace-json` format.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	snap := t.snapshot()
+	if snap == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonFromSnap(snap))
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (counters and gauges as single samples, histograms as cumulative
+// _bucket/_sum/_count series), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.each(func(name string, m any) {
+		switch v := m.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v.Value())
+		case *Histogram:
+			bounds, counts, sum, count := v.snapshot()
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			cum := int64(0)
+			for i, b := range bounds {
+				cum += counts[i]
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+			}
+			cum += counts[len(bounds)]
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+			fmt.Fprintf(w, "%s_count %d\n", name, count)
+		}
+	})
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Snapshot returns the registry's current values as a plain map — counters
+// and gauges as int64, histograms as {count, sum, buckets} maps. This is
+// what /debug/vars publishes.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	r.each(func(name string, m any) {
+		switch v := m.(type) {
+		case *Counter:
+			out[name] = v.Value()
+		case *Gauge:
+			out[name] = v.Value()
+		case *Histogram:
+			bounds, counts, sum, count := v.snapshot()
+			buckets := make(map[string]int64, len(bounds)+1)
+			cum := int64(0)
+			for i, b := range bounds {
+				cum += counts[i]
+				buckets[formatBound(b)] = cum
+			}
+			cum += counts[len(bounds)]
+			buckets["+Inf"] = cum
+			out[name] = map[string]any{"count": count, "sum": sum, "buckets": buckets}
+		}
+	})
+	return out
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the registry under the expvar name "datalog", so
+// /debug/vars carries the same values as /metrics. Safe to call repeatedly;
+// only the first call (process-wide) registers.
+func PublishExpvar(r *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("datalog", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a named collection of counters, gauges and histograms. Metric
+// creation is get-or-create by name, so independent subsystems may ask for
+// the same metric and share it; asking for an existing name with a
+// different metric type panics (always a programming error). Default()
+// returns the process-wide registry the engines and the plan cache feed;
+// tests that need isolated accounting create their own.
+type Registry struct {
+	mu      sync.Mutex
+	names   []string // registration order
+	metrics map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+func (r *Registry) lookup(name string, make func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := make()
+	r.metrics[name] = m
+	r.names = append(r.names, name)
+	return m
+}
+
+// Counter returns the registry's counter of that name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.lookup(name, func() any { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return c
+}
+
+// Gauge returns the registry's gauge of that name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.lookup(name, func() any { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return g
+}
+
+// Histogram returns the registry's histogram of that name, creating it with
+// the given bucket upper bounds if needed (DefaultBuckets when nil). Bounds
+// of an existing histogram are kept; they must be in increasing order.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	m := r.lookup(name, func() any { return newHistogram(bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return h
+}
+
+// each calls f for every metric in registration order.
+func (r *Registry) each(f func(name string, m any)) {
+	r.mu.Lock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	metrics := make([]any, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		f(n, metrics[i])
+	}
+}
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; Add and Inc are lock-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (callers keep counters monotonic; negative deltas are not
+// rejected but Prometheus semantics assume they never happen).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultBuckets spans sub-microsecond rounds to multi-second strata in
+// roughly decade-and-a-half steps — wide enough for both round durations
+// (seconds) and dimensionless ratios near 1.
+var DefaultBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus exposition
+// shape: _bucket{le=...}, _sum, _count). Observe takes a mutex; callers
+// observe at round granularity, never per tuple.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    float64
+	count  int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultBuckets
+	}
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	return &Histogram{bounds: cp, counts: make([]int64, len(cp)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns bounds, per-bucket counts, sum and count atomically.
+func (h *Histogram) snapshot() (bounds []float64, counts []int64, sum float64, count int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts = make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	return h.bounds, counts, h.sum, h.count
+}

@@ -1,0 +1,256 @@
+// Package obs is the reproduction's dependency-free observability layer:
+// hierarchical spans with monotonic timings and key/value attributes
+// (Tracer, Span), a process-wide metrics registry (Registry, Counter,
+// Gauge, Histogram), and exporters — indented human text, JSON span trees,
+// a Prometheus-style text exposition, and an http.ServeMux wiring /metrics,
+// /debug/vars (expvar) and /debug/pprof (net/http/pprof) together.
+//
+// The whole package is built around one constraint: the engines' hot paths
+// must stay allocation-free when nobody is watching. Every method of Tracer
+// and Span is safe on a nil receiver and does nothing there, so evaluation
+// code threads a possibly-nil *Tracer unconditionally and pays a single
+// nil check — no interface boxing, no closure, no allocation — when
+// tracing is off. Metrics are updated at evaluation or round granularity,
+// never per tuple.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attribute of a span: either an integer or a string
+// payload, selected by IsInt.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// Tracer owns one span tree. The zero of the type is not used: a nil
+// *Tracer is the disabled tracer (all methods no-op), and New returns an
+// enabled one. All mutation of the tree is serialized by the tracer's
+// mutex, so any number of goroutines — e.g. the parallel engine's workers —
+// may open child spans and set attributes concurrently.
+type Tracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	root  *Span
+}
+
+// New returns an enabled tracer whose root span has the given name. The
+// root starts now; all span timings are monotonic offsets from this epoch
+// (time.Since carries the monotonic clock reading).
+func New(name string) *Tracer {
+	tr := &Tracer{epoch: time.Now()}
+	tr.root = &Span{tr: tr, name: name}
+	return tr
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Root returns the root span (nil on a nil tracer).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span.
+func (t *Tracer) Finish() {
+	if t != nil {
+		t.root.End()
+	}
+}
+
+// Span is one node of the trace tree: a name, a start offset and duration
+// on the tracer's monotonic clock, attributes, and child spans. All methods
+// are safe on a nil receiver (and return nil children), which is how the
+// engines run untraced with zero overhead.
+type Span struct {
+	tr       *Tracer
+	name     string
+	start    time.Duration
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Child opens a new span under s, started now.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	tr := s.tr
+	c := &Span{tr: tr, name: name}
+	tr.mu.Lock()
+	c.start = time.Since(tr.epoch)
+	s.children = append(s.children, c)
+	tr.mu.Unlock()
+	return c
+}
+
+// End closes the span. A second End is a no-op, so deferred Ends compose
+// with explicit ones.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	tr := s.tr
+	tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(tr.epoch) - s.start
+	}
+	tr.mu.Unlock()
+}
+
+// SetInt attaches (or overwrites) an integer attribute and returns s for
+// chaining.
+func (s *Span) SetInt(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	tr := s.tr
+	tr.mu.Lock()
+	s.set(Attr{Key: key, Int: v, IsInt: true})
+	tr.mu.Unlock()
+	return s
+}
+
+// SetStr attaches (or overwrites) a string attribute and returns s for
+// chaining.
+func (s *Span) SetStr(key, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	tr := s.tr
+	tr.mu.Lock()
+	s.set(Attr{Key: key, Str: v})
+	tr.mu.Unlock()
+	return s
+}
+
+// set replaces an existing attribute with the same key or appends. Caller
+// holds the tracer mutex.
+func (s *Span) set(a Attr) {
+	for i := range s.attrs {
+		if s.attrs[i].Key == a.Key {
+			s.attrs[i] = a
+			return
+		}
+	}
+	s.attrs = append(s.attrs, a)
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span's start offset from the tracer epoch.
+func (s *Span) Start() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.start
+}
+
+// Duration returns the span's recorded duration (0 until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.dur
+}
+
+// Attrs returns a copy of the span's attributes.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Children returns a copy of the span's child list.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Find returns the first descendant span (depth-first, s included) with the
+// given name, or nil. A test convenience.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name() == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// spanSnap is an immutable deep copy of a span, taken under the tracer
+// mutex so exporters never race with concurrent emission.
+type spanSnap struct {
+	name     string
+	start    time.Duration
+	dur      time.Duration
+	attrs    []Attr
+	children []*spanSnap
+}
+
+// snapshot deep-copies the tree. Caller must not hold the mutex.
+func (t *Tracer) snapshot() *spanSnap {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return snapSpan(t.root)
+}
+
+func snapSpan(s *Span) *spanSnap {
+	out := &spanSnap{name: s.name, start: s.start, dur: s.dur}
+	out.attrs = append(out.attrs, s.attrs...)
+	for _, c := range s.children {
+		out.children = append(out.children, snapSpan(c))
+	}
+	return out
+}
+
+// sortedAttrs returns the snapshot's attributes ordered by key, for
+// deterministic export.
+func (s *spanSnap) sortedAttrs() []Attr {
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

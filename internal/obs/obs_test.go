@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := New("root")
+	if !tr.Enabled() {
+		t.Fatal("non-nil tracer must report Enabled")
+	}
+	fix := tr.Root().Child("fixpoint").SetStr("engine", "seminaive")
+	r1 := fix.Child("round").SetInt("round", 1)
+	r1.Child("join").SetStr("rule", "p :- e").End()
+	r1.End()
+	fix.SetInt("rounds", 1).End()
+	tr.Finish()
+
+	if got := len(tr.Root().Children()); got != 1 {
+		t.Fatalf("root children = %d, want 1", got)
+	}
+	f := tr.Root().Find("fixpoint")
+	if f == nil {
+		t.Fatal("Find(fixpoint) = nil")
+	}
+	if f.Find("join") == nil {
+		t.Fatal("Find does not descend to grandchildren")
+	}
+	var engine string
+	for _, a := range f.Attrs() {
+		if a.Key == "engine" {
+			engine = a.Str
+		}
+	}
+	if engine != "seminaive" {
+		t.Fatalf("engine attr = %q", engine)
+	}
+}
+
+func TestSpanAttrOverwrite(t *testing.T) {
+	tr := New("t")
+	s := tr.Root().Child("s").SetInt("n", 1).SetInt("n", 2)
+	s.End()
+	attrs := s.Attrs()
+	if len(attrs) != 1 || attrs[0].Int != 2 {
+		t.Fatalf("attrs = %+v, want single n=2", attrs)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := New("t")
+	s := tr.Root().Child("s")
+	s.End()
+	d := s.Duration()
+	s.End()
+	if s.Duration() != d {
+		t.Fatal("second End changed the duration")
+	}
+}
+
+// TestNilSafety: every tracer and span operation must be a no-op on nil —
+// that is the contract that lets engine hot paths skip the Enabled check.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports Enabled")
+	}
+	s := tr.Root().Child("x").SetInt("a", 1).SetStr("b", "c")
+	s.End()
+	if s != nil {
+		t.Fatal("child of nil span must be nil")
+	}
+	if s.Find("x") != nil || s.Children() != nil || s.Attrs() != nil || s.Name() != "" {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	tr.Finish()
+}
+
+// TestNilSpanZeroAlloc pins the untraced hot-path cost: chaining every span
+// operation on a nil receiver must not allocate.
+func TestNilSpanZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Root().Child("round").SetInt("n", 1).SetStr("k", "v")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-span chain allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("root")
+	round := tr.Root().Child("round")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				round.Child("join").SetInt("worker", int64(w)).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	round.End()
+	tr.Finish()
+	if got := len(round.Children()); got != 800 {
+		t.Fatalf("children = %d, want 800", got)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gauge on a counter name did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10})
+	for _, v := range []float64{0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if h.Sum() != 55.5 {
+		t.Fatalf("sum = %v, want 55.5", h.Sum())
+	}
+	bounds, counts, _, _ := h.snapshot()
+	if len(counts) != len(bounds)+1 {
+		t.Fatalf("counts len %d, want %d", len(counts), len(bounds)+1)
+	}
+	want := []int64{1, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := New("root")
+	tr.Root().Child("fixpoint").SetStr("engine", "naive").End()
+	tr.Finish()
+	var b bytes.Buffer
+	tr.WriteText(&b)
+	out := b.String()
+	if !strings.Contains(out, "root") || !strings.Contains(out, "fixpoint") || !strings.Contains(out, "engine=naive") {
+		t.Fatalf("text export:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := New("root")
+	tr.Root().Child("query").SetStr("query", "?- p(a, Y).").SetInt("answers", 3).End()
+	tr.Finish()
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name     string `json:"name"`
+		StartUS  *int64 `json:"start_us"`
+		DurUS    *int64 `json:"dur_us"`
+		Children []json.RawMessage
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Name != "root" || doc.StartUS == nil || doc.DurUS == nil {
+		t.Fatalf("JSON root missing required fields:\n%s", b.String())
+	}
+	if len(doc.Children) != 1 {
+		t.Fatalf("children = %d, want 1:\n%s", len(doc.Children), b.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dl_rounds_total").Add(3)
+	r.Gauge("dl_live").Set(2)
+	h := r.Histogram("dl_round_duration_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dl_rounds_total counter",
+		"dl_rounds_total 3",
+		"# TYPE dl_live gauge",
+		"dl_live 2",
+		"# TYPE dl_round_duration_seconds histogram",
+		`dl_round_duration_seconds_bucket{le="0.1"} 1`,
+		`dl_round_duration_seconds_bucket{le="1"} 1`,
+		`dl_round_duration_seconds_bucket{le="+Inf"} 2`,
+		"dl_round_duration_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	snap := r.Snapshot()
+	if snap["a_total"] != int64(2) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dl_rounds_total").Add(9)
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "dl_rounds_total 9") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "datalog") {
+		t.Errorf("/debug/vars: code %d, want datalog var:\n%s", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d:\n%s", code, body)
+	}
+}

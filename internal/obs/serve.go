@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux returns an http.ServeMux serving the observability endpoints:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/vars    expvar JSON (includes the registry under "datalog")
+//	/debug/pprof/  net/http/pprof profiles (CPU, heap, goroutine, trace, ...)
+//
+// Both dlrun -serve and dlbench -serve mount this mux; it deliberately
+// avoids http.DefaultServeMux so importing this package never changes the
+// behavior of an embedding program's own server.
+func NewMux(reg *Registry) *http.ServeMux {
+	PublishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve serves the observability mux on the listener until the listener
+// closes. The caller usually runs it in a goroutine for the life of the
+// process.
+func Serve(l net.Listener, reg *Registry) error {
+	return http.Serve(l, NewMux(reg))
+}
+
+// Listen binds addr (e.g. ":8080" or "127.0.0.1:0") and serves the
+// observability mux in a background goroutine, returning the resolved
+// listen address — the form the CLIs print so scripts and tests can find
+// an OS-assigned port.
+func Listen(addr string, reg *Registry) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go Serve(l, reg)
+	return l.Addr(), nil
+}

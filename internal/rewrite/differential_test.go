@@ -26,10 +26,10 @@ import (
 func exitVariants() []ast.Rule {
 	return []ast.Rule{
 		parser.MustParseRule("p(X, Y) :- e(X, Y)."),
-		parser.MustParseRule("p(X, X) :- f(X)."),     // repeated head variable
-		parser.MustParseRule("p(X, n0) :- f(X)."),    // constant head argument
-		parser.MustParseRule("p(n1, n0) :- c(n1)."),  // fully ground head
-		parser.MustParseRule("p(X, Y) :- d(Y, X)."),  // swapped positions
+		parser.MustParseRule("p(X, X) :- f(X)."),    // repeated head variable
+		parser.MustParseRule("p(X, n0) :- f(X)."),   // constant head argument
+		parser.MustParseRule("p(n1, n0) :- c(n1)."), // fully ground head
+		parser.MustParseRule("p(X, Y) :- d(Y, X)."), // swapped positions
 	}
 }
 

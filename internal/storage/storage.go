@@ -101,6 +101,8 @@ func (t Tuple) Equal(o Tuple) bool {
 const (
 	minBlockTuples = 64
 	maxBlockValues = 1 << 14
+	// valueBytes sizes arena accounting (Value is an int32).
+	valueBytes = 4
 )
 
 // Relation is a set of tuples of fixed arity. Tuple storage is a chunked
@@ -132,7 +134,51 @@ type Relation struct {
 	published bool
 	// hashFn overrides hashWords in tests (collision handling coverage).
 	hashFn func(Tuple) uint64
+	// stats counts write-path work (see RelStats). Only writer-exclusive
+	// operations touch it — plain increments, no atomics — so the
+	// concurrent read phase stays untouched and allocation-free.
+	stats RelStats
 }
+
+// RelStats counts the write-path work a relation has done since creation.
+// All fields are updated only under the writer-exclusive operations of the
+// concurrency contract (Insert, InsertAll, BuildIndexes, Reset); the
+// concurrent read path (Contains, EachCol, ...) is never counted, so
+// counting costs plain integer adds and no synchronization. Cumulative
+// across Reset — the parallel engine's pooled buffers keep accumulating.
+type RelStats struct {
+	// Probes is the number of write-path membership probes (one per Insert).
+	Probes int64
+	// Duplicates is the number of Inserts that found the tuple present.
+	Duplicates int64
+	// Collisions is the number of occupied, non-matching hash slots walked
+	// by write-path probes — the open-addressing clustering measure.
+	Collisions int64
+	// ArenaBytes is the number of bytes of value-arena capacity allocated.
+	ArenaBytes int64
+	// TableGrows is the number of membership-table rehashes.
+	TableGrows int64
+	// IndexBuilds is the number of CSR column-index (re)builds: lazy first
+	// probes, BuildIndexes materializations, and staleness rebuilds after
+	// overflow growth.
+	IndexBuilds int64
+}
+
+// Add returns the field-wise sum, for aggregating over many relations.
+func (s RelStats) Add(o RelStats) RelStats {
+	return RelStats{
+		Probes:      s.Probes + o.Probes,
+		Duplicates:  s.Duplicates + o.Duplicates,
+		Collisions:  s.Collisions + o.Collisions,
+		ArenaBytes:  s.ArenaBytes + o.ArenaBytes,
+		TableGrows:  s.TableGrows + o.TableGrows,
+		IndexBuilds: s.IndexBuilds + o.IndexBuilds,
+	}
+}
+
+// Stats returns the relation's write-path counters. Requires the same
+// access as any read method (no concurrent writer).
+func (r *Relation) Stats() RelStats { return r.stats }
 
 // NewRelation returns an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
@@ -173,8 +219,32 @@ func (r *Relation) find(t Tuple, h uint64) int {
 	}
 }
 
+// findInsert is find for the write path: identical probe loop, plus
+// collision accounting. Contains may run concurrently with other readers
+// and must stay mutation-free, so the read path keeps the plain find.
+func (r *Relation) findInsert(t Tuple, h uint64) int {
+	if len(r.table) == 0 {
+		return -1
+	}
+	mask := uint64(len(r.table) - 1)
+	i := h & mask
+	for {
+		e := r.table[i]
+		if e == 0 {
+			return -1
+		}
+		pos := int(e - 1)
+		if r.tuples[pos].Equal(t) {
+			return pos
+		}
+		r.stats.Collisions++
+		i = (i + 1) & mask
+	}
+}
+
 // growTable rehashes every stored tuple into a doubled table.
 func (r *Relation) growTable() {
+	r.stats.TableGrows++
 	size := len(r.table) * 2
 	if size < 16 {
 		size = 16
@@ -213,6 +283,7 @@ func (r *Relation) alloc(t Tuple) Tuple {
 		}
 		b = make([]Value, 0, size)
 		r.blocks = append(r.blocks, b)
+		r.stats.ArenaBytes += int64(size) * int64(valueBytes)
 	}
 	off := len(b)
 	b = append(b, t...)
@@ -229,7 +300,9 @@ func (r *Relation) Insert(t Tuple) bool {
 		panic(fmt.Sprintf("storage: insert arity %d into relation of arity %d", len(t), r.arity))
 	}
 	h := r.hash(t)
-	if r.find(t, h) >= 0 {
+	r.stats.Probes++
+	if r.findInsert(t, h) >= 0 {
+		r.stats.Duplicates++
 		return false
 	}
 	if (len(r.tuples)+1)*4 >= len(r.table)*3 {
@@ -250,6 +323,7 @@ func (r *Relation) Insert(t Tuple) bool {
 		}
 		ci.add(c[col], int32(pos))
 		if ci.stale() {
+			r.stats.IndexBuilds++
 			r.colIdx[col] = buildColIndex(r.tuples, col)
 		}
 	}
@@ -291,6 +365,7 @@ func (r *Relation) Each(f func(Tuple) bool) {
 func (r *Relation) probeIndex(col int) *colIndex {
 	ci := r.colIdx[col]
 	if ci == nil && !r.published {
+		r.stats.IndexBuilds++
 		ci = buildColIndex(r.tuples, col)
 		r.colIdx[col] = ci
 	}
@@ -342,6 +417,7 @@ func (r *Relation) EachCol(col int, v Value, f func(Tuple) bool) {
 func (r *Relation) BuildIndexes() {
 	for col := 0; col < r.arity; col++ {
 		if r.colIdx[col] == nil {
+			r.stats.IndexBuilds++
 			r.colIdx[col] = buildColIndex(r.tuples, col)
 		}
 	}
@@ -590,6 +666,16 @@ func (db *Database) BuildIndexes() {
 	for _, r := range db.rels {
 		r.BuildIndexes()
 	}
+}
+
+// StatsSnapshot sums the write-path counters of every relation in the
+// database. Requires no concurrent writer (same contract as Relation.Stats).
+func (db *Database) StatsSnapshot() RelStats {
+	var out RelStats
+	for _, r := range db.rels {
+		out = out.Add(r.stats)
+	}
+	return out
 }
 
 // Clone deep-copies the database. The symbol table is shared (symbols are

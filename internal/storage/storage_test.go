@@ -519,3 +519,39 @@ func TestConcurrentReadsAfterBuildIndexes(t *testing.T) {
 		t.Error(e)
 	}
 }
+
+// TestRelStatsCounters exercises every write-path counter directly: probes
+// and duplicates from Insert, arena/table growth from volume, index builds
+// from a lazy column probe.
+func TestRelStatsCounters(t *testing.T) {
+	r := NewRelation(2)
+	for i := 0; i < 100; i++ {
+		r.Insert(Tuple{Value(i), Value(i + 1)})
+	}
+	r.Insert(Tuple{0, 1}) // duplicate
+	st := r.Stats()
+	if st.Probes != 101 {
+		t.Errorf("Probes = %d, want 101", st.Probes)
+	}
+	if st.Duplicates != 1 {
+		t.Errorf("Duplicates = %d, want 1", st.Duplicates)
+	}
+	if st.ArenaBytes <= 0 {
+		t.Errorf("ArenaBytes = %d, want > 0", st.ArenaBytes)
+	}
+	if st.TableGrows == 0 {
+		t.Error("TableGrows = 0 after 100 inserts, want at least one rehash")
+	}
+	if st.IndexBuilds != 0 {
+		t.Errorf("IndexBuilds = %d before any column probe, want 0", st.IndexBuilds)
+	}
+	r.LookupCol(0, 0)
+	if got := r.Stats().IndexBuilds; got != 1 {
+		t.Errorf("IndexBuilds after lazy probe = %d, want 1", got)
+	}
+
+	sum := st.Add(r.Stats())
+	if sum.Probes != 2*st.Probes || sum.IndexBuilds != 1 {
+		t.Errorf("Add: %+v", sum)
+	}
+}
