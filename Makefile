@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race verify cover bench bench-smoke obs-smoke experiments fuzz clean
+.PHONY: all build vet test test-short race verify cover bench bench-smoke obs-smoke serve-smoke experiments fuzz clean
 
 all: build vet test
 
@@ -20,11 +20,11 @@ test-short:
 	$(GO) test -short ./...
 
 # The parallel engines (eval.ParallelSemiNaive, the stable evaluator's
-# frontier pool) and the obs span/metrics layer are only trustworthy
-# race-detector clean; vet runs first so the race build never masks a
-# static diagnostic.
+# frontier pool), the obs span/metrics layer, the snapshot/result-cache
+# serving path and the HTTP server are only trustworthy race-detector
+# clean; vet runs first so the race build never masks a static diagnostic.
 race:
-	$(GO) vet ./internal/obs ./internal/eval
+	$(GO) vet ./internal/obs ./internal/eval ./internal/server
 	$(GO) test -race ./...
 
 # Full pre-merge gate: build, vet, tests, race detector.
@@ -49,6 +49,12 @@ bench-smoke:
 obs-smoke:
 	$(GO) test -run 'TestCLIDlrunTraceJSON|TestCLIDlrunServe' -count=1 .
 	$(GO) test -run 'TestSpanTreeGolden' -count=1 ./internal/eval
+
+# End-to-end serving smoke: build dlserve, query it over HTTP (cold, warm,
+# write, re-query) and assert the result-cache and serving metrics moved.
+serve-smoke:
+	$(GO) test -run 'TestCLIDlserveSmoke' -count=1 .
+	$(GO) test -run 'TestServer' -count=1 ./internal/server
 
 # Regenerate the full experiment report (paper claim vs measured).
 experiments:

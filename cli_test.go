@@ -344,3 +344,112 @@ e(a, b). e(b, c). e(c, d).
 		t.Errorf("/debug/pprof/ index:\n%s", body)
 	}
 }
+
+// TestCLIDlserveSmoke builds dlserve, serves the TC example and drives the
+// query API end to end: cold query, warm (cached) query, a fact write that
+// advances the epoch, and a /metrics scrape asserting the result cache
+// counted one hit and the serving counters moved. This is the test behind
+// `make serve-smoke`.
+func TestCLIDlserveSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	program := filepath.Join(dir, "tc.dl")
+	src := `p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+e(a, b). e(b, c). e(c, d).
+`
+	if err := os.WriteFile(program, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "dlserve")
+	runTool(t, "", "build", "-o", bin, "./cmd/dlserve")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-program", program)
+	cmd.Dir = "."
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// dlserve prints "% dlserve serving http://ADDR/query ..." once bound.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, "serving http://") {
+			rest := line[strings.Index(line, "http://")+len("http://"):]
+			base = "http://" + rest[:strings.Index(rest, "/")]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("dlserve never printed the serving address")
+	}
+
+	query := func(q string) map[string]any {
+		resp, err := http.Get(base + "/query?q=" + strings.ReplaceAll(q, " ", "%20"))
+		if err != nil {
+			t.Fatalf("GET /query: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("GET /query %s: status %d: %s", q, resp.StatusCode, body)
+		}
+		var res map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	cold := query("?- p(a, Y).")
+	if cold["count"].(float64) != 3 || cold["cached"].(bool) {
+		t.Fatalf("cold query: %v", cold)
+	}
+	warm := query("?- p(a, Y).")
+	if !warm["cached"].(bool) {
+		t.Fatalf("second query not served from the result cache: %v", warm)
+	}
+
+	// A write advances the epoch; the next query recomputes and sees it.
+	resp, err := http.Post(base+"/facts", "text/plain", strings.NewReader("e(d, x)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	after := query("?- p(a, Y).")
+	if after["count"].(float64) != 4 || after["cached"].(bool) {
+		t.Fatalf("post-write query: %v", after)
+	}
+	if after["epoch"].(float64) <= cold["epoch"].(float64) {
+		t.Fatalf("epoch did not advance: %v -> %v", cold["epoch"], after["epoch"])
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		"dl_resultcache_hits_total 1",
+		"dl_resultcache_misses_total 2",
+		"dl_server_queries_total 3",
+		"dl_server_inflight_queries 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// q9: the serving stack. Benchmarks snapshot-isolated concurrent query
+// serving (internal/server, the engine behind dlserve) on a transitive-
+// closure program over a random graph: cold queries (every write advances
+// the epoch, so each query runs a full fixpoint) versus warm queries
+// (unchanged epoch, served from the materialized-result cache), then a
+// mixed read/write throughput sweep from 1 client up to NumCPU clients with
+// a background writer advancing the epoch every few milliseconds. Results
+// go to stdout and BENCH_serve.json. The server is driven in-process
+// (Server.Query / Server.LoadFacts) so the numbers measure the serving
+// stack — snapshot pinning, result cache, planner, engines — not socket I/O.
+
+type q9Throughput struct {
+	Clients int     `json:"clients"`
+	QPS     float64 `json:"qps"`
+}
+
+type q9Report struct {
+	Generated      string         `json:"generated"`
+	Quick          bool           `json:"quick"`
+	NumCPU         int            `json:"numcpu"`
+	Nodes          int            `json:"nodes"`
+	Edges          int            `json:"edges"`
+	ColdNsPerQuery int64          `json:"cold_ns_per_query"`
+	WarmNsPerQuery int64          `json:"warm_ns_per_query"`
+	WarmSpeedup    float64        `json:"warm_speedup"`
+	Throughput     []q9Throughput `json:"throughput"`
+	QPSScaling     float64        `json:"qps_scaling"`
+}
+
+// q9Graph renders a random reachable graph as fact lines: a Hamiltonian
+// chain n0→n1→…→n{nodes-1} plus random extra edges.
+func q9Graph(nodes, extra int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for i := 0; i+1 < nodes; i++ {
+		fmt.Fprintf(&b, "e(n%d, n%d).\n", i, i+1)
+	}
+	for i := 0; i < extra; i++ {
+		fmt.Fprintf(&b, "e(n%d, n%d).\n", rng.Intn(nodes), rng.Intn(nodes))
+	}
+	return b.String()
+}
+
+func (r *runner) q9() {
+	r.section("Q9: serving — snapshot isolation + materialized-result cache")
+
+	nodes, extra := 200, 400
+	coldIters, warmIters := 8, 2000
+	sweepDur := 400 * time.Millisecond
+	if r.quick {
+		nodes, extra = 80, 160
+		coldIters, warmIters = 4, 500
+		sweepDur = 120 * time.Millisecond
+	}
+
+	newServer := func() *server.Server {
+		s, err := server.New("p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).",
+			server.Config{Registry: obs.NewRegistry()})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := s.LoadFacts(q9Graph(nodes, extra, 42)); err != nil {
+			panic(err)
+		}
+		return s
+	}
+	srv := newServer()
+	r.row("graph: %d nodes, %d edges; NumCPU = %d", nodes, nodes-1+extra, runtime.NumCPU())
+
+	// Cold: each write advances the epoch, so every query is a full
+	// fixpoint. The inserted edges are self-loops on n0 — the closure is
+	// unchanged, isolating the cost of a cache miss from result growth.
+	// The query is bound (p(n0, Y) reaches every chain node) so the
+	// comparison measures fixpoint-vs-cache-probe, not the O(answers)
+	// response serialization both sides pay identically.
+	query := "?- p(n0, Y)."
+	var coldTotal time.Duration
+	for i := 0; i < coldIters; i++ {
+		if _, err := srv.LoadFacts("e(n0, n0)."); err != nil {
+			r.check("Q9", "serving benchmark runs", false, err.Error())
+			return
+		}
+		t0 := time.Now()
+		res, err := srv.Query(query, nil)
+		coldTotal += time.Since(t0)
+		if err != nil {
+			r.check("Q9", "serving benchmark runs", false, err.Error())
+			return
+		}
+		if res.Cached {
+			r.check("Q9", "epoch advance forces a fresh evaluation", false,
+				fmt.Sprintf("iteration %d served from cache at epoch %d", i, res.Epoch))
+			return
+		}
+	}
+	coldNs := coldTotal.Nanoseconds() / int64(coldIters)
+
+	// Warm: unchanged epoch, every query is a result-cache hit.
+	if _, err := srv.Query(query, nil); err != nil { // prime
+		r.check("Q9", "serving benchmark runs", false, err.Error())
+		return
+	}
+	var warmTotal time.Duration
+	for i := 0; i < warmIters; i++ {
+		t0 := time.Now()
+		res, err := srv.Query(query, nil)
+		warmTotal += time.Since(t0)
+		if err != nil {
+			r.check("Q9", "serving benchmark runs", false, err.Error())
+			return
+		}
+		if !res.Cached {
+			r.check("Q9", "quiet epoch serves from cache", false,
+				fmt.Sprintf("iteration %d missed at epoch %d", i, res.Epoch))
+			return
+		}
+	}
+	warmNs := warmTotal.Nanoseconds() / int64(warmIters)
+	speedup := float64(coldNs) / float64(warmNs)
+	r.row("cold (epoch advanced per query): %12d ns/query", coldNs)
+	r.row("warm (cached, quiet epoch):     %12d ns/query", warmNs)
+	r.row("warm speedup: %.1fx", speedup)
+
+	// Throughput sweep: C clients issue bound queries round-robin over the
+	// node domain while one writer inserts a fresh edge (advancing the
+	// epoch) every ~20ms — the mixed read/write serving workload.
+	clientCounts := []int{1}
+	for c := 2; c <= runtime.NumCPU(); c *= 2 {
+		clientCounts = append(clientCounts, c)
+	}
+	if last := clientCounts[len(clientCounts)-1]; last != runtime.NumCPU() {
+		clientCounts = append(clientCounts, runtime.NumCPU())
+	}
+	report := q9Report{
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		Quick:          r.quick,
+		NumCPU:         runtime.NumCPU(),
+		Nodes:          nodes,
+		Edges:          nodes - 1 + extra,
+		ColdNsPerQuery: coldNs,
+		WarmNsPerQuery: warmNs,
+		WarmSpeedup:    speedup,
+	}
+	var qps1, qpsN float64
+	for _, clients := range clientCounts {
+		s := newServer()
+		var total atomic.Int64
+		var failed atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		// Writer: one edge insert every ~20ms.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(20 * time.Millisecond)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if _, err := s.LoadFacts(fmt.Sprintf("e(w%d, n0).", i)); err != nil {
+						failed.Add(1)
+						return
+					}
+				}
+			}
+		}()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					q := fmt.Sprintf("?- p(n%d, Y).", (c*31+i)%nodes)
+					if _, err := s.Query(q, nil); err != nil {
+						failed.Add(1)
+						return
+					}
+					total.Add(1)
+				}
+			}(c)
+		}
+		time.Sleep(sweepDur)
+		close(stop)
+		wg.Wait()
+		if failed.Load() > 0 {
+			r.check("Q9", "mixed read/write sweep runs without errors", false,
+				fmt.Sprintf("%d clients: %d failures", clients, failed.Load()))
+			return
+		}
+		qps := float64(total.Load()) / sweepDur.Seconds()
+		report.Throughput = append(report.Throughput, q9Throughput{Clients: clients, QPS: qps})
+		r.row("%2d client(s) + 1 writer: %10.0f queries/s", clients, qps)
+		if clients == 1 {
+			qps1 = qps
+		}
+		qpsN = qps
+	}
+	report.QPSScaling = qpsN / qps1
+	r.row("QPS scaling 1 -> %d clients: %.2fx", runtime.NumCPU(), report.QPSScaling)
+
+	if data, err := json.MarshalIndent(report, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+			r.row("BENCH_serve.json not written: %v", err)
+		} else {
+			r.row("wrote BENCH_serve.json")
+		}
+	}
+
+	r.check("Q9", "warm cached queries are >=10x faster than cold epoch-advancing queries",
+		speedup >= 10,
+		fmt.Sprintf("cold %d ns/query, warm %d ns/query: %.1fx", coldNs, warmNs, speedup))
+	if runtime.NumCPU() > 1 {
+		r.check("Q9", "QPS scales >=2x from 1 client to NumCPU clients",
+			report.QPSScaling >= 2,
+			fmt.Sprintf("%.0f -> %.0f queries/s (%.2fx) across %d CPUs",
+				qps1, qpsN, report.QPSScaling, runtime.NumCPU()))
+	} else {
+		r.row("single-CPU machine: QPS scaling gate skipped (1 client == NumCPU clients)")
+	}
+}

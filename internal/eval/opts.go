@@ -69,6 +69,11 @@ const (
 	mPlanHits      = "dl_plancache_hits_total"
 	mPlanMisses    = "dl_plancache_misses_total"
 	mPlanInvalid   = "dl_plancache_invalidations_total"
+	mResultHits    = "dl_resultcache_hits_total"
+	mResultMisses  = "dl_resultcache_misses_total"
+	mResultEvict   = "dl_resultcache_evictions_total"
+	mResultBytes   = "dl_resultcache_bytes"
+	mResultEntries = "dl_resultcache_entries"
 	mRoundDur      = "dl_round_duration_seconds"
 	mWorkerUtil    = "dl_worker_utilization"
 	mStratumRounds = "dl_rounds_per_stratum"

@@ -10,22 +10,31 @@ import (
 	"repro/internal/storage"
 )
 
-// Planner caches compiled plans per (program, adornment) so that repeated
-// queries skip classification and rewriting entirely. The key is the
-// canonical rule text of the system plus the query's d/v adornment string:
-// any change to the rule set yields a different key, so stale plans can
-// never be served for a modified program (invalidation by construction);
-// Invalidate drops a replaced program's entries eagerly. Cached plans are
-// immutable, so any number of goroutines may call Answer concurrently.
+// Planner caches compiled plans per (program, adornment, snapshot epoch) so
+// that repeated queries skip classification and rewriting entirely. The key
+// is the canonical rule text of the system plus the query's d/v adornment
+// string: any change to the rule set yields a different key, so stale plans
+// can never be served for a modified program (invalidation by construction).
+// The serving path (Planner.AnswerSnap, used by the result cache and
+// dlserve) additionally keys by the snapshot epoch the query pins: entries
+// of epochs that have aged out of a small window behind the newest seen
+// epoch are pruned automatically on insert, so a long-lived server's cache
+// stays bounded without anyone ever having to remember to invalidate.
+// Epoch 0 — the epochless key every non-snapshot caller uses — is never
+// pruned, preserving the PR-2 behavior for tools that evaluate one
+// database forever. Cached plans are immutable, so any number of
+// goroutines may call Answer concurrently.
 //
 // Hit, miss and invalidation counts live in an obs.Registry (the
 // dl_plancache_*_total counters), so a planner wired to the default registry
-// surfaces its cache behavior on /metrics. Metrics and Reset work against
-// per-planner baselines: Reset re-bases the planner's view while the
-// registry counters stay monotonic, as Prometheus-style counters must.
+// surfaces its cache behavior on /metrics (invalidations now counts
+// automatic epoch prunes). Metrics and Reset work against per-planner
+// baselines: Reset re-bases the planner's view while the registry counters
+// stay monotonic, as Prometheus-style counters must.
 type Planner struct {
-	mu    sync.RWMutex
-	plans map[planKey]*Plan
+	mu       sync.RWMutex
+	plans    map[planKey]*Plan
+	maxEpoch uint64
 
 	hits, misses, invalidations       *obs.Counter
 	baseHits, baseMisses, baseInvalid int64
@@ -34,7 +43,14 @@ type Planner struct {
 type planKey struct {
 	program string
 	adorn   string
+	epoch   uint64
 }
+
+// planEpochWindow is how many epochs behind the newest seen epoch a cached
+// plan survives. Readers pin snapshots a few epochs old at most (a request
+// holds its snapshot only for its own duration), so a small window keeps
+// concurrent old-epoch readers hitting while bounding the cache.
+const planEpochWindow = 4
 
 // NewPlanner returns an empty plan cache with isolated counters (its own
 // registry), so per-tool hit/miss accounting never mixes with the
@@ -81,7 +97,18 @@ func (pl *Planner) PlanFor(sys *ast.RecursiveSystem, q ast.Query) (*Plan, bool, 
 // a "plan-cache" span (result=hit|miss) and a miss compiles under the
 // classify/plan-compile spans of CompilePlanOpts.
 func (pl *Planner) PlanForOpts(sys *ast.RecursiveSystem, q ast.Query, opts Opts) (*Plan, bool, error) {
-	key := planKey{program: programKey(sys), adorn: adorn.FromQuery(q).String()}
+	return pl.planFor(sys, q, 0, opts)
+}
+
+// PlanForEpoch is PlanForOpts keyed additionally by a snapshot epoch — the
+// serving path's lookup. Entries of epochs far behind the newest seen
+// epoch are pruned automatically (see Planner).
+func (pl *Planner) PlanForEpoch(sys *ast.RecursiveSystem, q ast.Query, epoch uint64, opts Opts) (*Plan, bool, error) {
+	return pl.planFor(sys, q, epoch, opts)
+}
+
+func (pl *Planner) planFor(sys *ast.RecursiveSystem, q ast.Query, epoch uint64, opts Opts) (*Plan, bool, error) {
+	key := planKey{program: programKey(sys), adorn: adorn.FromQuery(q).String(), epoch: epoch}
 	sp := opts.parent().Child("plan-cache").SetStr("adorn", key.adorn)
 	pl.mu.RLock()
 	p, ok := pl.plans[key]
@@ -104,9 +131,30 @@ func (pl *Planner) PlanForOpts(sys *ast.RecursiveSystem, q ast.Query, opts Opts)
 		p = prev
 	} else {
 		pl.plans[key] = p
+		pl.pruneLocked(epoch)
 	}
 	pl.mu.Unlock()
 	return p, false, nil
+}
+
+// pruneLocked ages out entries whose epoch fell behind the newest seen
+// epoch by more than planEpochWindow. Epoch-0 (epochless) entries are kept.
+// Caller holds the write lock.
+func (pl *Planner) pruneLocked(epoch uint64) {
+	if epoch <= pl.maxEpoch {
+		return
+	}
+	pl.maxEpoch = epoch
+	n := 0
+	for k := range pl.plans {
+		if k.epoch != 0 && k.epoch+planEpochWindow <= pl.maxEpoch {
+			delete(pl.plans, k)
+			n++
+		}
+	}
+	if n > 0 {
+		pl.invalidations.Add(int64(n))
+	}
 }
 
 // Answer evaluates the query through the cached plan (compiling it on the
@@ -119,7 +167,19 @@ func (pl *Planner) Answer(sys *ast.RecursiveSystem, q ast.Query, db *storage.Dat
 // AnswerOpts is Answer with instrumentation threaded through the plan lookup
 // and the compiled path's engine.
 func (pl *Planner) AnswerOpts(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
-	p, hit, err := pl.PlanForOpts(sys, q, opts)
+	return pl.answerEpoch(sys, q, db, 0, opts)
+}
+
+// AnswerSnap answers the query against a pinned snapshot, keying the plan
+// lookup by (program, adornment, epoch). Safe for any number of concurrent
+// callers sharing the snapshot: the snapshot view is immutable and cached
+// plans are immutable.
+func (pl *Planner) AnswerSnap(sys *ast.RecursiveSystem, q ast.Query, snap *storage.Snapshot, opts Opts) (*storage.Relation, Stats, error) {
+	return pl.answerEpoch(sys, q, snap.DB(), snap.Epoch(), opts)
+}
+
+func (pl *Planner) answerEpoch(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, epoch uint64, opts Opts) (*storage.Relation, Stats, error) {
+	p, hit, err := pl.planFor(sys, q, epoch, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -133,23 +193,14 @@ func (pl *Planner) AnswerOpts(sys *ast.RecursiveSystem, q ast.Query, db *storage
 	return rel, st, err
 }
 
-// Invalidate drops every cached plan (all adornments) of the given system,
-// returning how many entries were removed. Callers replacing a program's
-// rule set use it to bound the cache; correctness never requires it, since
-// a changed rule set keys differently.
+// Invalidate is a no-op and always returns 0.
+//
+// Deprecated: plan-cache entries are keyed by program content and snapshot
+// epoch, so a stale plan can never be served for a modified program and
+// old epochs age out automatically — there is nothing left to invalidate
+// by hand. The shim is kept so existing callers compile.
 func (pl *Planner) Invalidate(sys *ast.RecursiveSystem) int {
-	prog := programKey(sys)
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	n := 0
-	for k := range pl.plans {
-		if k.program == prog {
-			delete(pl.plans, k)
-			n++
-		}
-	}
-	pl.invalidations.Add(int64(n))
-	return n
+	return 0
 }
 
 // Metrics returns the hit and miss counters accumulated since the planner

@@ -90,20 +90,82 @@ func TestPlannerInvalidation(t *testing.T) {
 		t.Errorf("plan for changed system answered %d tuples, want %d", ansA.Len(), ref.Len())
 	}
 
-	// Invalidate drops only the named program's entries.
-	if n := pl.Invalidate(sysA); n != 2 {
-		t.Errorf("Invalidate(sysA) removed %d entries, want 2", n)
+	// Invalidate is a deprecated no-op: keys cover the full canonical rule
+	// text, so there is nothing stale to drop by hand.
+	if n := pl.Invalidate(sysA); n != 0 {
+		t.Errorf("Invalidate(sysA) removed %d entries, want 0 (no-op shim)", n)
 	}
-	if pl.Len() != 1 {
-		t.Errorf("cache size after invalidation = %d, want 1 (sysB)", pl.Len())
+	if pl.Len() != 3 {
+		t.Errorf("cache size after Invalidate = %d, want 3 (untouched)", pl.Len())
 	}
-	if _, st, err := pl.Answer(sysA, q, db); err != nil || st.Plan.CacheHit {
-		t.Errorf("invalidated program must recompile: hit=%v err=%v", st.Plan.CacheHit, err)
+	if _, st, err := pl.Answer(sysA, q, db); err != nil || !st.Plan.CacheHit {
+		t.Errorf("Invalidate must not evict content-keyed plans: hit=%v err=%v", st.Plan.CacheHit, err)
 	}
 
 	pl.Reset()
 	if h, m := pl.Metrics(); pl.Len() != 0 || h != 0 || m != 0 {
 		t.Errorf("Reset left size=%d hits=%d misses=%d", pl.Len(), h, m)
+	}
+}
+
+// TestPlannerEpochKeying covers the serving path: the same program and query
+// form at different snapshot epochs key separate entries, and entries whose
+// epoch falls behind the newest seen epoch by more than the pruning window
+// are dropped automatically. Epoch-0 (epochless) entries are never pruned.
+func TestPlannerEpochKeying(t *testing.T) {
+	pl := NewPlanner()
+	db := chainDB(t, 6)
+	sys := mustSystem(t, "p(X, Y) :- a(X, Z), p(Z, Y).", "p(X, Y) :- e(X, Y).")
+	q, _ := parser.ParseQuery("?- p(n0, Y).")
+
+	// Epochless entry (PlanForOpts path).
+	if _, hit, err := pl.PlanForOpts(sys, q, Opts{}); err != nil || hit {
+		t.Fatalf("epochless first lookup: hit=%v err=%v, want miss", hit, err)
+	}
+	// Epoch 1 keys separately from epochless.
+	if _, hit, err := pl.PlanForEpoch(sys, q, 1, Opts{}); err != nil || hit {
+		t.Fatalf("epoch 1 first lookup: hit=%v err=%v, want miss", hit, err)
+	}
+	if _, hit, err := pl.PlanForEpoch(sys, q, 1, Opts{}); err != nil || !hit {
+		t.Fatalf("epoch 1 repeat: hit=%v err=%v, want hit", hit, err)
+	}
+	if pl.Len() != 2 {
+		t.Fatalf("cache size = %d, want 2 (epochless + epoch 1)", pl.Len())
+	}
+
+	// Advancing far past the window prunes epoch 1 but keeps epoch 0.
+	far := uint64(1 + planEpochWindow)
+	if _, hit, err := pl.PlanForEpoch(sys, q, far, Opts{}); err != nil || hit {
+		t.Fatalf("epoch %d lookup: hit=%v err=%v, want miss", far, hit, err)
+	}
+	if pl.Len() != 2 {
+		t.Errorf("cache size after prune = %d, want 2 (epochless + epoch %d)", pl.Len(), far)
+	}
+	if _, hit, err := pl.PlanForEpoch(sys, q, 1, Opts{}); err != nil || hit {
+		t.Errorf("pruned epoch 1 must recompile: hit=%v err=%v", hit, err)
+	}
+	if got := pl.Invalidations(); got != 1 {
+		t.Errorf("Invalidations() = %d, want 1 (one pruned entry)", got)
+	}
+	if _, hit, err := pl.PlanForOpts(sys, q, Opts{}); err != nil || !hit {
+		t.Errorf("epochless entry must survive pruning: hit=%v err=%v", hit, err)
+	}
+
+	// AnswerSnap keys by the snapshot's epoch and answers correctly.
+	snap := db.Snapshot()
+	got, st, err := pl.AnswerSnap(sys, q, snap, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := Answer(StrategySemiNaive, sys, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ref) {
+		t.Errorf("AnswerSnap answered %d tuples, want %d", got.Len(), ref.Len())
+	}
+	if st.Plan == nil {
+		t.Error("AnswerSnap stats missing plan info")
 	}
 }
 
@@ -201,11 +263,16 @@ func TestPlannerRegistryCounters(t *testing.T) {
 	if got := reg.Counter("dl_plancache_hits_total").Value(); got != 2 {
 		t.Errorf("registry hits = %d, want 2", got)
 	}
-	if n := pl.Invalidate(sys); n != 1 {
-		t.Fatalf("Invalidate removed %d, want 1", n)
+	// Epoch pruning feeds the invalidations counter: fill an epoch, then
+	// advance past the window.
+	if _, _, err := pl.PlanForEpoch(sys, q, 1, Opts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pl.PlanForEpoch(sys, q, 2+planEpochWindow, Opts{}); err != nil {
+		t.Fatal(err)
 	}
 	if got := reg.Counter("dl_plancache_invalidations_total").Value(); got != 1 {
-		t.Errorf("registry invalidations = %d, want 1", got)
+		t.Errorf("registry invalidations = %d, want 1 (epoch prune)", got)
 	}
 	if got := pl.Invalidations(); got != 1 {
 		t.Errorf("Invalidations() = %d, want 1", got)
@@ -225,7 +292,7 @@ func TestPlannerRegistryCounters(t *testing.T) {
 	if h, m := pl.Metrics(); h != 0 || m != 1 {
 		t.Errorf("post-Reset lookup Metrics = %d/%d, want 0/1", h, m)
 	}
-	if got := reg.Counter("dl_plancache_misses_total").Value(); got != 2 {
-		t.Errorf("registry misses = %d, want 2 (cumulative)", got)
+	if got := reg.Counter("dl_plancache_misses_total").Value(); got != 4 {
+		t.Errorf("registry misses = %d, want 4 (cumulative: 1 + 2 epoch + 1 post-Reset)", got)
 	}
 }

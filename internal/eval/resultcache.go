@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// ResultCache memoizes materialized query answers keyed by (program, query,
+// snapshot epoch). Bounded and stable formulas compile to fixed-depth plans
+// whose answers depend only on the database state, which the snapshot epoch
+// names exactly — so a cached answer can never be stale: a write advances
+// the epoch and the old entries simply stop being asked for, aging out of
+// the LRU. Entries are charged against a byte budget (Relation.SizeBytes
+// plus key overhead) and evicted least-recently-used.
+//
+// Concurrent identical queries are deduplicated singleflight-style: the
+// first caller computes while the rest block on its result, so N identical
+// cold queries trigger exactly one fixpoint. Cached relations are frozen
+// (storage.Relation.Freeze) before publication, so any number of readers
+// may probe and iterate them concurrently; callers must not mutate them
+// (a mutation attempt panics).
+//
+// Hit, miss and eviction counts live in an obs.Registry under the
+// dl_resultcache_{hits,misses,evictions}_total names; the current byte and
+// entry footprints are the dl_resultcache_{bytes,entries} gauges.
+type ResultCache struct {
+	mu      sync.Mutex
+	max     int64
+	bytes   int64
+	entries map[resultKey]*list.Element
+	lru     *list.List // front = most recently used
+	flight  map[resultKey]*flight
+
+	hits, misses, evictions *obs.Counter
+	bytesG, entriesG        *obs.Gauge
+}
+
+type resultKey struct {
+	program string
+	query   string
+	epoch   uint64
+}
+
+type resultEntry struct {
+	key  resultKey
+	rel  *storage.Relation
+	st   Stats
+	size int64
+}
+
+// flight is one in-progress computation other callers of the same key wait
+// on. rel/st/err are written once before done closes.
+type flight struct {
+	done chan struct{}
+	rel  *storage.Relation
+	st   Stats
+	err  error
+}
+
+// DefaultResultCacheBytes is the byte budget NewResultCache callers usually
+// want: large enough for thousands of typical answer relations, small
+// enough to never matter next to the EDB itself.
+const DefaultResultCacheBytes = 64 << 20
+
+// NewResultCache returns an empty cache with the given byte budget
+// (DefaultResultCacheBytes when maxBytes <= 0), counting into its own
+// isolated registry.
+func NewResultCache(maxBytes int64) *ResultCache {
+	return NewResultCacheWith(obs.NewRegistry(), maxBytes)
+}
+
+// NewResultCacheWith is NewResultCache with the counters and gauges living
+// in reg under the dl_resultcache_* names.
+func NewResultCacheWith(reg *obs.Registry, maxBytes int64) *ResultCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultResultCacheBytes
+	}
+	return &ResultCache{
+		max:       maxBytes,
+		entries:   make(map[resultKey]*list.Element),
+		lru:       list.New(),
+		flight:    make(map[resultKey]*flight),
+		hits:      reg.Counter(mResultHits),
+		misses:    reg.Counter(mResultMisses),
+		evictions: reg.Counter(mResultEvict),
+		bytesG:    reg.Gauge(mResultBytes),
+		entriesG:  reg.Gauge(mResultEntries),
+	}
+}
+
+// Answer evaluates the query against the snapshot through the planner,
+// serving a memoized answer when one exists for the snapshot's epoch. The
+// bool result reports whether the answer came from the cache (including
+// riding along on another caller's in-flight computation).
+func (c *ResultCache) Answer(pl *Planner, sys *ast.RecursiveSystem, q ast.Query, snap *storage.Snapshot, opts Opts) (*storage.Relation, Stats, bool, error) {
+	return c.Do(programKey(sys), q.String(), snap.Epoch(), func() (*storage.Relation, Stats, error) {
+		return pl.AnswerSnap(sys, q, snap, opts)
+	})
+}
+
+// Do returns the cached answer for (program, query, epoch), computing and
+// inserting it on a miss. Concurrent Do calls with the same key share one
+// compute invocation: exactly one runs, the rest block until it finishes
+// and return its result. Errors are returned to every waiter but never
+// cached, so a transient failure is retried by the next caller.
+func (c *ResultCache) Do(program, query string, epoch uint64, compute func() (*storage.Relation, Stats, error)) (*storage.Relation, Stats, bool, error) {
+	key := resultKey{program: program, query: query, epoch: epoch}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*resultEntry)
+		c.mu.Unlock()
+		c.hits.Inc()
+		return e.rel, e.st, true, nil
+	}
+	if f, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		c.hits.Inc()
+		<-f.done
+		return f.rel, f.st, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flight[key] = f
+	c.mu.Unlock()
+	c.misses.Inc()
+
+	f.rel, f.st, f.err = compute()
+	if f.err == nil && f.rel != nil {
+		// Freeze before publication: waiters and future hits may read the
+		// relation from any number of goroutines.
+		f.rel.Freeze()
+	}
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if f.err == nil && f.rel != nil {
+		c.insertLocked(key, f.rel, f.st)
+	}
+	c.mu.Unlock()
+	return f.rel, f.st, false, f.err
+}
+
+// insertLocked adds the entry and evicts from the LRU tail until the byte
+// budget holds again (the newest entry itself is never evicted, so one
+// oversized answer is still served and cached). Caller holds c.mu.
+func (c *ResultCache) insertLocked(key resultKey, rel *storage.Relation, st Stats) {
+	if _, ok := c.entries[key]; ok {
+		return // a racing compute of the same key beat us; keep the first
+	}
+	e := &resultEntry{
+		key:  key,
+		rel:  rel,
+		st:   st,
+		size: rel.SizeBytes() + int64(len(key.program)+len(key.query)) + 96,
+	}
+	c.entries[key] = c.lru.PushFront(e)
+	c.bytes += e.size
+	for c.bytes > c.max && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		be := back.Value.(*resultEntry)
+		c.lru.Remove(back)
+		delete(c.entries, be.key)
+		c.bytes -= be.size
+		c.evictions.Inc()
+	}
+	c.bytesG.Set(c.bytes)
+	c.entriesG.Set(int64(c.lru.Len()))
+}
+
+// Len returns the number of cached entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Bytes returns the summed size charge of the cached entries.
+func (c *ResultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Metrics returns the cumulative hit, miss and eviction counts.
+func (c *ResultCache) Metrics() (hits, misses, evictions uint64) {
+	return uint64(c.hits.Value()), uint64(c.misses.Value()), uint64(c.evictions.Value())
+}

@@ -1,0 +1,382 @@
+// Package server implements the dlserve HTTP query server: snapshot-isolated
+// concurrent query serving over one Datalog program with a materialized-
+// result cache.
+//
+// The server holds one storage.Database behind a single writer lock. Every
+// write (POST /facts) loads the new facts and publishes a fresh snapshot;
+// every query pins the latest published snapshot with one atomic load and
+// evaluates against it without ever blocking the writer or other readers.
+// Answers are served through eval.ResultCache, keyed by (program, query,
+// epoch): repeated queries of a quiet database cost one cache probe, iden-
+// tical concurrent cold queries collapse into one fixpoint (singleflight),
+// and a write automatically invalidates by advancing the epoch.
+//
+// Endpoints (on top of the obs mux's /metrics, /debug/vars, /debug/pprof/):
+//
+//	GET  /query?q=?- p(a, Y).   answer one query (POST {"query": ...} too)
+//	POST /facts                 load "pred(a, b)." lines, advance the epoch
+//	GET  /healthz               liveness plus epoch and cache footprint
+//
+// Add &trace=1 to /query to receive the evaluation's span tree in the
+// response (per-query tracing, the HTTP form of dlrun -trace-json).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// Server metric names, alongside the engine metrics in the same registry.
+const (
+	mQueries  = "dl_server_queries_total"
+	mErrors   = "dl_server_errors_total"
+	mInflight = "dl_server_inflight_queries"
+	mQueryDur = "dl_server_query_duration_seconds"
+	mEvalDur  = "dl_server_eval_duration_seconds"
+)
+
+// durBuckets covers query latencies from 10µs to 10s.
+var durBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 2.5, 5, 10}
+
+// Config tunes a Server. The zero value works: default cache budget,
+// GOMAXPROCS workers, a fresh registry.
+type Config struct {
+	// Registry receives the server and engine metrics; nil means a new
+	// isolated registry (obs.Default() shares process-wide counters).
+	Registry *obs.Registry
+	// CacheBytes is the result-cache budget; 0 means
+	// eval.DefaultResultCacheBytes.
+	CacheBytes int64
+	// Workers is handed to eval.Opts.Workers for the parallel engine.
+	Workers int
+}
+
+// Server serves one Datalog program over HTTP. Safe for any number of
+// concurrent requests: queries share pinned snapshots, writes serialize on
+// an internal writer lock.
+type Server struct {
+	wmu  sync.Mutex // guards db writes and snapshot publication
+	db   *storage.Database
+	snap atomic.Pointer[storage.Snapshot]
+
+	sys     *ast.RecursiveSystem // non-nil when the program is one linear system
+	prog    *ast.Program         // rules only, for the generic fallback path
+	progKey string
+
+	planner *eval.Planner
+	cache   *eval.ResultCache
+	reg     *obs.Registry
+	workers int
+
+	queries, errors *obs.Counter
+	inflight        *obs.Gauge
+	queryDur        *obs.Histogram
+	evalDur         *obs.Histogram
+}
+
+// New builds a Server from Datalog source: rules define the program (facts
+// in the source seed the database). Programs forming a single linear
+// recursive system get the classification-driven planner; anything else is
+// answered by the parallel semi-naive engine. Queries in the source are
+// rejected — they arrive over HTTP.
+func New(src string, cfg Config) (*Server, error) {
+	prog, queries, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(queries) > 0 {
+		return nil, fmt.Errorf("server: program source contains a query (%v); send queries to /query instead", queries[0])
+	}
+	if len(prog.Rules) == 0 {
+		return nil, fmt.Errorf("server: program has no rules")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		db:      storage.NewDatabase(),
+		prog:    &ast.Program{Rules: prog.Rules},
+		planner: eval.NewPlannerWith(reg),
+		cache:   eval.NewResultCacheWith(reg, cfg.CacheBytes),
+		reg:     reg,
+		workers: cfg.Workers,
+
+		queries:  reg.Counter(mQueries),
+		errors:   reg.Counter(mErrors),
+		inflight: reg.Gauge(mInflight),
+		queryDur: reg.Histogram(mQueryDur, durBuckets),
+		evalDur:  reg.Histogram(mEvalDur, durBuckets),
+	}
+	if sys, err := systemOf(s.prog); err == nil {
+		s.sys = sys
+	}
+	var b strings.Builder
+	for i, r := range prog.Rules {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r.String())
+	}
+	s.progKey = b.String()
+	for _, f := range prog.Facts {
+		names := make([]string, len(f.Args))
+		for i, t := range f.Args {
+			names[i] = t.Name
+		}
+		if _, err := s.db.Insert(f.Pred, names...); err != nil {
+			return nil, err
+		}
+	}
+	s.snap.Store(s.db.Snapshot())
+	return s, nil
+}
+
+// systemOf extracts the single linear recursive system from the program
+// (one recursive rule, rest exit rules for the same head).
+func systemOf(prog *ast.Program) (*ast.RecursiveSystem, error) {
+	var rec *ast.Rule
+	var exits []ast.Rule
+	for i := range prog.Rules {
+		r := prog.Rules[i]
+		if len(r.RecursiveAtoms()) > 0 {
+			if rec != nil {
+				return nil, fmt.Errorf("multiple recursive rules")
+			}
+			rec = &prog.Rules[i]
+		} else {
+			exits = append(exits, r)
+		}
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("no recursive rule")
+	}
+	for _, e := range exits {
+		if e.Head.Pred != rec.Head.Pred {
+			return nil, fmt.Errorf("rule %v is not an exit rule for %s", e, rec.Head.Pred)
+		}
+	}
+	return ast.NewRecursiveSystem(*rec, exits...)
+}
+
+// LoadFacts inserts "pred(a, b)." lines and publishes a fresh snapshot.
+func (s *Server) LoadFacts(src string) (uint64, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := s.db.LoadFacts(src); err != nil {
+		return s.db.Epoch(), err
+	}
+	snap := s.db.Snapshot()
+	s.snap.Store(snap)
+	return snap.Epoch(), nil
+}
+
+// Snapshot returns the latest published snapshot.
+func (s *Server) Snapshot() *storage.Snapshot { return s.snap.Load() }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Cache returns the server's result cache.
+func (s *Server) Cache() *eval.ResultCache { return s.cache }
+
+// QueryResult is the /query response body.
+type QueryResult struct {
+	Query      string     `json:"query"`
+	Answers    [][]string `json:"answers"`
+	Count      int        `json:"count"`
+	Epoch      uint64     `json:"epoch"`
+	Cached     bool       `json:"cached"`
+	Class      string     `json:"class,omitempty"`
+	Strategy   string     `json:"strategy,omitempty"`
+	Rounds     int        `json:"rounds"`
+	Derived    int        `json:"derived"`
+	DurationUS int64      `json:"duration_us"`
+	Trace      any        `json:"trace,omitempty"`
+}
+
+// Query answers one query string against the latest snapshot, through the
+// result cache. The tracer, when non-nil, receives the evaluation's spans.
+func (s *Server) Query(qs string, tracer *obs.Tracer) (*QueryResult, error) {
+	q, err := parser.ParseQuery(qs)
+	if err != nil {
+		return nil, err
+	}
+	snap := s.snap.Load()
+	opts := eval.Opts{Workers: s.workers, Metrics: s.reg, Tracer: tracer}
+
+	t0 := time.Now()
+	var (
+		rel    *storage.Relation
+		st     eval.Stats
+		cached bool
+	)
+	if s.sys != nil {
+		rel, st, cached, err = s.cache.Answer(s.planner, s.sys, q, snap, opts)
+	} else {
+		// Generic program: parallel semi-naive over the snapshot, memoized
+		// under the same (program, query, epoch) key.
+		rel, st, cached, err = s.cache.Do(s.progKey, q.String(), snap.Epoch(), func() (*storage.Relation, eval.Stats, error) {
+			out, st, err := eval.ParallelSemiNaiveOpts(s.prog, snap.DB(), opts)
+			if err != nil {
+				return nil, st, err
+			}
+			ans, err := eval.AnswerQuery(out, q)
+			return ans, st, err
+		})
+	}
+	s.evalDur.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		return nil, err
+	}
+
+	syms := snap.Syms()
+	res := &QueryResult{
+		Query:      q.String(),
+		Answers:    make([][]string, 0, rel.Len()),
+		Count:      rel.Len(),
+		Epoch:      snap.Epoch(),
+		Cached:     cached,
+		Rounds:     st.Rounds,
+		Derived:    st.Derived,
+		DurationUS: time.Since(t0).Microseconds(),
+	}
+	if st.Plan != nil {
+		res.Class = st.Plan.Class
+		res.Strategy = st.Plan.Strategy
+	} else if s.sys == nil {
+		res.Strategy = "parallel"
+	}
+	rel.Each(func(t storage.Tuple) bool {
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = syms.Name(v)
+		}
+		res.Answers = append(res.Answers, row)
+		return true
+	})
+	return res, nil
+}
+
+// Handler returns the server's HTTP handler: the obs mux (metrics, expvar,
+// pprof) plus the query, facts and health endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := obs.NewMux(s.reg)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/facts", s.handleFacts)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Query string `json:"query"`
+	Trace bool   `json:"trace,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var qs string
+	var wantTrace bool
+	switch r.Method {
+	case http.MethodGet:
+		qs = r.URL.Query().Get("q")
+		wantTrace = r.URL.Query().Get("trace") == "1"
+	case http.MethodPost:
+		var req queryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		qs, wantTrace = req.Query, req.Trace
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET ?q= or POST"))
+		return
+	}
+	if strings.TrimSpace(qs) == "" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("empty query (GET /query?q=?- p(a, Y). or POST {\"query\": ...})"))
+		return
+	}
+
+	s.queries.Inc()
+	s.inflight.Add(1)
+	t0 := time.Now()
+	defer func() {
+		s.inflight.Add(-1)
+		s.queryDur.Observe(time.Since(t0).Seconds())
+	}()
+
+	var tracer *obs.Tracer
+	if wantTrace {
+		tracer = obs.New("query")
+	}
+	res, err := s.Query(qs, tracer)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if tracer != nil {
+		tracer.Finish()
+		res.Trace = json.RawMessage(traceJSON(tracer))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// traceJSON renders a finished tracer's span tree as JSON bytes.
+func traceJSON(t *obs.Tracer) []byte {
+	var b strings.Builder
+	if err := t.WriteJSON(&b); err != nil || b.Len() == 0 {
+		return []byte("null")
+	}
+	return []byte(b.String())
+}
+
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST fact lines (\"pred(a, b).\") to /facts"))
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	epoch, err := s.LoadFacts(string(body))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"epoch": epoch})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	snap := s.snap.Load()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"ok":            true,
+		"epoch":         snap.Epoch(),
+		"cache_entries": s.cache.Len(),
+		"cache_bytes":   s.cache.Bytes(),
+	})
+}
+
+// fail writes a JSON error and counts it.
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.errors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,280 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/parser"
+)
+
+const tcProgram = `
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+e(a, b). e(b, c). e(c, d).
+`
+
+func newTestServer(t *testing.T, src string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getQuery(t *testing.T, ts *httptest.Server, q string) QueryResult {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/query?q=" + strings.ReplaceAll(q, " ", "%20"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("GET /query %s: status %d (%s)", q, resp.StatusCode, e["error"])
+	}
+	var res QueryResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestServerQueryEndToEnd: answers, cache behavior and write invalidation
+// through the HTTP surface.
+func TestServerQueryEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, tcProgram)
+
+	cold := getQuery(t, ts, "?- p(a, Y).")
+	if cold.Count != 3 || cold.Cached {
+		t.Fatalf("cold query: count=%d cached=%v, want 3/false", cold.Count, cold.Cached)
+	}
+	if cold.Class == "" || cold.Strategy == "" {
+		t.Errorf("cold query missing plan info: %+v", cold)
+	}
+	warm := getQuery(t, ts, "?- p(a, Y).")
+	if !warm.Cached || warm.Count != 3 || warm.Epoch != cold.Epoch {
+		t.Fatalf("warm query: cached=%v count=%d epoch=%d, want true/3/%d",
+			warm.Cached, warm.Count, warm.Epoch, cold.Epoch)
+	}
+
+	// A write advances the epoch and the next query sees the new edge.
+	resp, err := http.Post(ts.URL+"/facts", "text/plain", strings.NewReader("e(d, x)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr map[string]uint64
+	json.NewDecoder(resp.Body).Decode(&fr)
+	resp.Body.Close()
+	if fr["epoch"] <= cold.Epoch {
+		t.Fatalf("POST /facts epoch = %d, want > %d", fr["epoch"], cold.Epoch)
+	}
+	after := getQuery(t, ts, "?- p(a, Y).")
+	if after.Cached || after.Count != 4 || after.Epoch != fr["epoch"] {
+		t.Fatalf("post-write query: cached=%v count=%d epoch=%d, want false/4/%d",
+			after.Cached, after.Count, after.Epoch, fr["epoch"])
+	}
+
+	// POST /query with trace returns a span tree.
+	body, _ := json.Marshal(queryRequest{Query: "?- p(X, Y).", Trace: true})
+	resp, err = http.Post(ts.URL+"/query", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced QueryResult
+	if err := json.NewDecoder(resp.Body).Decode(&traced); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if traced.Trace == nil {
+		t.Error("trace=1 returned no span tree")
+	}
+	if traced.Count != 10 { // TC of the 5-node chain a..d,x: 4+3+2+1
+		t.Errorf("full query count = %d, want 10", traced.Count)
+	}
+}
+
+// TestServerMetricsExposed scrapes /metrics and checks the serving counters
+// (queries, result-cache hits/misses) moved.
+func TestServerMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, tcProgram)
+	getQuery(t, ts, "?- p(a, Y).")
+	getQuery(t, ts, "?- p(a, Y).")
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"dl_server_queries_total 2",
+		"dl_resultcache_hits_total 1",
+		"dl_resultcache_misses_total 1",
+		"dl_server_query_duration_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(text, "dl_server_inflight_queries 0") {
+		t.Errorf("/metrics inflight gauge not back to 0")
+	}
+}
+
+// TestServerGenericFallback: a program that is not a single linear system
+// still serves (parallel semi-naive path) with caching.
+func TestServerGenericFallback(t *testing.T) {
+	src := `
+t(X, Y) :- e(X, Y).
+t(X, Y) :- t(X, Z), t(Z, Y).
+e(a, b). e(b, c).
+`
+	s, ts := newTestServer(t, src)
+	if s.sys != nil {
+		t.Fatal("nonlinear program extracted a linear system")
+	}
+	cold := getQuery(t, ts, "?- t(a, Y).")
+	if cold.Count != 2 || cold.Cached || cold.Strategy != "parallel" {
+		t.Fatalf("fallback cold: %+v, want 2 answers via parallel", cold)
+	}
+	warm := getQuery(t, ts, "?- t(a, Y).")
+	if !warm.Cached || warm.Count != 2 {
+		t.Fatalf("fallback warm: cached=%v count=%d", warm.Cached, warm.Count)
+	}
+}
+
+// TestServerErrors: bad inputs fail with JSON errors and count into
+// dl_server_errors_total; programs with embedded queries are rejected.
+func TestServerErrors(t *testing.T) {
+	s, ts := newTestServer(t, tcProgram)
+	for _, url := range []string{
+		ts.URL + "/query",              // empty q
+		ts.URL + "/query?q=nonsense((", // parse error
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+	if got := s.Registry().Counter("dl_server_errors_total").Value(); got != 2 {
+		t.Errorf("dl_server_errors_total = %d, want 2", got)
+	}
+	if _, err := New("p(X) :- e(X).\n?- p(X).", Config{}); err == nil {
+		t.Error("program with an embedded query must be rejected")
+	}
+	if _, err := New("e(a, b).", Config{}); err == nil {
+		t.Error("rule-less program must be rejected")
+	}
+}
+
+// TestServerConcurrentReadWrite hammers the server with concurrent queries
+// and fact writes (run under -race by `make race`); every answer must be
+// internally consistent: the TC answer count for the pinned epoch must be
+// non-decreasing in the epoch, since this workload only ever adds edges.
+func TestServerConcurrentReadWrite(t *testing.T) {
+	s, err := New("p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).\ne(n0, n1).", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 2
+	const readers = 4
+	const rounds = 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				fact := fmt.Sprintf("e(n%d, n%d).", w*rounds+i, w*rounds+i+1)
+				if _, err := s.LoadFacts(fact); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	type seen struct {
+		epoch uint64
+		count int
+	}
+	results := make([][]seen, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				res, err := s.Query("?- p(X, Y).", nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[r] = append(results[r], seen{res.Epoch, res.Count})
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Monotonic consistency: higher epoch ⇒ no fewer answers, and equal
+	// epochs ⇒ equal counts (snapshot isolation).
+	byEpoch := map[uint64]int{}
+	for r := range results {
+		for _, sn := range results[r] {
+			if prev, ok := byEpoch[sn.epoch]; ok && prev != sn.count {
+				t.Fatalf("epoch %d answered both %d and %d tuples", sn.epoch, prev, sn.count)
+			}
+			byEpoch[sn.epoch] = sn.count
+		}
+	}
+	var epochs []uint64
+	for e := range byEpoch {
+		epochs = append(epochs, e)
+	}
+	for _, e1 := range epochs {
+		for _, e2 := range epochs {
+			if e1 < e2 && byEpoch[e1] > byEpoch[e2] {
+				t.Fatalf("answers shrank across epochs: %d@%d > %d@%d",
+					byEpoch[e1], e1, byEpoch[e2], e2)
+			}
+		}
+	}
+	// Final state: every inserted edge is visible — the chain segments give
+	// a known TC size, cross-checked against a serial evaluation.
+	snap := s.Snapshot()
+	final, err := s.Query("?- p(X, Y).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Epoch != snap.Epoch() {
+		t.Errorf("final query epoch %d != snapshot epoch %d", final.Epoch, snap.Epoch())
+	}
+	sys, err := systemOf(s.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := parser.ParseQuery("?- p(X, Y).")
+	ref, _, err := eval.Answer(eval.StrategySemiNaive, sys, q, snap.DB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Count != ref.Len() {
+		t.Errorf("final answer %d tuples, serial replay %d", final.Count, ref.Len())
+	}
+}

@@ -111,6 +111,23 @@ func (ci *colIndex) csrRange(v Value) []int32 {
 	return ci.positions[ci.offsets[k]:ci.offsets[k+1]]
 }
 
+// clone returns a copy safe for an independent writer. The CSR body
+// (offsets, positions) and the sparse key map are immutable after build —
+// inserts only touch the overflow, and a rebuild replaces the whole index —
+// so they are shared; only the overflow map is copied (its slices are
+// shared too: append grows past the frozen length, which no reader of the
+// original can see).
+func (ci *colIndex) clone() *colIndex {
+	out := *ci
+	if ci.extra != nil {
+		out.extra = make(map[Value][]int32, len(ci.extra))
+		for v, ps := range ci.extra {
+			out.extra[v] = ps
+		}
+	}
+	return &out
+}
+
 // add records a newly inserted tuple position in the overflow.
 func (ci *colIndex) add(v Value, pos int32) {
 	if ci.extra == nil {

@@ -1,0 +1,72 @@
+package storage
+
+// Epoch-based snapshots. A Snapshot pins one consistent state of a Database
+// so that any number of goroutines can evaluate queries against it while
+// the owning database keeps accepting writes. Pinning is cheap: every
+// relation's indexes are materialized (freezing its read path), the header
+// is marked frozen, and the predicate map is copied — no tuple, arena block
+// or index is duplicated. The first post-snapshot write to a pinned
+// relation goes through the Database's copy-on-write step (Relation.cowClone),
+// which clones only the header, the dedup table and the index overflow;
+// the frozen arena blocks are shared forever and never recycled (Reset on
+// a frozen relation panics), so a reader holding an old epoch can never
+// observe a torn or reused tuple.
+//
+// Concurrency contract: Database.Snapshot and all Database/Relation writes
+// require the same single-writer exclusive access as before; everything
+// reachable from a returned *Snapshot is immutable and safe for unlimited
+// concurrent readers (the shared Symbols table is internally locked, so
+// the writer may keep interning new constants while readers resolve names).
+
+// Snapshot is an immutable view of a Database at one epoch.
+type Snapshot struct {
+	epoch uint64
+	db    *Database
+}
+
+// Epoch returns the snapshot's epoch: 1 for the first snapshot of a
+// database, advancing by one for each snapshot that observed new writes.
+// Result and plan caches key cached artifacts by it.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// DB returns the snapshot's database view: it shares the owning database's
+// symbol table and the frozen relation headers. The view is read-only by
+// contract — every evaluation engine treats its input database as
+// read-only (they build private working databases for derived relations) —
+// and every relation in it is published and frozen, so any number of
+// evaluations may run against it concurrently.
+func (s *Snapshot) DB() *Database { return s.db }
+
+// Rel returns the frozen relation for pred, or nil when absent at the
+// snapshot's epoch.
+func (s *Snapshot) Rel(pred string) *Relation { return s.db.Rel(pred) }
+
+// Preds returns the sorted predicate names present at the snapshot's epoch.
+func (s *Snapshot) Preds() []string { return s.db.Preds() }
+
+// Syms returns the shared symbol table.
+func (s *Snapshot) Syms() *Symbols { return s.db.Syms }
+
+// Epoch returns the database's current epoch: the epoch of the last
+// snapshot taken (0 when none has been).
+func (db *Database) Epoch() uint64 { return db.epoch }
+
+// Snapshot pins the database's current contents as an immutable epoch.
+// When nothing changed since the last snapshot the same Snapshot (same
+// epoch) is returned, so repeated snapshots of a quiet database keep
+// result-cache keys stable. Requires the writer's exclusive access, like
+// every mutating method; the returned snapshot is free of that constraint.
+func (db *Database) Snapshot() *Snapshot {
+	if db.snap != nil && !db.dirty {
+		return db.snap
+	}
+	db.epoch++
+	view := &Database{Syms: db.Syms, rels: make(map[string]*Relation, len(db.rels))}
+	for pred, r := range db.rels {
+		r.Freeze()
+		view.rels[pred] = r
+	}
+	db.snap = &Snapshot{epoch: db.epoch, db: view}
+	db.dirty = false
+	return db.snap
+}

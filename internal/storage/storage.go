@@ -15,14 +15,20 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Value is an interned constant. Values are only meaningful together with
 // the Symbols table that produced them.
 type Value int32
 
-// Symbols interns constant names to dense Values.
+// Symbols interns constant names to dense Values. The table is safe for
+// concurrent use: the serving path interns new constants on the writer side
+// while any number of snapshot readers compile conjunctions (which intern
+// rule constants) and render answers. Values are append-only, so a Value
+// handed out once names the same constant forever.
 type Symbols struct {
+	mu    sync.RWMutex
 	names []string
 	index map[string]Value
 }
@@ -34,10 +40,18 @@ func NewSymbols() *Symbols {
 
 // Intern returns the Value for name, assigning a fresh one if needed.
 func (s *Symbols) Intern(name string) Value {
+	s.mu.RLock()
+	v, ok := s.index[name]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if v, ok := s.index[name]; ok {
 		return v
 	}
-	v := Value(len(s.names))
+	v = Value(len(s.names))
 	s.names = append(s.names, name)
 	s.index[name] = v
 	return v
@@ -45,12 +59,16 @@ func (s *Symbols) Intern(name string) Value {
 
 // Lookup returns the Value for name without interning.
 func (s *Symbols) Lookup(name string) (Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v, ok := s.index[name]
 	return v, ok
 }
 
 // Name returns the name of v.
 func (s *Symbols) Name(v Value) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if int(v) < 0 || int(v) >= len(s.names) {
 		return fmt.Sprintf("?%d", int32(v))
 	}
@@ -58,7 +76,11 @@ func (s *Symbols) Name(v Value) string {
 }
 
 // Len returns the number of interned symbols.
-func (s *Symbols) Len() int { return len(s.names) }
+func (s *Symbols) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.names)
+}
 
 // Tuple is a fixed-arity row of values.
 type Tuple []Value
@@ -132,6 +154,12 @@ type Relation struct {
 	// published flips at BuildIndexes: it freezes the read path (no lazy
 	// index construction) until the next Insert-free Reset.
 	published bool
+	// frozen marks the relation as pinned by a live Snapshot (or a result
+	// cache): Insert and Reset panic, because snapshot readers alias the
+	// arena blocks and probe the dedup table concurrently. Writers reach a
+	// frozen relation only through Database methods, which copy-on-write
+	// the header first (see cowClone).
+	frozen bool
 	// hashFn overrides hashWords in tests (collision handling coverage).
 	hashFn func(Tuple) uint64
 	// stats counts write-path work (see RelStats). Only writer-exclusive
@@ -299,6 +327,9 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("storage: insert arity %d into relation of arity %d", len(t), r.arity))
 	}
+	if r.frozen {
+		panic("storage: Insert on a frozen relation (snapshot readers may alias it; write through the Database, which clones on write)")
+	}
 	h := r.hash(t)
 	r.stats.Probes++
 	if r.findInsert(t, h) >= 0 {
@@ -413,8 +444,13 @@ func (r *Relation) EachCol(col int, v Value, f func(Tuple) bool) {
 // BuildIndexes materializes every column index now and freezes the read
 // path: from here on, reads never build indexes lazily, so any number of
 // goroutines may read the relation concurrently (as long as no writer
-// runs).
+// runs). On an already-published relation it returns immediately without
+// writing anything, so concurrent evaluations sharing a snapshot may all
+// call it (the engines do, defensively) without racing.
 func (r *Relation) BuildIndexes() {
+	if r.published {
+		return
+	}
 	for col := 0; col < r.arity; col++ {
 		if r.colIdx[col] == nil {
 			r.stats.IndexBuilds++
@@ -538,11 +574,72 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
+// Freeze marks the relation immutable: Insert and Reset panic from here on.
+// Database.Snapshot freezes every relation it pins so that concurrent
+// snapshot readers can never be corrupted by an in-place write, and the
+// result cache freezes cached answer relations for the same reason. There
+// is no Unfreeze: a header that was ever published to readers stays
+// read-only forever, and writers get a fresh copy-on-write header instead.
+func (r *Relation) Freeze() {
+	r.BuildIndexes()
+	r.frozen = true
+}
+
+// Frozen reports whether the relation has been pinned by a snapshot (or
+// otherwise frozen) and therefore refuses in-place writes.
+func (r *Relation) Frozen() bool { return r.frozen }
+
+// cowClone returns a writable header over the same stored tuples: the
+// value-arena blocks and the tuple-header slice are shared (appends write
+// only past the frozen length, which no reader of the frozen header can
+// see), while the dedup table and the column indexes — which Insert mutates
+// in place — are copied. This is the Database's copy-on-write step for
+// writing "after" a snapshot: cost is O(table + arity) plus the index
+// overflow maps, never the arena.
+func (r *Relation) cowClone() *Relation {
+	out := &Relation{
+		arity:     r.arity,
+		blocks:    append([][]Value(nil), r.blocks...),
+		tuples:    r.tuples,
+		table:     append([]uint32(nil), r.table...),
+		colIdx:    make([]*colIndex, r.arity),
+		published: r.published,
+		hashFn:    r.hashFn,
+		stats:     r.stats,
+	}
+	for i, ci := range r.colIdx {
+		if ci != nil {
+			out.colIdx[i] = ci.clone()
+		}
+	}
+	return out
+}
+
+// SizeBytes estimates the relation's resident memory: arena capacity, the
+// membership table and the tuple headers, plus a fixed struct overhead.
+// The result cache charges cached answers against its byte budget with it.
+func (r *Relation) SizeBytes() int64 {
+	n := int64(64)
+	for _, b := range r.blocks {
+		n += int64(cap(b)) * valueBytes
+	}
+	n += int64(len(r.table)) * 4
+	n += int64(len(r.tuples)) * 24
+	return n
+}
+
 // Reset empties the relation in place, re-arities it, and keeps the arena
 // blocks and membership table capacity for reuse — the parallel engine
 // pools task output buffers through it. Resetting requires exclusive
 // access and unfreezes the read path (indexes build lazily again).
+// Resetting a frozen relation panics: its arena blocks may be aliased by
+// snapshot readers, and recycling them would overwrite tuples those readers
+// still hold (refusal is the epoch-aware guard — writers needing a fresh
+// relation after a snapshot allocate a new one instead).
 func (r *Relation) Reset(arity int) {
+	if r.frozen {
+		panic("storage: Reset on a frozen relation (snapshot readers may alias its arena blocks)")
+	}
 	if arity != r.arity {
 		r.arity = arity
 		r.colIdx = make([]*colIndex, arity)
@@ -590,9 +687,23 @@ func (r *Relation) Equal(o *Relation) bool {
 }
 
 // Database maps predicate names to relations and shares one symbol table.
+//
+// Snapshot support: Snapshot() pins the current contents as an immutable,
+// concurrently readable epoch (see snapshot.go). After a snapshot, the
+// database remains writable — the first write to a pinned relation clones
+// its header copy-on-write (sharing the arena blocks), so snapshot readers
+// and the writer never touch the same mutable state. Snapshot and all
+// mutating methods require the same exclusive access as Relation writes;
+// the returned Snapshot itself needs no locking.
 type Database struct {
 	Syms *Symbols
 	rels map[string]*Relation
+	// epoch counts snapshots taken; 0 means never snapshotted. dirty marks
+	// mutations since the last snapshot, so an unchanged database returns
+	// the same Snapshot (same epoch — result caches key on it).
+	epoch uint64
+	dirty bool
+	snap  *Snapshot
 }
 
 // NewDatabase returns an empty database with a fresh symbol table.
@@ -608,11 +719,20 @@ func NewDatabaseWithSymbols(syms *Symbols) *Database {
 }
 
 // Ensure returns the relation for pred, creating it with the given arity if
-// absent. It returns an error if the existing arity differs.
+// absent, and ready for writes: a relation frozen by a live snapshot is
+// replaced by its copy-on-write clone first. It returns an error if the
+// existing arity differs. Ensure marks the database dirty (the next
+// Snapshot call advances the epoch), since callers hold the result to
+// insert into it.
 func (db *Database) Ensure(pred string, arity int) (*Relation, error) {
+	db.dirty = true
 	if r, ok := db.rels[pred]; ok {
 		if r.Arity() != arity {
 			return nil, fmt.Errorf("storage: relation %s has arity %d, requested %d", pred, r.Arity(), arity)
+		}
+		if r.frozen {
+			r = r.cowClone()
+			db.rels[pred] = r
 		}
 		return r, nil
 	}
@@ -625,7 +745,10 @@ func (db *Database) Ensure(pred string, arity int) (*Relation, error) {
 func (db *Database) Rel(pred string) *Relation { return db.rels[pred] }
 
 // Set replaces the relation stored under pred.
-func (db *Database) Set(pred string, r *Relation) { db.rels[pred] = r }
+func (db *Database) Set(pred string, r *Relation) {
+	db.dirty = true
+	db.rels[pred] = r
+}
 
 // Preds returns the sorted predicate names present.
 func (db *Database) Preds() []string {
