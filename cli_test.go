@@ -421,14 +421,16 @@ e(a, b). e(b, c). e(c, d).
 		t.Fatalf("second query not served from the result cache: %v", warm)
 	}
 
-	// A write advances the epoch; the next query recomputes and sees it.
+	// A write advances the epoch; maintenance carries the cached entry
+	// forward, so the next query is a hit at the new epoch, flagged
+	// maintained, and sees the new edge.
 	resp, err := http.Post(base+"/facts", "text/plain", strings.NewReader("e(d, x)."))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	after := query("?- p(a, Y).")
-	if after["count"].(float64) != 4 || after["cached"].(bool) {
+	if after["count"].(float64) != 4 || !after["cached"].(bool) || after["maintained"] != true {
 		t.Fatalf("post-write query: %v", after)
 	}
 	if after["epoch"].(float64) <= cold["epoch"].(float64) {
@@ -443,8 +445,9 @@ e(a, b). e(b, c). e(c, d).
 	mresp.Body.Close()
 	metrics := string(body)
 	for _, want := range []string{
-		"dl_resultcache_hits_total 1",
-		"dl_resultcache_misses_total 2",
+		"dl_resultcache_hits_total 2",
+		"dl_resultcache_misses_total 1",
+		"dl_resultcache_maintained_total 1",
 		"dl_server_queries_total 3",
 		"dl_server_inflight_queries 0",
 	} {

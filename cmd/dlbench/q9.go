@@ -20,11 +20,14 @@ import (
 // closure program over a random graph: cold queries (every write advances
 // the epoch, so each query runs a full fixpoint) versus warm queries
 // (unchanged epoch, served from the materialized-result cache), then a
-// mixed read/write throughput sweep from 1 client up to NumCPU clients with
-// a background writer advancing the epoch every few milliseconds. Results
-// go to stdout and BENCH_serve.json. The server is driven in-process
-// (Server.Query / Server.LoadFacts) so the numbers measure the serving
-// stack — snapshot pinning, result cache, planner, engines — not socket I/O.
+// write-heavy sweep where each write extends the reachable chain —
+// comparing incremental maintenance of the cached result against the
+// cold-start recompute it replaces — and finally a mixed read/write
+// throughput sweep from 1 client up to NumCPU clients with a background
+// writer advancing the epoch every few milliseconds. Results go to stdout
+// and BENCH_serve.json. The server is driven in-process (Server.Query /
+// Server.LoadFacts) so the numbers measure the serving stack — snapshot
+// pinning, result cache, maintenance, planner, engines — not socket I/O.
 
 type q9Throughput struct {
 	Clients int     `json:"clients"`
@@ -32,16 +35,19 @@ type q9Throughput struct {
 }
 
 type q9Report struct {
-	Generated      string         `json:"generated"`
-	Quick          bool           `json:"quick"`
-	NumCPU         int            `json:"numcpu"`
-	Nodes          int            `json:"nodes"`
-	Edges          int            `json:"edges"`
-	ColdNsPerQuery int64          `json:"cold_ns_per_query"`
-	WarmNsPerQuery int64          `json:"warm_ns_per_query"`
-	WarmSpeedup    float64        `json:"warm_speedup"`
-	Throughput     []q9Throughput `json:"throughput"`
-	QPSScaling     float64        `json:"qps_scaling"`
+	Generated       string         `json:"generated"`
+	Quick           bool           `json:"quick"`
+	NumCPU          int            `json:"numcpu"`
+	Nodes           int            `json:"nodes"`
+	Edges           int            `json:"edges"`
+	ColdNsPerQuery  int64          `json:"cold_ns_per_query"`
+	WarmNsPerQuery  int64          `json:"warm_ns_per_query"`
+	WarmSpeedup     float64        `json:"warm_speedup"`
+	MaintNsPerWrite int64          `json:"maintained_ns_per_write_query"`
+	ColdNsPerWrite  int64          `json:"coldstart_ns_per_write_query"`
+	MaintSpeedup    float64        `json:"maintenance_speedup"`
+	Throughput      []q9Throughput `json:"throughput"`
+	QPSScaling      float64        `json:"qps_scaling"`
 }
 
 // q9Graph renders a random reachable graph as fact lines: a Hamiltonian
@@ -62,17 +68,19 @@ func (r *runner) q9() {
 	r.section("Q9: serving — snapshot isolation + materialized-result cache")
 
 	nodes, extra := 200, 400
-	coldIters, warmIters := 8, 2000
+	coldIters, warmIters, writeIters := 8, 2000, 48
 	sweepDur := 400 * time.Millisecond
 	if r.quick {
-		nodes, extra = 80, 160
-		coldIters, warmIters = 4, 500
+		nodes, extra = 120, 240
+		coldIters, warmIters, writeIters = 6, 500, 16
 		sweepDur = 120 * time.Millisecond
 	}
 
-	newServer := func() *server.Server {
-		s, err := server.New("p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).",
-			server.Config{Registry: obs.NewRegistry()})
+	newServer := func(cfg server.Config) *server.Server {
+		if cfg.Registry == nil {
+			cfg.Registry = obs.NewRegistry()
+		}
+		s, err := server.New("p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).", cfg)
 		if err != nil {
 			panic(err)
 		}
@@ -81,7 +89,10 @@ func (r *runner) q9() {
 		}
 		return s
 	}
-	srv := newServer()
+	// Maintenance off for the cold/warm pair: the point of this section is
+	// the raw cost of a cache miss vs a cache probe, so writes must actually
+	// cold-start the entry.
+	srv := newServer(server.Config{DisableMaintenance: true})
 	r.row("graph: %d nodes, %d edges; NumCPU = %d", nodes, nodes-1+extra, runtime.NumCPU())
 
 	// Cold: each write advances the epoch, so every query is a full
@@ -138,6 +149,65 @@ func (r *runner) q9() {
 	r.row("warm (cached, quiet epoch):     %12d ns/query", warmNs)
 	r.row("warm speedup: %.1fx", speedup)
 
+	// Write-heavy sweep: every write extends the reachable chain by one
+	// fresh edge, so the closure genuinely grows and the cached result for
+	// p(n0, Y) must change. Two arms over identical write/query sequences,
+	// each timing LoadFacts + Query end to end: the maintained arm pays an
+	// incremental delta pass inside the write and serves a cache hit; the
+	// cold-start arm pays a full fixpoint on the post-write query. This is
+	// the bill incremental maintenance is meant to cut.
+	writeHeavy := func(cfg server.Config, wantMaintained bool) (int64, bool) {
+		s := newServer(cfg)
+		if _, err := s.Query(query, nil); err != nil { // prime the entry
+			r.check("Q9", "write-heavy sweep runs", false, err.Error())
+			return 0, false
+		}
+		var total time.Duration
+		prev := -1
+		for i := 0; i < writeIters; i++ {
+			edge := fmt.Sprintf("e(x%d, x%d).", i-1, i)
+			if i == 0 {
+				edge = fmt.Sprintf("e(n%d, x0).", nodes-1)
+			}
+			t0 := time.Now()
+			if _, err := s.LoadFacts(edge); err != nil {
+				r.check("Q9", "write-heavy sweep runs", false, err.Error())
+				return 0, false
+			}
+			res, err := s.Query(query, nil)
+			total += time.Since(t0)
+			if err != nil {
+				r.check("Q9", "write-heavy sweep runs", false, err.Error())
+				return 0, false
+			}
+			if res.Maintained != wantMaintained || (wantMaintained && !res.Cached) {
+				r.check("Q9", "write-heavy sweep serves the expected path", false,
+					fmt.Sprintf("iteration %d: cached=%v maintained=%v, want maintained=%v",
+						i, res.Cached, res.Maintained, wantMaintained))
+				return 0, false
+			}
+			if res.Count <= prev {
+				r.check("Q9", "chain extension grows the closure", false,
+					fmt.Sprintf("iteration %d: count %d after %d", i, res.Count, prev))
+				return 0, false
+			}
+			prev = res.Count
+		}
+		return total.Nanoseconds() / int64(writeIters), true
+	}
+	maintNs, ok := writeHeavy(server.Config{}, true)
+	if !ok {
+		return
+	}
+	coldWriteNs, ok := writeHeavy(server.Config{DisableMaintenance: true}, false)
+	if !ok {
+		return
+	}
+	maintSpeedup := float64(coldWriteNs) / float64(maintNs)
+	r.row("write-heavy, maintained:  %12d ns/(write+query)", maintNs)
+	r.row("write-heavy, cold-start:  %12d ns/(write+query)", coldWriteNs)
+	r.row("maintenance speedup: %.1fx", maintSpeedup)
+
 	// Throughput sweep: C clients issue bound queries round-robin over the
 	// node domain while one writer inserts a fresh edge (advancing the
 	// epoch) every ~20ms — the mixed read/write serving workload.
@@ -149,18 +219,23 @@ func (r *runner) q9() {
 		clientCounts = append(clientCounts, runtime.NumCPU())
 	}
 	report := q9Report{
-		Generated:      time.Now().UTC().Format(time.RFC3339),
-		Quick:          r.quick,
-		NumCPU:         runtime.NumCPU(),
-		Nodes:          nodes,
-		Edges:          nodes - 1 + extra,
-		ColdNsPerQuery: coldNs,
-		WarmNsPerQuery: warmNs,
-		WarmSpeedup:    speedup,
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		Quick:           r.quick,
+		NumCPU:          runtime.NumCPU(),
+		Nodes:           nodes,
+		Edges:           nodes - 1 + extra,
+		ColdNsPerQuery:  coldNs,
+		WarmNsPerQuery:  warmNs,
+		WarmSpeedup:     speedup,
+		MaintNsPerWrite: maintNs,
+		ColdNsPerWrite:  coldWriteNs,
+		MaintSpeedup:    maintSpeedup,
 	}
 	var qps1, qpsN float64
 	for _, clients := range clientCounts {
-		s := newServer()
+		// Maintenance stays on here — this sweep measures the serving stack
+		// as deployed, writes carrying cached entries forward included.
+		s := newServer(server.Config{})
 		var total atomic.Int64
 		var failed atomic.Int64
 		stop := make(chan struct{})
@@ -221,6 +296,19 @@ func (r *runner) q9() {
 	report.QPSScaling = qpsN / qps1
 	r.row("QPS scaling 1 -> %d clients: %.2fx", runtime.NumCPU(), report.QPSScaling)
 
+	// Regression gate against the committed report: warm latency is a cache
+	// probe and does not depend on the graph size, so quick CI runs are
+	// comparable to the committed full run. 3x headroom absorbs machine
+	// variance while still catching a serving-path slowdown.
+	if raw, err := os.ReadFile("BENCH_serve.json"); err == nil {
+		var baseline q9Report
+		if json.Unmarshal(raw, &baseline) == nil && baseline.WarmNsPerQuery > 0 {
+			r.check("Q9", "warm cached latency within 3x of the committed baseline",
+				warmNs <= 3*baseline.WarmNsPerQuery,
+				fmt.Sprintf("warm %d ns/query vs baseline %d ns/query", warmNs, baseline.WarmNsPerQuery))
+		}
+	}
+
 	if data, err := json.MarshalIndent(report, "", "  "); err == nil {
 		if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
 			r.row("BENCH_serve.json not written: %v", err)
@@ -232,6 +320,18 @@ func (r *runner) q9() {
 	r.check("Q9", "warm cached queries are >=10x faster than cold epoch-advancing queries",
 		speedup >= 10,
 		fmt.Sprintf("cold %d ns/query, warm %d ns/query: %.1fx", coldNs, warmNs, speedup))
+	// Quick mode is a CI regression gate on a possibly noisy shared machine
+	// and uses a smaller graph, where fixed per-request costs (parse,
+	// snapshot, serialization) compress the ratio — gate at 2x there. The
+	// full run documents the claim and must clear 3x.
+	maintGate := 3.0
+	if r.quick {
+		maintGate = 2.0
+	}
+	r.check("Q9", fmt.Sprintf("maintained post-write queries are >=%.0fx cheaper than cold-start recompute", maintGate),
+		maintSpeedup >= maintGate,
+		fmt.Sprintf("cold-start %d ns, maintained %d ns per write+query: %.1fx",
+			coldWriteNs, maintNs, maintSpeedup))
 	if runtime.NumCPU() > 1 {
 		r.check("Q9", "QPS scales >=2x from 1 client to NumCPU clients",
 			report.QPSScaling >= 2,

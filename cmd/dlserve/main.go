@@ -4,20 +4,26 @@
 // Usage:
 //
 //	dlserve -program FILE [-facts FILE] [-addr :8080]
-//	        [-cache-bytes N] [-workers N]
+//	        [-cache-bytes N] [-workers N] [-max-facts-bytes N]
 //
 // The program file holds the rules (plus optional seed facts); additional
 // ground facts can be bulk-loaded from -facts at startup and streamed in
-// over POST /facts at runtime. Every write publishes a new snapshot epoch;
-// queries always run against the latest epoch without blocking writes or
-// each other, and repeated queries of an unchanged database are served from
-// the result cache.
+// over POST /facts at runtime (atomic batches: the whole body is validated
+// before the first insert, and bodies beyond -max-facts-bytes get HTTP
+// 413). Every write publishes a new snapshot epoch; queries always run
+// against the latest epoch without blocking writes or each other. Repeated
+// queries of an unchanged database are served from the result cache, and
+// writes maintain the cached answers incrementally — post-write queries
+// are cache hits flagged "maintained":true, not cold recomputes
+// (dl_resultcache_{maintained,recomputed}_total on /metrics count the two
+// outcomes).
 //
 // Endpoints:
 //
 //	GET  /query?q=?- p(a, Y).   answer a query (&trace=1 for the span tree)
 //	POST /query                 {"query": "?- p(a, Y).", "trace": false}
-//	POST /facts                 load "pred(a, b)." lines, advance the epoch
+//	POST /facts                 load "pred(a, b)." lines atomically, advance
+//	                            the epoch, maintain cached answers
 //	GET  /healthz               liveness, epoch, cache footprint
 //	GET  /metrics               Prometheus text (engine + serving metrics)
 //	GET  /debug/vars            expvar JSON
@@ -48,6 +54,7 @@ func main() {
 		factsPath  = flag.String("facts", "", "bulk-load additional ground facts from this file at startup")
 		cacheBytes = flag.Int64("cache-bytes", eval.DefaultResultCacheBytes, "result-cache byte budget")
 		workers    = flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
+		maxFacts   = flag.Int64("max-facts-bytes", server.DefaultMaxFactsBytes, "POST /facts body size cap (negative = unlimited)")
 	)
 	flag.Parse()
 	if *program == "" {
@@ -58,9 +65,10 @@ func main() {
 		fatal(err)
 	}
 	s, err := server.New(string(src), server.Config{
-		Registry:   obs.Default(),
-		CacheBytes: *cacheBytes,
-		Workers:    *workers,
+		Registry:      obs.Default(),
+		CacheBytes:    *cacheBytes,
+		Workers:       *workers,
+		MaxFactsBytes: *maxFacts,
 	})
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", *program, err))

@@ -161,6 +161,39 @@ func (p *Plan) answer(q ast.Query, db *storage.Database, opts Opts) (*storage.Re
 	}
 }
 
+// answerAux is the serving-path variant of AnswerOpts: alongside the answer
+// it returns the plan-class-specific state the result cache needs to
+// maintain the entry incrementally across writes (maintain.go) — the exit
+// relation and BFS closure for TC plans, the materialized IDB fixpoint for
+// the parallel plans, nil for bounded plans (their answers alone suffice).
+func (p *Plan) answerAux(q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, any, Stats, error) {
+	var (
+		rel *storage.Relation
+		aux any
+		st  Stats
+		err error
+	)
+	switch p.Kind {
+	case PlanTC:
+		var ta *tcAux
+		rel, ta, st, err = tcEvalAux(p.sys, p.tc, q, db, opts)
+		if ta != nil {
+			aux = ta
+		}
+	case PlanBounded:
+		rel, st, err = boundedAnswer(p.sys, p.rules, q, db, opts)
+	case PlanStable:
+		rel, aux, st, err = fixpointAnswerAux(p.stable, q, db, opts)
+	default:
+		rel, aux, st, err = fixpointAnswerAux(p.sys, q, db, opts)
+	}
+	if err != nil {
+		return nil, nil, st, err
+	}
+	st.Plan = &PlanInfo{Class: p.Class, Strategy: p.Kind.String()}
+	return rel, aux, st, nil
+}
+
 // parallelAnswer runs the parallel semi-naive engine over the system's
 // program and selects the query's answers from the fixpoint.
 func parallelAnswer(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
@@ -170,4 +203,19 @@ func parallelAnswer(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database,
 	}
 	ans, err := AnswerQuery(out, q)
 	return ans, st, err
+}
+
+// fixpointAnswerAux is parallelAnswer keeping the materialized IDB fixpoint
+// as the entry's maintenance state.
+func fixpointAnswerAux(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, any, Stats, error) {
+	prog := sys.Program()
+	out, st, err := ParallelSemiNaiveOpts(prog, db, opts)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	ans, err := AnswerQuery(out, q)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	return ans, newFixAux(prog, out), st, nil
 }

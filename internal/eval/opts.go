@@ -74,6 +74,9 @@ const (
 	mResultEvict   = "dl_resultcache_evictions_total"
 	mResultBytes   = "dl_resultcache_bytes"
 	mResultEntries = "dl_resultcache_entries"
+	mResultMaint   = "dl_resultcache_maintained_total"
+	mResultRecomp  = "dl_resultcache_recomputed_total"
+	mResultMaintNs = "dl_resultcache_maintenance_seconds"
 	mRoundDur      = "dl_round_duration_seconds"
 	mWorkerUtil    = "dl_worker_utilization"
 	mStratumRounds = "dl_rounds_per_stratum"

@@ -193,6 +193,23 @@ func (pl *Planner) answerEpoch(sys *ast.RecursiveSystem, q ast.Query, db *storag
 	return rel, st, err
 }
 
+// answerSnapAux is AnswerSnap additionally returning the plan's maintenance
+// state (see Plan.answerAux) for the result cache to store with the entry.
+func (pl *Planner) answerSnapAux(sys *ast.RecursiveSystem, q ast.Query, snap *storage.Snapshot, opts Opts) (*storage.Relation, any, Stats, error) {
+	p, hit, err := pl.planFor(sys, q, snap.Epoch(), opts)
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	rel, aux, st, err := p.answerAux(q, snap.DB(), opts)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	if st.Plan != nil {
+		st.Plan.CacheHit = hit
+	}
+	return rel, aux, st, nil
+}
+
 // Invalidate is a no-op and always returns 0.
 //
 // Deprecated: plan-cache entries are keyed by program content and snapshot

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"repro/internal/ast"
@@ -17,16 +18,26 @@ import (
 // the LRU. Entries are charged against a byte budget (Relation.SizeBytes
 // plus key overhead) and evicted least-recently-used.
 //
+// Writes no longer cold-start the cache: Maintain (maintain.go) carries the
+// previous epoch's entries forward to the new epoch by running a delta pass
+// over only the inserted tuples, falling back to a full recompute when the
+// delta is not expressible (negation, replaced relations, blown budget).
+//
 // Concurrent identical queries are deduplicated singleflight-style: the
 // first caller computes while the rest block on its result, so N identical
-// cold queries trigger exactly one fixpoint. Cached relations are frozen
+// cold queries trigger exactly one fixpoint. A panicking compute fails its
+// flight (waiters get an error, the key stays usable) and re-panics in the
+// computing goroutine. Cached relations are frozen
 // (storage.Relation.Freeze) before publication, so any number of readers
 // may probe and iterate them concurrently; callers must not mutate them
 // (a mutation attempt panics).
 //
 // Hit, miss and eviction counts live in an obs.Registry under the
 // dl_resultcache_{hits,misses,evictions}_total names; the current byte and
-// entry footprints are the dl_resultcache_{bytes,entries} gauges.
+// entry footprints are the dl_resultcache_{bytes,entries} gauges; the
+// maintenance pass counts entries into
+// dl_resultcache_{maintained,recomputed}_total and its wall-clock into the
+// dl_resultcache_maintenance_seconds histogram.
 type ResultCache struct {
 	mu      sync.Mutex
 	max     int64
@@ -36,6 +47,8 @@ type ResultCache struct {
 	flight  map[resultKey]*flight
 
 	hits, misses, evictions *obs.Counter
+	maintained, recomputed  *obs.Counter
+	maintDur                *obs.Histogram
 	bytesG, entriesG        *obs.Gauge
 }
 
@@ -50,6 +63,15 @@ type resultEntry struct {
 	rel  *storage.Relation
 	st   Stats
 	size int64
+	// q is the parsed query (valid when hasQuery), kept so Maintain can
+	// re-plan and re-answer the entry at a later epoch. Do-keyed entries
+	// have no parsed query and are never maintained.
+	q        ast.Query
+	hasQuery bool
+	// aux is the plan-class-specific maintenance state captured at compute
+	// time (maintain.go): *tcAux for TC plans, *fixAux for fixpoint plans,
+	// nil when the plan keeps none (bounded plans need only the answers).
+	aux any
 }
 
 // flight is one in-progress computation other callers of the same key wait
@@ -80,15 +102,18 @@ func NewResultCacheWith(reg *obs.Registry, maxBytes int64) *ResultCache {
 		maxBytes = DefaultResultCacheBytes
 	}
 	return &ResultCache{
-		max:       maxBytes,
-		entries:   make(map[resultKey]*list.Element),
-		lru:       list.New(),
-		flight:    make(map[resultKey]*flight),
-		hits:      reg.Counter(mResultHits),
-		misses:    reg.Counter(mResultMisses),
-		evictions: reg.Counter(mResultEvict),
-		bytesG:    reg.Gauge(mResultBytes),
-		entriesG:  reg.Gauge(mResultEntries),
+		max:        maxBytes,
+		entries:    make(map[resultKey]*list.Element),
+		lru:        list.New(),
+		flight:     make(map[resultKey]*flight),
+		hits:       reg.Counter(mResultHits),
+		misses:     reg.Counter(mResultMisses),
+		evictions:  reg.Counter(mResultEvict),
+		maintained: reg.Counter(mResultMaint),
+		recomputed: reg.Counter(mResultRecomp),
+		maintDur:   reg.Histogram(mResultMaintNs, nil),
+		bytesG:     reg.Gauge(mResultBytes),
+		entriesG:   reg.Gauge(mResultEntries),
 	}
 }
 
@@ -97,8 +122,29 @@ func NewResultCacheWith(reg *obs.Registry, maxBytes int64) *ResultCache {
 // bool result reports whether the answer came from the cache (including
 // riding along on another caller's in-flight computation).
 func (c *ResultCache) Answer(pl *Planner, sys *ast.RecursiveSystem, q ast.Query, snap *storage.Snapshot, opts Opts) (*storage.Relation, Stats, bool, error) {
-	return c.Do(programKey(sys), q.String(), snap.Epoch(), func() (*storage.Relation, Stats, error) {
-		return pl.AnswerSnap(sys, q, snap, opts)
+	key := resultKey{program: programKey(sys), query: q.String(), epoch: snap.Epoch()}
+	return c.do(key, q, true, func() (*storage.Relation, any, Stats, error) {
+		return pl.answerSnapAux(sys, q, snap, opts)
+	})
+}
+
+// AnswerProgram evaluates the query over a general program (no single
+// recursive system — dlserve's generic fallback path): the parallel
+// semi-naive fixpoint followed by answer selection, memoized under the
+// caller's program key. Unlike raw Do, the entry keeps the materialized
+// fixpoint, so Maintain can carry it across writes.
+func (c *ResultCache) AnswerProgram(prog *ast.Program, progKey string, q ast.Query, snap *storage.Snapshot, opts Opts) (*storage.Relation, Stats, bool, error) {
+	key := resultKey{program: progKey, query: q.String(), epoch: snap.Epoch()}
+	return c.do(key, q, true, func() (*storage.Relation, any, Stats, error) {
+		out, st, err := ParallelSemiNaiveOpts(prog, snap.DB(), opts)
+		if err != nil {
+			return nil, nil, st, err
+		}
+		ans, err := AnswerQuery(out, q)
+		if err != nil {
+			return nil, nil, st, err
+		}
+		return ans, newFixAux(prog, out), st, nil
 	})
 }
 
@@ -109,6 +155,15 @@ func (c *ResultCache) Answer(pl *Planner, sys *ast.RecursiveSystem, q ast.Query,
 // cached, so a transient failure is retried by the next caller.
 func (c *ResultCache) Do(program, query string, epoch uint64, compute func() (*storage.Relation, Stats, error)) (*storage.Relation, Stats, bool, error) {
 	key := resultKey{program: program, query: query, epoch: epoch}
+	return c.do(key, ast.Query{}, false, func() (*storage.Relation, any, Stats, error) {
+		rel, st, err := compute()
+		return rel, nil, st, err
+	})
+}
+
+// do is the shared hit/flight/compute path. compute additionally returns
+// the plan-specific maintenance state stored alongside the entry.
+func (c *ResultCache) do(key resultKey, q ast.Query, hasQuery bool, compute func() (*storage.Relation, any, Stats, error)) (*storage.Relation, Stats, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
@@ -128,18 +183,32 @@ func (c *ResultCache) Do(program, query string, epoch uint64, compute func() (*s
 	c.mu.Unlock()
 	c.misses.Inc()
 
-	f.rel, f.st, f.err = compute()
+	var aux any
+	// A panicking compute must not wedge the key: fail the flight so waiters
+	// unblock with an error, unregister it, then let the panic continue.
+	defer func() {
+		if r := recover(); r != nil {
+			f.rel, f.err = nil, fmt.Errorf("eval: result compute for %q panicked: %v", key.query, r)
+			close(f.done)
+			c.mu.Lock()
+			delete(c.flight, key)
+			c.mu.Unlock()
+			panic(r)
+		}
+	}()
+	f.rel, aux, f.st, f.err = compute()
 	if f.err == nil && f.rel != nil {
 		// Freeze before publication: waiters and future hits may read the
-		// relation from any number of goroutines.
+		// relation (and the maintenance state) from any number of goroutines.
 		f.rel.Freeze()
+		freezeAux(aux)
 	}
 	close(f.done)
 
 	c.mu.Lock()
 	delete(c.flight, key)
 	if f.err == nil && f.rel != nil {
-		c.insertLocked(key, f.rel, f.st)
+		c.insertLocked(&resultEntry{key: key, rel: f.rel, st: f.st, q: q, hasQuery: hasQuery, aux: aux})
 	}
 	c.mu.Unlock()
 	return f.rel, f.st, false, f.err
@@ -148,17 +217,12 @@ func (c *ResultCache) Do(program, query string, epoch uint64, compute func() (*s
 // insertLocked adds the entry and evicts from the LRU tail until the byte
 // budget holds again (the newest entry itself is never evicted, so one
 // oversized answer is still served and cached). Caller holds c.mu.
-func (c *ResultCache) insertLocked(key resultKey, rel *storage.Relation, st Stats) {
-	if _, ok := c.entries[key]; ok {
+func (c *ResultCache) insertLocked(e *resultEntry) {
+	if _, ok := c.entries[e.key]; ok {
 		return // a racing compute of the same key beat us; keep the first
 	}
-	e := &resultEntry{
-		key:  key,
-		rel:  rel,
-		st:   st,
-		size: rel.SizeBytes() + int64(len(key.program)+len(key.query)) + 96,
-	}
-	c.entries[key] = c.lru.PushFront(e)
+	e.size = e.rel.SizeBytes() + int64(len(e.key.program)+len(e.key.query)) + 96
+	c.entries[e.key] = c.lru.PushFront(e)
 	c.bytes += e.size
 	for c.bytes > c.max && c.lru.Len() > 1 {
 		back := c.lru.Back()

@@ -3,6 +3,7 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -235,5 +236,60 @@ func TestResultCacheErrorNotCached(t *testing.T) {
 	}
 	if rc.Len() != 1 {
 		t.Fatalf("successful retry not cached (%d entries)", rc.Len())
+	}
+}
+
+// TestResultCacheDoPanic: a panicking compute used to leave its flight
+// registered forever, wedging the key (every later caller blocked on a
+// done channel nobody would close). The panic must propagate to the
+// computing caller, concurrent waiters must unblock with an error, and the
+// key must stay usable.
+func TestResultCacheDoPanic(t *testing.T) {
+	rc := NewResultCache(0)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		<-entered
+		// Let the compute proceed to its panic only once this goroutine is
+		// about to join the flight.
+		close(release)
+		_, _, _, err := rc.Do("prog", "q", 1, func() (*storage.Relation, Stats, error) {
+			return storage.NewRelation(1), Stats{}, nil
+		})
+		waiterErr <- err
+	}()
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("panic did not propagate to the computing caller")
+			}
+		}()
+		rc.Do("prog", "q", 1, func() (*storage.Relation, Stats, error) {
+			close(entered)
+			<-release
+			panic("compute exploded")
+		})
+	}()
+
+	// The waiter either rode the panicked flight (error) or started its own
+	// compute after the flight was unregistered (success) — it must not hang.
+	if err := <-waiterErr; err != nil && !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("waiter error = %v, want a panicked-compute error or nil", err)
+	}
+	if rc.Len() != 0 {
+		t.Fatalf("panicked compute left %d cached entries", rc.Len())
+	}
+	// The key is not wedged: a fresh compute succeeds and caches.
+	rel, _, cached, err := rc.Do("prog", "q", 1, func() (*storage.Relation, Stats, error) {
+		return storage.NewRelation(1), Stats{}, nil
+	})
+	if err != nil || cached || rel == nil {
+		t.Fatalf("post-panic compute: rel=%v cached=%v err=%v", rel, cached, err)
+	}
+	if rc.Len() != 1 {
+		t.Fatalf("post-panic compute not cached (%d entries)", rc.Len())
 	}
 }

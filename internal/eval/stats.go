@@ -24,6 +24,10 @@ type Stats struct {
 	// Plan reports the auto planner's decision when the query went through
 	// StrategyAuto (or a Planner directly); nil for the explicit engines.
 	Plan *PlanInfo
+	// Maintained reports that the answer was carried forward across a write
+	// by the result cache's incremental maintenance pass (a delta fixpoint
+	// over the inserted tuples) instead of being recomputed from scratch.
+	Maintained bool
 }
 
 func (s Stats) String() string {

@@ -78,18 +78,28 @@ func TCEval(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.D
 // TCEvalOpts is TCEval with instrumentation: each BFS level (or compose
 // round) becomes one round under a "fixpoint" span tagged engine=tc-frontier.
 func TCEvalOpts(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
+	rel, _, st, err := tcEvalAux(sys, shape, q, db, opts)
+	return rel, st, err
+}
+
+// tcEvalAux is TCEvalOpts additionally returning the kernel's maintenance
+// state: the materialized exit relation plus, for bound queries, the BFS
+// visited set. A nil aux (the early-return paths for constants the symbol
+// table has never seen) tells the maintenance pass to recompute instead.
+func tcEvalAux(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, *tcAux, Stats, error) {
 	if q.Atom.Pred != sys.Pred() || q.Atom.Arity() != 2 {
-		return nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/2", q, sys.Pred())
+		return nil, nil, Stats{}, fmt.Errorf("eval: query %v does not match predicate %s/2", q, sys.Pred())
 	}
 	exitRel, err := MaterializeExit(sys, db)
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, nil, Stats{}, err
 	}
 	edges := db.Rel(shape.edgePred)
 	if edges != nil && edges.Arity() != 2 {
-		return nil, Stats{}, fmt.Errorf("eval: edge relation %s has arity %d, want 2", shape.edgePred, edges.Arity())
+		return nil, nil, Stats{}, fmt.Errorf("eval: edge relation %s has arity %d, want 2", shape.edgePred, edges.Arity())
 	}
 	answers := storage.NewRelation(2)
+	aux := &tcAux{exit: exitRel}
 	var st Stats
 	fix := opts.parent().Child("fixpoint").SetStr("engine", "tc-frontier")
 	defer fix.End()
@@ -105,14 +115,14 @@ func TCEvalOpts(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *stora
 	if b0 {
 		v, ok := db.Syms.Lookup(q.Atom.Args[0].Name)
 		if !ok {
-			return answers, st, nil
+			return answers, nil, st, nil
 		}
 		c0 = v
 	}
 	if b1 {
 		v, ok := db.Syms.Lookup(q.Atom.Args[1].Name)
 		if !ok {
-			return answers, st, nil
+			return answers, nil, st, nil
 		}
 		c1 = v
 	}
@@ -124,6 +134,7 @@ func TCEvalOpts(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *stora
 		case b0:
 			// Forward BFS from c0 over q, then join the closure with E.
 			closure := bfsClosure(edges, 0, 1, []storage.Value{c0}, &st, &sink)
+			aux.visited = closure
 			closure.Each(func(z storage.Value) bool {
 				exitRel.EachCol(0, z, func(t storage.Tuple) bool {
 					st.Facts++
@@ -143,7 +154,8 @@ func TCEvalOpts(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *stora
 				seeds = append(seeds, t[0])
 				return true
 			})
-			bfsClosure(edges, 1, 0, seeds, &st, &sink).Each(func(x storage.Value) bool {
+			aux.visited = bfsClosure(edges, 1, 0, seeds, &st, &sink)
+			aux.visited.Each(func(x storage.Value) bool {
 				st.Facts++
 				buf[0], buf[1] = x, c1
 				if answers.Insert(buf) {
@@ -164,7 +176,8 @@ func TCEvalOpts(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *stora
 				seeds = append(seeds, t[1])
 				return true
 			})
-			bfsClosure(edges, 0, 1, seeds, &st, &sink).Each(func(y storage.Value) bool {
+			aux.visited = bfsClosure(edges, 0, 1, seeds, &st, &sink)
+			aux.visited.Each(func(y storage.Value) bool {
 				st.Facts++
 				buf[0], buf[1] = c0, y
 				if (!b1 || y == c1) && answers.Insert(buf) {
@@ -175,6 +188,7 @@ func TCEvalOpts(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *stora
 		case b1:
 			// Reverse BFS from c1 over q, then join the closure with E.
 			closure := bfsClosure(edges, 1, 0, []storage.Value{c1}, &st, &sink)
+			aux.visited = closure
 			closure.Each(func(z storage.Value) bool {
 				exitRel.EachCol(1, z, func(t storage.Tuple) bool {
 					st.Facts++
@@ -191,7 +205,7 @@ func TCEvalOpts(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *stora
 			composeClosure(edges, exitRel, false, answers, &st, &sink)
 		}
 	}
-	return answers, st, nil
+	return answers, aux, st, nil
 }
 
 // bfsClosure returns the set of values reachable from the seeds (seeds

@@ -23,6 +23,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -39,19 +40,28 @@ import (
 )
 
 // Server metric names, alongside the engine metrics in the same registry.
+// dl_server_errors_total counts engine-side (5xx) failures only; malformed
+// requests count into dl_server_client_errors_total, so an alert on the
+// error counter never pages for a client typo.
 const (
-	mQueries  = "dl_server_queries_total"
-	mErrors   = "dl_server_errors_total"
-	mInflight = "dl_server_inflight_queries"
-	mQueryDur = "dl_server_query_duration_seconds"
-	mEvalDur  = "dl_server_eval_duration_seconds"
+	mQueries      = "dl_server_queries_total"
+	mErrors       = "dl_server_errors_total"
+	mClientErrors = "dl_server_client_errors_total"
+	mInflight     = "dl_server_inflight_queries"
+	mQueryDur     = "dl_server_query_duration_seconds"
+	mEvalDur      = "dl_server_eval_duration_seconds"
 )
 
 // durBuckets covers query latencies from 10µs to 10s.
 var durBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 2.5, 5, 10}
 
+// DefaultMaxFactsBytes caps a POST /facts body when Config.MaxFactsBytes is
+// zero: large enough for bulk loads, small enough that a runaway client
+// cannot exhaust memory through io.ReadAll.
+const DefaultMaxFactsBytes = 8 << 20
+
 // Config tunes a Server. The zero value works: default cache budget,
-// GOMAXPROCS workers, a fresh registry.
+// GOMAXPROCS workers, a fresh registry, incremental maintenance on.
 type Config struct {
 	// Registry receives the server and engine metrics; nil means a new
 	// isolated registry (obs.Default() shares process-wide counters).
@@ -61,6 +71,13 @@ type Config struct {
 	CacheBytes int64
 	// Workers is handed to eval.Opts.Workers for the parallel engine.
 	Workers int
+	// MaxFactsBytes caps the POST /facts request body; 0 means
+	// DefaultMaxFactsBytes, negative means no limit.
+	MaxFactsBytes int64
+	// DisableMaintenance turns off the result cache's incremental
+	// maintenance pass on writes (every write then cold-starts the cache).
+	// Used by benchmarks to measure the maintained/cold gap.
+	DisableMaintenance bool
 }
 
 // Server serves one Datalog program over HTTP. Safe for any number of
@@ -75,15 +92,29 @@ type Server struct {
 	prog    *ast.Program         // rules only, for the generic fallback path
 	progKey string
 
-	planner *eval.Planner
-	cache   *eval.ResultCache
-	reg     *obs.Registry
-	workers int
+	planner  *eval.Planner
+	cache    *eval.ResultCache
+	reg      *obs.Registry
+	workers  int
+	maxFacts int64
+	maintain bool
 
-	queries, errors *obs.Counter
-	inflight        *obs.Gauge
-	queryDur        *obs.Histogram
-	evalDur         *obs.Histogram
+	queries, errors, clientErrors *obs.Counter
+	inflight                      *obs.Gauge
+	queryDur                      *obs.Histogram
+	evalDur                       *obs.Histogram
+}
+
+// clientError marks a failure caused by the request itself (malformed
+// facts, bad query, oversized body): reported as 4xx and counted into
+// dl_server_client_errors_total instead of dl_server_errors_total.
+type clientError struct{ err error }
+
+func (e *clientError) Error() string { return e.err.Error() }
+func (e *clientError) Unwrap() error { return e.err }
+
+func clientErrf(format string, args ...any) error {
+	return &clientError{err: fmt.Errorf(format, args...)}
 }
 
 // New builds a Server from Datalog source: rules define the program (facts
@@ -106,19 +137,26 @@ func New(src string, cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	maxFacts := cfg.MaxFactsBytes
+	if maxFacts == 0 {
+		maxFacts = DefaultMaxFactsBytes
+	}
 	s := &Server{
-		db:      storage.NewDatabase(),
-		prog:    &ast.Program{Rules: prog.Rules},
-		planner: eval.NewPlannerWith(reg),
-		cache:   eval.NewResultCacheWith(reg, cfg.CacheBytes),
-		reg:     reg,
-		workers: cfg.Workers,
+		db:       storage.NewDatabase(),
+		prog:     &ast.Program{Rules: prog.Rules},
+		planner:  eval.NewPlannerWith(reg),
+		cache:    eval.NewResultCacheWith(reg, cfg.CacheBytes),
+		reg:      reg,
+		workers:  cfg.Workers,
+		maxFacts: maxFacts,
+		maintain: !cfg.DisableMaintenance,
 
-		queries:  reg.Counter(mQueries),
-		errors:   reg.Counter(mErrors),
-		inflight: reg.Gauge(mInflight),
-		queryDur: reg.Histogram(mQueryDur, durBuckets),
-		evalDur:  reg.Histogram(mEvalDur, durBuckets),
+		queries:      reg.Counter(mQueries),
+		errors:       reg.Counter(mErrors),
+		clientErrors: reg.Counter(mClientErrors),
+		inflight:     reg.Gauge(mInflight),
+		queryDur:     reg.Histogram(mQueryDur, durBuckets),
+		evalDur:      reg.Histogram(mEvalDur, durBuckets),
 	}
 	if sys, err := systemOf(s.prog); err == nil {
 		s.sys = sys
@@ -172,13 +210,51 @@ func systemOf(prog *ast.Program) (*ast.RecursiveSystem, error) {
 }
 
 // LoadFacts inserts "pred(a, b)." lines and publishes a fresh snapshot.
+// The batch is atomic: it is parsed and arity-checked in full — against
+// itself and against the live database — before the first insert, so a bad
+// line midway through leaves the database, the epoch and the cache exactly
+// as they were. After the inserts the result cache's maintenance pass
+// carries the previous epoch's entries forward (unless disabled), and only
+// then is the new snapshot published, so readers never cold-start.
 func (s *Server) LoadFacts(src string) (uint64, error) {
+	facts, err := storage.ScanFacts(src)
+	if err != nil {
+		return s.snap.Load().Epoch(), &clientError{err: err}
+	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	if err := s.db.LoadFacts(src); err != nil {
-		return s.db.Epoch(), err
+	arities := make(map[string]int)
+	for _, f := range facts {
+		want, seen := arities[f.Pred]
+		if !seen {
+			if r := s.db.Rel(f.Pred); r != nil {
+				want, seen = r.Arity(), true
+			}
+		}
+		if seen && want != len(f.Args) {
+			return s.db.Epoch(), clientErrf(
+				"fact %s/%d conflicts with arity %d; no facts from this batch were loaded",
+				f.Pred, len(f.Args), want)
+		}
+		arities[f.Pred] = len(f.Args)
+	}
+	old := s.snap.Load()
+	for _, f := range facts {
+		if _, err := s.db.Insert(f.Pred, f.Args...); err != nil {
+			// Unreachable after validation; surface it rather than hide it.
+			return s.db.Epoch(), err
+		}
 	}
 	snap := s.db.Snapshot()
+	if s.maintain && snap != old {
+		s.cache.Maintain(old, snap, eval.MaintSpec{
+			Planner: s.planner,
+			Sys:     s.sys,
+			Prog:    s.prog,
+			ProgKey: s.progKey,
+			Opts:    eval.Opts{Workers: s.workers, Metrics: s.reg},
+		})
+	}
 	s.snap.Store(snap)
 	return snap.Epoch(), nil
 }
@@ -194,17 +270,20 @@ func (s *Server) Cache() *eval.ResultCache { return s.cache }
 
 // QueryResult is the /query response body.
 type QueryResult struct {
-	Query      string     `json:"query"`
-	Answers    [][]string `json:"answers"`
-	Count      int        `json:"count"`
-	Epoch      uint64     `json:"epoch"`
-	Cached     bool       `json:"cached"`
-	Class      string     `json:"class,omitempty"`
-	Strategy   string     `json:"strategy,omitempty"`
-	Rounds     int        `json:"rounds"`
-	Derived    int        `json:"derived"`
-	DurationUS int64      `json:"duration_us"`
-	Trace      any        `json:"trace,omitempty"`
+	Query   string     `json:"query"`
+	Answers [][]string `json:"answers"`
+	Count   int        `json:"count"`
+	Epoch   uint64     `json:"epoch"`
+	Cached  bool       `json:"cached"`
+	// Maintained reports that the answer was carried across a write by the
+	// result cache's incremental maintenance pass rather than recomputed.
+	Maintained bool   `json:"maintained,omitempty"`
+	Class      string `json:"class,omitempty"`
+	Strategy   string `json:"strategy,omitempty"`
+	Rounds     int    `json:"rounds"`
+	Derived    int    `json:"derived"`
+	DurationUS int64  `json:"duration_us"`
+	Trace      any    `json:"trace,omitempty"`
 }
 
 // Query answers one query string against the latest snapshot, through the
@@ -212,9 +291,12 @@ type QueryResult struct {
 func (s *Server) Query(qs string, tracer *obs.Tracer) (*QueryResult, error) {
 	q, err := parser.ParseQuery(qs)
 	if err != nil {
-		return nil, err
+		return nil, &clientError{err: err}
 	}
 	snap := s.snap.Load()
+	if err := s.validateQuery(q, snap); err != nil {
+		return nil, err
+	}
 	opts := eval.Opts{Workers: s.workers, Metrics: s.reg, Tracer: tracer}
 
 	t0 := time.Now()
@@ -227,15 +309,9 @@ func (s *Server) Query(qs string, tracer *obs.Tracer) (*QueryResult, error) {
 		rel, st, cached, err = s.cache.Answer(s.planner, s.sys, q, snap, opts)
 	} else {
 		// Generic program: parallel semi-naive over the snapshot, memoized
-		// under the same (program, query, epoch) key.
-		rel, st, cached, err = s.cache.Do(s.progKey, q.String(), snap.Epoch(), func() (*storage.Relation, eval.Stats, error) {
-			out, st, err := eval.ParallelSemiNaiveOpts(s.prog, snap.DB(), opts)
-			if err != nil {
-				return nil, st, err
-			}
-			ans, err := eval.AnswerQuery(out, q)
-			return ans, st, err
-		})
+		// under (program, query, epoch) with the materialized fixpoint kept
+		// as the entry's maintenance state.
+		rel, st, cached, err = s.cache.AnswerProgram(s.prog, s.progKey, q, snap, opts)
 	}
 	s.evalDur.Observe(time.Since(t0).Seconds())
 	if err != nil {
@@ -249,6 +325,7 @@ func (s *Server) Query(qs string, tracer *obs.Tracer) (*QueryResult, error) {
 		Count:      rel.Len(),
 		Epoch:      snap.Epoch(),
 		Cached:     cached,
+		Maintained: st.Maintained,
 		Rounds:     st.Rounds,
 		Derived:    st.Derived,
 		DurationUS: time.Since(t0).Microseconds(),
@@ -268,6 +345,37 @@ func (s *Server) Query(qs string, tracer *obs.Tracer) (*QueryResult, error) {
 		return true
 	})
 	return res, nil
+}
+
+// validateQuery rejects queries that can never be answered by the served
+// program — wrong predicate for a single-system server, wrong arity for a
+// known predicate — as client errors, so they don't count as engine
+// failures.
+func (s *Server) validateQuery(q ast.Query, snap *storage.Snapshot) error {
+	if s.sys != nil {
+		if q.Atom.Pred != s.sys.Pred() || q.Atom.Arity() != s.sys.Arity() {
+			return clientErrf("query %v does not match served predicate %s/%d",
+				q, s.sys.Pred(), s.sys.Arity())
+		}
+		return nil
+	}
+	want := -1
+	for _, r := range s.prog.Rules {
+		if r.Head.Pred == q.Atom.Pred {
+			want = r.Head.Arity()
+			break
+		}
+	}
+	if want < 0 {
+		if rel := snap.Rel(q.Atom.Pred); rel != nil {
+			want = rel.Arity()
+		}
+	}
+	if want >= 0 && want != q.Atom.Arity() {
+		return clientErrf("query %v has arity %d, predicate %s has arity %d",
+			q, q.Atom.Arity(), q.Atom.Pred, want)
+	}
+	return nil
 }
 
 // Handler returns the server's HTTP handler: the obs mux (metrics, expvar,
@@ -323,7 +431,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Query(qs, tracer)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, errStatus(err), err)
 		return
 	}
 	if tracer != nil {
@@ -348,18 +456,38 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST fact lines (\"pred(a, b).\") to /facts"))
 		return
 	}
-	body, err := io.ReadAll(r.Body)
+	body := r.Body
+	if s.maxFacts > 0 {
+		body = http.MaxBytesReader(w, body, s.maxFacts)
+	}
+	raw, err := io.ReadAll(body)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				clientErrf("facts body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, &clientError{err: err})
 		return
 	}
-	epoch, err := s.LoadFacts(string(body))
+	epoch, err := s.LoadFacts(string(raw))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, errStatus(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{"epoch": epoch})
+}
+
+// errStatus maps an error to its HTTP status: 400 for request-caused
+// failures, 500 for engine-side ones.
+func errStatus(err error) int {
+	var ce *clientError
+	if errors.As(err, &ce) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -373,9 +501,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// fail writes a JSON error and counts it.
+// fail writes a JSON error and counts it: 5xx into dl_server_errors_total,
+// everything else (client mistakes) into dl_server_client_errors_total.
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
-	s.errors.Inc()
+	if code >= http.StatusInternalServerError {
+		s.errors.Inc()
+	} else {
+		s.clientErrors.Inc()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})

@@ -79,10 +79,13 @@ func TestServerQueryEndToEnd(t *testing.T) {
 	if fr["epoch"] <= cold.Epoch {
 		t.Fatalf("POST /facts epoch = %d, want > %d", fr["epoch"], cold.Epoch)
 	}
+	// The maintenance pass carried the entry across the write: the post-write
+	// query is a cache hit at the new epoch, flagged maintained, and sees the
+	// new edge.
 	after := getQuery(t, ts, "?- p(a, Y).")
-	if after.Cached || after.Count != 4 || after.Epoch != fr["epoch"] {
-		t.Fatalf("post-write query: cached=%v count=%d epoch=%d, want false/4/%d",
-			after.Cached, after.Count, after.Epoch, fr["epoch"])
+	if !after.Cached || !after.Maintained || after.Count != 4 || after.Epoch != fr["epoch"] {
+		t.Fatalf("post-write query: cached=%v maintained=%v count=%d epoch=%d, want true/true/4/%d",
+			after.Cached, after.Maintained, after.Count, after.Epoch, fr["epoch"])
 	}
 
 	// POST /query with trace returns a span tree.
@@ -175,8 +178,11 @@ func TestServerErrors(t *testing.T) {
 			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
 		}
 	}
-	if got := s.Registry().Counter("dl_server_errors_total").Value(); got != 2 {
-		t.Errorf("dl_server_errors_total = %d, want 2", got)
+	if got := s.Registry().Counter("dl_server_client_errors_total").Value(); got != 2 {
+		t.Errorf("dl_server_client_errors_total = %d, want 2", got)
+	}
+	if got := s.Registry().Counter("dl_server_errors_total").Value(); got != 0 {
+		t.Errorf("dl_server_errors_total = %d, want 0 (client mistakes are not engine errors)", got)
 	}
 	if _, err := New("p(X) :- e(X).\n?- p(X).", Config{}); err == nil {
 		t.Error("program with an embedded query must be rejected")
@@ -276,5 +282,188 @@ func TestServerConcurrentReadWrite(t *testing.T) {
 	}
 	if final.Count != ref.Len() {
 		t.Errorf("final answer %d tuples, serial replay %d", final.Count, ref.Len())
+	}
+}
+
+// TestServerLoadFactsAtomic: a bad line in the middle of a batch must
+// reject the whole batch — no partial inserts, no epoch advance, no cache
+// invalidation.
+func TestServerLoadFactsAtomic(t *testing.T) {
+	s, ts := newTestServer(t, tcProgram)
+	before := getQuery(t, ts, "?- p(a, Y).")
+
+	// Middle line has the wrong arity for e/2.
+	resp, err := http.Post(ts.URL+"/facts", "text/plain",
+		strings.NewReader("e(d, x).\ne(oops).\ne(x, y)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad batch: status %d, want 400", resp.StatusCode)
+	}
+	// A syntactically broken line is rejected the same way.
+	resp, err = http.Post(ts.URL+"/facts", "text/plain",
+		strings.NewReader("e(q, r).\nbroken((\ne(r, s)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken batch: status %d, want 400", resp.StatusCode)
+	}
+
+	after := getQuery(t, ts, "?- p(a, Y).")
+	if after.Epoch != before.Epoch {
+		t.Errorf("failed batches advanced the epoch %d → %d", before.Epoch, after.Epoch)
+	}
+	if after.Count != before.Count {
+		t.Errorf("failed batches changed answers %d → %d (partial insert)", before.Count, after.Count)
+	}
+	if !after.Cached {
+		t.Error("failed batch invalidated the cache")
+	}
+	if s.Snapshot().Rel("e").Len() != 3 {
+		t.Errorf("e has %d tuples, want the 3 seed edges only", s.Snapshot().Rel("e").Len())
+	}
+	// A batch that conflicts only with the live database (not itself) is
+	// also rejected up front.
+	if _, err := s.LoadFacts("e(a, b, c)."); err == nil {
+		t.Error("arity conflict with a live relation accepted")
+	}
+}
+
+// TestServerFactsBodyLimit: POST /facts beyond MaxFactsBytes is refused
+// with 413 and counted as a client error, not an engine error.
+func TestServerFactsBodyLimit(t *testing.T) {
+	s, err := New(tcProgram, Config{MaxFactsBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	big := strings.Repeat("e(aaaaaaaa, bbbbbbbb).\n", 20)
+	resp, err := http.Post(ts.URL+"/facts", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	if got := s.Registry().Counter("dl_server_client_errors_total").Value(); got != 1 {
+		t.Errorf("client errors = %d, want 1", got)
+	}
+	if got := s.Registry().Counter("dl_server_errors_total").Value(); got != 0 {
+		t.Errorf("engine errors = %d, want 0", got)
+	}
+	// A small batch still loads.
+	resp, err = http.Post(ts.URL+"/facts", "text/plain", strings.NewReader("e(d, x)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small batch after limit: status %d", resp.StatusCode)
+	}
+}
+
+// TestServerMaintenanceAcrossWrites: repeated writes keep the cached entry
+// warm (maintained hits with correct counts), the maintenance counters
+// move, and DisableMaintenance restores the cold-start behavior.
+func TestServerMaintenanceAcrossWrites(t *testing.T) {
+	s, ts := newTestServer(t, tcProgram)
+	first := getQuery(t, ts, "?- p(a, Y).")
+	if first.Count != 3 {
+		t.Fatalf("seed count = %d, want 3", first.Count)
+	}
+	chain := []string{"d", "x", "y", "z"}
+	for i := 0; i+1 < len(chain); i++ {
+		if _, err := s.LoadFacts(fmt.Sprintf("e(%s, %s).", chain[i], chain[i+1])); err != nil {
+			t.Fatal(err)
+		}
+		res := getQuery(t, ts, "?- p(a, Y).")
+		if !res.Cached || !res.Maintained {
+			t.Fatalf("write %d: cached=%v maintained=%v, want true/true", i, res.Cached, res.Maintained)
+		}
+		if res.Count != 3+i+1 {
+			t.Fatalf("write %d: count = %d, want %d", i, res.Count, 3+i+1)
+		}
+	}
+	if got := s.Registry().Counter("dl_resultcache_maintained_total").Value(); got < 3 {
+		t.Errorf("maintained counter = %d, want >= 3", got)
+	}
+
+	// With maintenance disabled, a write cold-starts the entry again.
+	s2, ts2 := func() (*Server, *httptest.Server) {
+		srv, err := New(tcProgram, Config{DisableMaintenance: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := httptest.NewServer(srv.Handler())
+		t.Cleanup(h.Close)
+		return srv, h
+	}()
+	getQuery(t, ts2, "?- p(a, Y).")
+	if _, err := s2.LoadFacts("e(d, x)."); err != nil {
+		t.Fatal(err)
+	}
+	cold := getQuery(t, ts2, "?- p(a, Y).")
+	if cold.Cached || cold.Maintained {
+		t.Errorf("disabled maintenance: cached=%v maintained=%v, want false/false", cold.Cached, cold.Maintained)
+	}
+	if cold.Count != 4 {
+		t.Errorf("disabled maintenance: count = %d, want 4", cold.Count)
+	}
+}
+
+// TestServerMaintenanceGeneric: the generic-program path is maintained too
+// (shared fixpoint carried across the write).
+func TestServerMaintenanceGeneric(t *testing.T) {
+	src := `
+t(X, Y) :- e(X, Y).
+t(X, Y) :- t(X, Z), t(Z, Y).
+e(a, b). e(b, c).
+`
+	s, ts := newTestServer(t, src)
+	if s.sys != nil {
+		t.Fatal("nonlinear program extracted a linear system")
+	}
+	if got := getQuery(t, ts, "?- t(a, Y)."); got.Count != 2 {
+		t.Fatalf("seed count = %d, want 2", got.Count)
+	}
+	if _, err := s.LoadFacts("e(c, d)."); err != nil {
+		t.Fatal(err)
+	}
+	res := getQuery(t, ts, "?- t(a, Y).")
+	if !res.Cached || !res.Maintained || res.Count != 3 {
+		t.Fatalf("generic maintained: cached=%v maintained=%v count=%d, want true/true/3",
+			res.Cached, res.Maintained, res.Count)
+	}
+}
+
+// TestServerQueryValidation: impossible queries are client errors (400),
+// not engine errors.
+func TestServerQueryValidation(t *testing.T) {
+	s, ts := newTestServer(t, tcProgram)
+	for _, q := range []string{
+		"?- q(a, Y).",    // wrong predicate for the single served system
+		"?- p(a, Y, Z).", // wrong arity
+	} {
+		resp, err := http.Get(ts.URL + "/query?q=" + strings.ReplaceAll(q, " ", "%20"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+	if got := s.Registry().Counter("dl_server_client_errors_total").Value(); got != 2 {
+		t.Errorf("client errors = %d, want 2", got)
+	}
+	if got := s.Registry().Counter("dl_server_errors_total").Value(); got != 0 {
+		t.Errorf("engine errors = %d, want 0", got)
 	}
 }

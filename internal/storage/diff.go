@@ -1,0 +1,69 @@
+package storage
+
+// Snapshot diffs. The arena is append-only and copy-on-write headers share
+// the tuple history of the relation they cloned (same lineage), so the
+// tuples inserted between two snapshots of the same database are exactly
+// the suffix past the older header's length — no per-tuple comparison, no
+// allocation beyond the per-predicate slice headers. When a relation's
+// history was replaced between the epochs (Set with a fresh relation,
+// Clone, Reset), the lineages differ and the diff is not expressible as an
+// insert-only suffix; DiffSnapshots then reports !ok and callers must fall
+// back to a full recompute.
+
+// SnapshotDiff is the set of tuples inserted between two snapshots,
+// per predicate. The tuple slices alias the newer snapshot's frozen arena
+// and must be treated as read-only.
+type SnapshotDiff struct {
+	// Inserted maps predicate name to the tuples added since the older
+	// snapshot, in insertion order. Predicates with no new tuples are
+	// absent.
+	Inserted map[string][]Tuple
+}
+
+// Empty reports whether no tuples were inserted.
+func (d *SnapshotDiff) Empty() bool { return d == nil || len(d.Inserted) == 0 }
+
+// Size returns the total number of inserted tuples.
+func (d *SnapshotDiff) Size() int {
+	if d == nil {
+		return 0
+	}
+	n := 0
+	for _, ts := range d.Inserted {
+		n += len(ts)
+	}
+	return n
+}
+
+// DiffSnapshots computes the tuples inserted between two snapshots of the
+// same database (old taken no later than cur). It reports ok=false when the
+// difference is not a pure insert-only delta: a predicate shrank, changed
+// arity, disappeared, or had its tuple history replaced wholesale (distinct
+// lineage) — anything an incremental maintenance pass cannot absorb.
+func DiffSnapshots(old, cur *Snapshot) (*SnapshotDiff, bool) {
+	if old == nil || cur == nil {
+		return nil, false
+	}
+	diff := &SnapshotDiff{Inserted: make(map[string][]Tuple)}
+	if old == cur || old.Epoch() == cur.Epoch() {
+		return diff, true
+	}
+	for pred, or := range old.db.rels {
+		nr := cur.db.rels[pred]
+		if nr == nil || nr.arity != or.arity || nr.lineage != or.lineage || len(nr.tuples) < len(or.tuples) {
+			return nil, false
+		}
+		if tail := nr.tuples[len(or.tuples):]; len(tail) > 0 {
+			diff.Inserted[pred] = tail
+		}
+	}
+	for pred, nr := range cur.db.rels {
+		if old.db.rels[pred] != nil {
+			continue
+		}
+		if len(nr.tuples) > 0 {
+			diff.Inserted[pred] = nr.tuples
+		}
+	}
+	return diff, true
+}

@@ -138,6 +138,11 @@ func (s *ValueSet) grow() {
 	}
 }
 
+// Clone returns an independent copy of the set.
+func (s *ValueSet) Clone() *ValueSet {
+	return &ValueSet{table: append([]Value(nil), s.table...), n: s.n}
+}
+
 // Each calls f for every value in the set (in table order) until f returns
 // false.
 func (s *ValueSet) Each(f func(Value) bool) {

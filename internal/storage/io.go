@@ -71,8 +71,60 @@ func (db *Database) ReadFacts(r io.Reader) error {
 // LoadFacts parses ground facts from source text into the database. The
 // scanner reuses one name buffer and one value buffer across facts — the
 // relation's Insert copies values into its arena, so bulk loads allocate
-// per new tuple only, not per parsed line.
+// per new tuple only, not per parsed line. Facts are inserted as they
+// parse; a mid-stream syntax error leaves the earlier facts in place. Use
+// ScanFacts first when a batch must be all-or-nothing.
 func (db *Database) LoadFacts(src string) error {
+	var (
+		vals     Tuple
+		lastPred string
+		lastRel  *Relation
+	)
+	return scanFactSrc(src, func(pred string, names []string) error {
+		if lastRel == nil || pred != lastPred || lastRel.Arity() != len(names) {
+			rel, err := db.Ensure(pred, len(names))
+			if err != nil {
+				return err
+			}
+			lastPred, lastRel = pred, rel
+		}
+		if cap(vals) < len(names) {
+			vals = make(Tuple, len(names))
+		}
+		vals = vals[:len(names)]
+		for j, name := range names {
+			vals[j] = db.Syms.Intern(name)
+		}
+		lastRel.Insert(vals)
+		return nil
+	})
+}
+
+// Fact is one scanned ground fact: a predicate name and its constant
+// arguments, still as names (not interned).
+type Fact struct {
+	Pred string
+	Args []string
+}
+
+// ScanFacts parses a stream of ground facts without touching any database.
+// Callers that need all-or-nothing ingest (the serving layer's /facts
+// endpoint) scan and validate the whole batch first, then insert.
+func ScanFacts(src string) ([]Fact, error) {
+	var out []Fact
+	err := scanFactSrc(src, func(pred string, names []string) error {
+		out = append(out, Fact{Pred: pred, Args: append([]string(nil), names...)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanFactSrc drives the fact scanner, calling emit for every parsed fact.
+// The names slice is reused between calls — emit must copy it to retain it.
+func scanFactSrc(src string, emit func(pred string, names []string) error) error {
 	// The storage package cannot depend on the parser (the parser has no
 	// dependencies on storage, but keeping the layering acyclic and the
 	// format trivial, a small scanner suffices).
@@ -106,12 +158,7 @@ func (db *Database) LoadFacts(src string) error {
 		}
 		return src[start:i], nil
 	}
-	var (
-		names    []string
-		vals     Tuple
-		lastPred string
-		lastRel  *Relation
-	)
+	var names []string
 	for {
 		skipSpace()
 		if i >= n {
@@ -168,21 +215,9 @@ func (db *Database) LoadFacts(src string) error {
 			return fmt.Errorf("storage: expected '.' after %s fact", pred)
 		}
 		i++
-		if lastRel == nil || pred != lastPred || lastRel.Arity() != len(names) {
-			rel, err := db.Ensure(pred, len(names))
-			if err != nil {
-				return err
-			}
-			lastPred, lastRel = pred, rel
+		if err := emit(pred, names); err != nil {
+			return err
 		}
-		if cap(vals) < len(names) {
-			vals = make(Tuple, len(names))
-		}
-		vals = vals[:len(names)]
-		for j, name := range names {
-			vals[j] = db.Syms.Intern(name)
-		}
-		lastRel.Insert(vals)
 	}
 }
 

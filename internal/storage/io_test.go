@@ -81,3 +81,29 @@ func TestLoadFactsArityConflict(t *testing.T) {
 		t.Error("arity conflict accepted")
 	}
 }
+
+// TestScanFacts: ScanFacts parses without touching any database, returns
+// facts in input order with copied argument slices, and surfaces syntax
+// errors with line numbers.
+func TestScanFacts(t *testing.T) {
+	facts, err := ScanFacts("edge(a, b).\n% comment\nedge(b, c).\nlabel(a, \"Weird Name\").\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 3 {
+		t.Fatalf("got %d facts, want 3", len(facts))
+	}
+	if facts[0].Pred != "edge" || facts[0].Args[0] != "a" || facts[0].Args[1] != "b" {
+		t.Errorf("facts[0] = %+v, want edge(a, b)", facts[0])
+	}
+	if facts[2].Args[1] != "Weird Name" {
+		t.Errorf("quoted arg = %q, want %q", facts[2].Args[1], "Weird Name")
+	}
+	// The scanner reuses its name buffer; returned facts must not alias it.
+	if &facts[0].Args[0] == &facts[1].Args[0] {
+		t.Error("facts share an argument backing array")
+	}
+	if _, err := ScanFacts("edge(a, b).\nbroken(\nedge(b, c).\n"); err == nil {
+		t.Error("malformed input scanned without error")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Value is an interned constant. Values are only meaningful together with
@@ -160,6 +161,12 @@ type Relation struct {
 	// frozen relation only through Database methods, which copy-on-write
 	// the header first (see cowClone).
 	frozen bool
+	// lineage identifies the append-only tuple history this header belongs
+	// to. Copy-on-write clones share it (their tuple slices are prefixes of
+	// one another), while Clone and Reset start a fresh one. DiffSnapshots
+	// relies on it: two headers with equal lineage differ exactly by the
+	// tuples past the shorter header's length.
+	lineage uint64
 	// hashFn overrides hashWords in tests (collision handling coverage).
 	hashFn func(Tuple) uint64
 	// stats counts write-path work (see RelStats). Only writer-exclusive
@@ -208,9 +215,13 @@ func (s RelStats) Add(o RelStats) RelStats {
 // access as any read method (no concurrent writer).
 func (r *Relation) Stats() RelStats { return r.stats }
 
+// relLineage hands out lineage identifiers. A plain counter (not pointer
+// identity) because zero-size sentinel allocations may share an address.
+var relLineage atomic.Uint64
+
 // NewRelation returns an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
-	return &Relation{arity: arity, colIdx: make([]*colIndex, arity)}
+	return &Relation{arity: arity, colIdx: make([]*colIndex, arity), lineage: relLineage.Add(1)}
 }
 
 // Arity returns the relation's arity.
@@ -460,6 +471,22 @@ func (r *Relation) BuildIndexes() {
 	r.published = true
 }
 
+// CompactIndexes rebuilds every column index carrying overflow postings so
+// the CSR body covers all tuples again. Cow-clones copy the overflow map
+// entry by entry, so a relation that is frozen, cloned and extended once
+// per write — the incremental-maintenance loop — must compact before
+// publishing or the per-write clone cost grows with the write count.
+// Requires exclusive access (the maintenance kernels call it on relations
+// they built this round, before any reader can hold them).
+func (r *Relation) CompactIndexes() {
+	for col, ci := range r.colIdx {
+		if ci != nil && ci.nextra > 0 {
+			r.stats.IndexBuilds++
+			r.colIdx[col] = buildColIndex(r.tuples, col)
+		}
+	}
+}
+
 // Indexed reports whether every column index is materialized, i.e. whether
 // the relation's read path is free of lazy index construction and therefore
 // safe for concurrent readers.
@@ -606,6 +633,7 @@ func (r *Relation) cowClone() *Relation {
 		published: r.published,
 		hashFn:    r.hashFn,
 		stats:     r.stats,
+		lineage:   r.lineage,
 	}
 	for i, ci := range r.colIdx {
 		if ci != nil {
@@ -613,6 +641,19 @@ func (r *Relation) cowClone() *Relation {
 		}
 	}
 	return out
+}
+
+// CowClone returns a writable copy-on-write header over a frozen relation:
+// the stored tuples are shared, inserts append past the frozen length. The
+// incremental maintenance kernels use it to extend a cached answer relation
+// without copying it. Only frozen relations may be cow-cloned — a mutable
+// source could later append tuples the clone's shared slices would expose
+// inconsistently.
+func (r *Relation) CowClone() *Relation {
+	if !r.frozen {
+		panic("storage: CowClone of an unfrozen relation")
+	}
+	return r.cowClone()
 }
 
 // SizeBytes estimates the relation's resident memory: arena capacity, the
@@ -660,6 +701,7 @@ func (r *Relation) Reset(arity int) {
 		r.table[i] = 0
 	}
 	r.published = false
+	r.lineage = relLineage.Add(1)
 }
 
 // InsertAll inserts every tuple of o and returns the number of new tuples.
