@@ -51,17 +51,20 @@ obs-smoke:
 	$(GO) test -run 'TestSpanTreeGolden' -count=1 ./internal/eval
 
 # End-to-end serving smoke: build dlserve, query it over HTTP (cold, warm,
-# write, re-query) and assert the result-cache and serving metrics moved.
-# The quick Q9 sweep then gates the serving-path latencies: warm cached
-# queries must stay within 3x of the committed BENCH_serve.json baseline,
-# and maintained post-write queries must stay >=3x cheaper than cold-start
-# recompute. It runs in a scratch directory (seeded with the committed
-# baseline) so the committed full-mode report is never overwritten.
+# write, re-query, streamed NDJSON) and assert the result-cache and serving
+# metrics moved. The quick Q9 sweep then gates the serving-path latencies:
+# warm cached queries must stay within 3x of the committed BENCH_serve.json
+# baseline, and maintained post-write queries must stay >=3x cheaper than
+# cold-start recompute. The quick Q10 sweep gates the streaming path:
+# limit-k and bound-target queries must derive >=5x less than full
+# materialization and the first rows must arrive >=2x sooner. Both run in a
+# scratch directory (seeded with the committed baseline) so the committed
+# full-mode report is never overwritten.
 serve-smoke:
 	$(GO) test -run 'TestCLIDlserveSmoke' -count=1 .
 	$(GO) test -run 'TestServer' -count=1 ./internal/server
 	@t=$$(mktemp -d) && cp BENCH_serve.json $$t/ 2>/dev/null; \
-	$(GO) build -o $$t/dlbench ./cmd/dlbench && (cd $$t && ./dlbench -experiment q9 -quick); \
+	$(GO) build -o $$t/dlbench ./cmd/dlbench && (cd $$t && ./dlbench -experiment q9 -quick && ./dlbench -experiment q10 -quick); \
 	rc=$$?; rm -rf $$t; exit $$rc
 
 # Regenerate the full experiment report (paper claim vs measured).

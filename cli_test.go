@@ -455,4 +455,47 @@ e(a, b). e(b, c). e(c, d).
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
+
+	// Streaming smoke: the NDJSON response is header, limit'ed rows, then a
+	// truncated summary, and the streaming counters move.
+	sresp, err := http.Get(base + "/query?stream=1&limit=2&q=" +
+		strings.ReplaceAll("?- p(a, Y).", " ", "%20"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var lines []map[string]any
+	ssc := bufio.NewScanner(sresp.Body)
+	for ssc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(ssc.Bytes(), &obj); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ssc.Text(), err)
+		}
+		lines = append(lines, obj)
+	}
+	sresp.Body.Close()
+	if len(lines) != 4 { // header + 2 rows + done
+		t.Fatalf("stream lines = %d, want 4: %v", len(lines), lines)
+	}
+	done := lines[len(lines)-1]
+	if done["done"] != true || done["count"].(float64) != 2 || done["truncated"] != true {
+		t.Fatalf("stream summary: %v, want 2 rows truncated", done)
+	}
+	mresp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics = string(body)
+	for _, want := range []string{
+		"dl_query_rows_streamed_total 2",
+		"dl_query_early_terminations_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
 }

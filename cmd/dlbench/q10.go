@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/server"
+)
+
+// q10: streaming and early termination. Benchmarks the pull-based answer
+// stream (Server.StreamQuery, the engine behind /query?stream=1&limit=k)
+// against full materialization on a transitive-closure program over a pure
+// chain — the graph where the cost of computing the whole closure is
+// unambiguous. Three arms:
+//
+//   - LIMIT k: ?- p(n0, Y). with limit 10 must stop the fixpoint after ~10
+//     derivations where the full evaluation derives one answer per chain
+//     node — the "first page of results" workload;
+//   - bound target: ?- p(n0, nT). with T one tenth down the chain must stop
+//     the BFS at the level that proves the answer, where the materializing
+//     kernel sweeps the whole reachable set;
+//   - first-K latency: on the all-free closure (quadratic in the chain
+//     length) the first 10 rows must arrive well before the full answer
+//     set could have been materialized.
+//
+// The server is driven in-process like Q9, with maintenance disabled and a
+// dummy write advancing the epoch before each timed query, so every arm
+// measures a cold evaluation, never a cache probe. Results merge into
+// BENCH_serve.json under "q10", preserving Q9's fields.
+
+type q10Report struct {
+	Generated         string  `json:"generated"`
+	Quick             bool    `json:"quick"`
+	Nodes             int     `json:"nodes"`
+	LimitK            int     `json:"limit_k"`
+	FullDerived       int     `json:"full_derived"`
+	LimitDerived      int     `json:"limit_derived"`
+	DerivedRatio      float64 `json:"derived_ratio"`
+	BoundTarget       string  `json:"bound_target"`
+	BoundFullRounds   int     `json:"bound_full_rounds"`
+	BoundStreamRounds int     `json:"bound_stream_rounds"`
+	RoundsRatio       float64 `json:"rounds_ratio"`
+	FullNsPerQuery    int64   `json:"full_ns_per_query"`
+	FirstKNs          int64   `json:"first_k_ns_per_query"`
+	FirstKSpeedup     float64 `json:"first_k_speedup"`
+}
+
+func (r *runner) q10() {
+	r.section("Q10: streaming — LIMIT k and bound-target early termination")
+
+	nodes, latIters := 600, 6
+	if r.quick {
+		nodes, latIters = 250, 4
+	}
+	const limitK = 10
+	ctx := context.Background()
+
+	// Maintenance off: a write must cold-start the cache, so each timed
+	// query below is a real evaluation. Streamed misses never populate the
+	// cache, so within one epoch a streamed arm can safely precede the
+	// materializing arm of the same query.
+	srv, err := server.New("p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).",
+		server.Config{DisableMaintenance: true})
+	if err != nil {
+		r.check("Q10", "streaming benchmark runs", false, err.Error())
+		return
+	}
+	if _, err := srv.LoadFacts(q9Graph(nodes, 0, 42)); err != nil {
+		r.check("Q10", "streaming benchmark runs", false, err.Error())
+		return
+	}
+	r.row("graph: chain of %d nodes (closure from n0 has %d answers)", nodes, nodes-1)
+
+	drain := func(row []string) bool { return true }
+
+	// Arm 1 — LIMIT k. The streamed evaluation must stop deriving once the
+	// cap is reached; the full evaluation derives the whole reachable set.
+	limited, err := srv.StreamQuery(ctx, "?- p(n0, Y).", limitK, nil, drain)
+	if err != nil {
+		r.check("Q10", "limit-k stream runs", false, err.Error())
+		return
+	}
+	full, err := srv.Query(ctx, "?- p(n0, Y).", nil)
+	if err != nil {
+		r.check("Q10", "full evaluation runs", false, err.Error())
+		return
+	}
+	if limited.Cached || full.Cached {
+		r.check("Q10", "both limit-k arms evaluate cold", false,
+			fmt.Sprintf("cached: limited=%v full=%v", limited.Cached, full.Cached))
+		return
+	}
+	if !limited.Truncated || limited.Count != limitK {
+		r.check("Q10", "limit-k stream truncates at the cap", false,
+			fmt.Sprintf("count=%d truncated=%v, want count=%d truncated=true",
+				limited.Count, limited.Truncated, limitK))
+		return
+	}
+	derivedRatio := float64(full.Derived) / float64(max(limited.Derived, 1))
+	r.row("?- p(n0, Y).  full:      %6d derived, %4d rounds, %d answers",
+		full.Derived, full.Rounds, full.Count)
+	r.row("?- p(n0, Y).  limit %2d:  %6d derived, %4d rounds, %d answers (truncated)",
+		limitK, limited.Derived, limited.Rounds, limited.Count)
+	r.row("derived ratio (full / limit-%d): %.1fx", limitK, derivedRatio)
+
+	// Arm 2 — bound target, one tenth down the chain. The goal-directed
+	// stream stops at the BFS level that reaches the target's exit edge;
+	// the materializing kernel walks to the end of the chain regardless.
+	target := fmt.Sprintf("n%d", nodes/10)
+	boundQ := fmt.Sprintf("?- p(n0, %s).", target)
+	boundStream, err := srv.StreamQuery(ctx, boundQ, 0, nil, drain)
+	if err != nil {
+		r.check("Q10", "bound-target stream runs", false, err.Error())
+		return
+	}
+	boundFull, err := srv.Query(ctx, boundQ, nil)
+	if err != nil {
+		r.check("Q10", "bound-target full evaluation runs", false, err.Error())
+		return
+	}
+	if boundStream.Count != 1 || boundFull.Count != 1 {
+		r.check("Q10", "bound-target query has exactly one answer", false,
+			fmt.Sprintf("streamed count=%d, full count=%d", boundStream.Count, boundFull.Count))
+		return
+	}
+	roundsRatio := float64(boundFull.Rounds) / float64(max(boundStream.Rounds, 1))
+	r.row("%s  full:     %4d rounds", boundQ, boundFull.Rounds)
+	r.row("%s  streamed: %4d rounds (stopped at first derivation)", boundQ, boundStream.Rounds)
+	r.row("rounds ratio (full / goal-directed): %.1fx", roundsRatio)
+
+	// Arm 3 — first-K latency on the all-free closure (quadratic on the
+	// chain). Each iteration advances the epoch with a dummy edge so both
+	// sides start cold; the streamed side is timed to its limitK'th row,
+	// which is when StreamQuery returns.
+	var firstKTotal, fullTotal time.Duration
+	for i := 0; i < latIters; i++ {
+		if _, err := srv.LoadFacts("e(n0, n0)."); err != nil {
+			r.check("Q10", "latency sweep runs", false, err.Error())
+			return
+		}
+		t0 := time.Now()
+		sres, err := srv.StreamQuery(ctx, "?- p(X, Y).", limitK, nil, drain)
+		firstKTotal += time.Since(t0)
+		if err != nil {
+			r.check("Q10", "latency sweep runs", false, err.Error())
+			return
+		}
+		t0 = time.Now()
+		fres, err := srv.Query(ctx, "?- p(X, Y).", nil)
+		fullTotal += time.Since(t0)
+		if err != nil {
+			r.check("Q10", "latency sweep runs", false, err.Error())
+			return
+		}
+		if sres.Cached || fres.Cached {
+			r.check("Q10", "latency sweep evaluates cold", false,
+				fmt.Sprintf("iteration %d: cached streamed=%v full=%v", i, sres.Cached, fres.Cached))
+			return
+		}
+	}
+	firstKNs := firstKTotal.Nanoseconds() / int64(latIters)
+	fullNs := fullTotal.Nanoseconds() / int64(latIters)
+	firstKSpeedup := float64(fullNs) / float64(max(firstKNs, 1))
+	r.row("?- p(X, Y).  full closure:    %12d ns/query", fullNs)
+	r.row("?- p(X, Y).  first %2d rows:   %12d ns/query", limitK, firstKNs)
+	r.row("first-%d latency speedup: %.1fx", limitK, firstKSpeedup)
+
+	report := q10Report{
+		Generated:         time.Now().UTC().Format(time.RFC3339),
+		Quick:             r.quick,
+		Nodes:             nodes,
+		LimitK:            limitK,
+		FullDerived:       full.Derived,
+		LimitDerived:      limited.Derived,
+		DerivedRatio:      derivedRatio,
+		BoundTarget:       target,
+		BoundFullRounds:   boundFull.Rounds,
+		BoundStreamRounds: boundStream.Rounds,
+		RoundsRatio:       roundsRatio,
+		FullNsPerQuery:    fullNs,
+		FirstKNs:          firstKNs,
+		FirstKSpeedup:     firstKSpeedup,
+	}
+	// Merge under "q10" so Q9's top-level fields survive a q10-only run.
+	merged := map[string]any{}
+	if raw, err := os.ReadFile("BENCH_serve.json"); err == nil {
+		json.Unmarshal(raw, &merged)
+	}
+	merged["q10"] = report
+	if data, err := json.MarshalIndent(merged, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+			r.row("BENCH_serve.json not written: %v", err)
+		} else {
+			r.row("merged q10 into BENCH_serve.json")
+		}
+	}
+
+	r.check("Q10", fmt.Sprintf("limit-%d stream derives >=5x fewer tuples than full materialization", limitK),
+		derivedRatio >= 5,
+		fmt.Sprintf("full %d derived vs %d under the limit: %.1fx", full.Derived, limited.Derived, derivedRatio))
+	r.check("Q10", "bound-target query stops >=5x earlier than full materialization",
+		roundsRatio >= 5,
+		fmt.Sprintf("full %d rounds vs %d goal-directed: %.1fx", boundFull.Rounds, boundStream.Rounds, roundsRatio))
+	r.check("Q10", fmt.Sprintf("first %d rows of the closure arrive >=2x faster than the full answer set", limitK),
+		firstKSpeedup >= 2,
+		fmt.Sprintf("full %d ns vs first-%d %d ns: %.1fx", fullNs, limitK, firstKNs, firstKSpeedup))
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -109,7 +110,7 @@ func (r *runner) q9() {
 			return
 		}
 		t0 := time.Now()
-		res, err := srv.Query(query, nil)
+		res, err := srv.Query(context.Background(), query, nil)
 		coldTotal += time.Since(t0)
 		if err != nil {
 			r.check("Q9", "serving benchmark runs", false, err.Error())
@@ -124,14 +125,14 @@ func (r *runner) q9() {
 	coldNs := coldTotal.Nanoseconds() / int64(coldIters)
 
 	// Warm: unchanged epoch, every query is a result-cache hit.
-	if _, err := srv.Query(query, nil); err != nil { // prime
+	if _, err := srv.Query(context.Background(), query, nil); err != nil { // prime
 		r.check("Q9", "serving benchmark runs", false, err.Error())
 		return
 	}
 	var warmTotal time.Duration
 	for i := 0; i < warmIters; i++ {
 		t0 := time.Now()
-		res, err := srv.Query(query, nil)
+		res, err := srv.Query(context.Background(), query, nil)
 		warmTotal += time.Since(t0)
 		if err != nil {
 			r.check("Q9", "serving benchmark runs", false, err.Error())
@@ -158,7 +159,7 @@ func (r *runner) q9() {
 	// the bill incremental maintenance is meant to cut.
 	writeHeavy := func(cfg server.Config, wantMaintained bool) (int64, bool) {
 		s := newServer(cfg)
-		if _, err := s.Query(query, nil); err != nil { // prime the entry
+		if _, err := s.Query(context.Background(), query, nil); err != nil { // prime the entry
 			r.check("Q9", "write-heavy sweep runs", false, err.Error())
 			return 0, false
 		}
@@ -174,7 +175,7 @@ func (r *runner) q9() {
 				r.check("Q9", "write-heavy sweep runs", false, err.Error())
 				return 0, false
 			}
-			res, err := s.Query(query, nil)
+			res, err := s.Query(context.Background(), query, nil)
 			total += time.Since(t0)
 			if err != nil {
 				r.check("Q9", "write-heavy sweep runs", false, err.Error())
@@ -269,7 +270,7 @@ func (r *runner) q9() {
 					default:
 					}
 					q := fmt.Sprintf("?- p(n%d, Y).", (c*31+i)%nodes)
-					if _, err := s.Query(q, nil); err != nil {
+					if _, err := s.Query(context.Background(), q, nil); err != nil {
 						failed.Add(1)
 						return
 					}
@@ -309,7 +310,21 @@ func (r *runner) q9() {
 		}
 	}
 
-	if data, err := json.MarshalIndent(report, "", "  "); err == nil {
+	// Rewrite the report's top-level fields but carry Q10's section forward,
+	// so running q9 alone never drops the streaming numbers (and vice versa).
+	out := map[string]any{}
+	if data, err := json.Marshal(report); err == nil {
+		json.Unmarshal(data, &out)
+	}
+	if raw, err := os.ReadFile("BENCH_serve.json"); err == nil {
+		var old map[string]any
+		if json.Unmarshal(raw, &old) == nil {
+			if q10, ok := old["q10"]; ok {
+				out["q10"] = q10
+			}
+		}
+	}
+	if data, err := json.MarshalIndent(out, "", "  "); err == nil {
 		if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
 			r.row("BENCH_serve.json not written: %v", err)
 		} else {

@@ -5,6 +5,8 @@
 //
 //	dlserve -program FILE [-facts FILE] [-addr :8080]
 //	        [-cache-bytes N] [-workers N] [-max-facts-bytes N]
+//	        [-max-query-bytes N] [-read-header-timeout D]
+//	        [-write-timeout D] [-idle-timeout D]
 //
 // The program file holds the rules (plus optional seed facts); additional
 // ground facts can be bulk-loaded from -facts at startup and streamed in
@@ -20,8 +22,11 @@
 //
 // Endpoints:
 //
-//	GET  /query?q=?- p(a, Y).   answer a query (&trace=1 for the span tree)
-//	POST /query                 {"query": "?- p(a, Y).", "trace": false}
+//	GET  /query?q=?- p(a, Y).   answer a query (&trace=1 for the span tree,
+//	                            &limit=K to stop after K answers, &stream=1
+//	                            for chunked NDJSON rows as they are derived)
+//	POST /query                 {"query": "?- p(a, Y).", "trace": false,
+//	                            "limit": 0, "stream": false}
 //	POST /facts                 load "pred(a, b)." lines atomically, advance
 //	                            the epoch, maintain cached answers
 //	GET  /healthz               liveness, epoch, cache footprint
@@ -39,7 +44,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 
 	"repro/internal/eval"
@@ -55,6 +59,10 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", eval.DefaultResultCacheBytes, "result-cache byte budget")
 		workers    = flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
 		maxFacts   = flag.Int64("max-facts-bytes", server.DefaultMaxFactsBytes, "POST /facts body size cap (negative = unlimited)")
+		maxQuery   = flag.Int64("max-query-bytes", server.DefaultMaxQueryBytes, "POST /query body size cap (negative = unlimited)")
+		rhTimeout  = flag.Duration("read-header-timeout", obs.DefaultReadHeaderTimeout, "http.Server ReadHeaderTimeout (slowloris bound; negative = disabled)")
+		wTimeout   = flag.Duration("write-timeout", obs.DefaultWriteTimeout, "http.Server WriteTimeout (whole response incl. streams; negative = disabled)")
+		idleTO     = flag.Duration("idle-timeout", obs.DefaultIdleTimeout, "http.Server IdleTimeout for keep-alive connections (negative = disabled)")
 	)
 	flag.Parse()
 	if *program == "" {
@@ -69,6 +77,7 @@ func main() {
 		CacheBytes:    *cacheBytes,
 		Workers:       *workers,
 		MaxFactsBytes: *maxFacts,
+		MaxQueryBytes: *maxQuery,
 	})
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", *program, err))
@@ -90,7 +99,12 @@ func main() {
 	// The scrape-friendly line scripts and tests parse for the bound port.
 	fmt.Printf("%% dlserve serving http://%s/query /facts /healthz /metrics (epoch %d)\n",
 		l.Addr(), s.Snapshot().Epoch())
-	if err := http.Serve(l, s.Handler()); err != nil {
+	hs := obs.NewServer(s.Handler(), obs.ServerConfig{
+		ReadHeaderTimeout: *rhTimeout,
+		WriteTimeout:      *wTimeout,
+		IdleTimeout:       *idleTO,
+	})
+	if err := hs.Serve(l); err != nil {
 		fatal(err)
 	}
 }

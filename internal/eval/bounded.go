@@ -45,7 +45,7 @@ func boundedAnswer(sys *ast.RecursiveSystem, rules []ast.Rule, q ast.Query, db *
 	answers := storage.NewRelation(n)
 	var st Stats
 	sink := newRoundSink(&st, opts, fix)
-	if err := evalNonRecursive(rules, q, db, answers, &st, &sink); err != nil {
+	if err := evalNonRecursive(rules, q, db, answers, &st, &sink, opts); err != nil {
 		return nil, st, err
 	}
 	fix.SetInt("rounds", int64(st.Rounds)).SetInt("derived", int64(st.Derived))
@@ -63,12 +63,13 @@ func boundedAnswer(sys *ast.RecursiveSystem, rules []ast.Rule, q ast.Query, db *
 // BoundedEval and the auto planner's compiled bounded path.
 func EvalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answers *storage.Relation, st *Stats) error {
 	sink := newRoundSink(st, Opts{}, nil)
-	return evalNonRecursive(rules, q, db, answers, st, &sink)
+	return evalNonRecursive(rules, q, db, answers, st, &sink, Opts{})
 }
 
 // evalNonRecursive is EvalNonRecursive feeding the caller's round sink: one
-// round (and one join span) per expansion rule.
-func evalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answers *storage.Relation, st *Stats, sink *roundSink) error {
+// round (and one join span) per expansion rule, with an abort check between
+// rules.
+func evalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answers *storage.Relation, st *Stats, sink *roundSink, opts Opts) error {
 	n := q.Atom.Arity()
 	rels := DBRels(db)
 	// The projection buffers are written from scratch for every rule and
@@ -76,53 +77,18 @@ func evalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answe
 	slots := make([]int, n)
 	fixed := make(storage.Tuple, n)
 	for _, r := range rules {
+		if opts.canceled() {
+			return fmt.Errorf("bounded union: %w", ErrCanceled)
+		}
 		st.Rounds++
 		sink.begin()
 		var rsp *obs.Span
 		if sink.traced() {
 			rsp = sink.rule(r.String())
 		}
-		c := CompileConj(db.Syms, r.Body)
-		binding := c.NewBinding()
-		ok := true
-		for i, t := range r.Head.Args {
-			qa := q.Atom.Args[i]
-			if !t.IsVar() {
-				v := db.Syms.Intern(t.Name)
-				if !qa.IsVar() {
-					qv, found := db.Syms.Lookup(qa.Name)
-					if !found || qv != v {
-						ok = false
-						break
-					}
-				}
-				slots[i] = -1
-				fixed[i] = v
-				continue
-			}
-			slot := c.VarID(t.Name)
-			if !qa.IsVar() {
-				// Push the query constant into the body binding.
-				v, found := db.Syms.Lookup(qa.Name)
-				if !found {
-					ok = false
-					break
-				}
-				if slot >= 0 {
-					if binding[slot] != Unbound && binding[slot] != v {
-						ok = false
-						break
-					}
-					binding[slot] = v
-				}
-				slots[i] = -1
-				fixed[i] = v
-			} else {
-				if slot < 0 {
-					return fmt.Errorf("eval: head variable %s unbound in expansion %v", t.Name, r)
-				}
-				slots[i] = slot
-			}
+		c, binding, ok, err := bindHead(r, q, db, slots, fixed)
+		if err != nil {
+			return err
 		}
 		if !ok {
 			rsp.End()
@@ -135,4 +101,53 @@ func evalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answe
 		sink.end(RoundStats{Round: st.Rounds, Derived: d})
 	}
 	return nil
+}
+
+// bindHead compiles one expansion rule's body and unifies its head with the
+// query: query constants are pushed into the body binding (or checked against
+// constant head arguments), and the projection buffers are filled so slot i
+// reads body variable slots[i], or the pinned value fixed[i] when slots[i] is
+// -1. ok is false when the head cannot unify with the query — the rule
+// contributes no answers. Shared by the materializing and streaming bounded
+// paths.
+func bindHead(r ast.Rule, q ast.Query, db *storage.Database, slots []int, fixed storage.Tuple) (*Conj, []storage.Value, bool, error) {
+	c := CompileConj(db.Syms, r.Body)
+	binding := c.NewBinding()
+	for i, t := range r.Head.Args {
+		qa := q.Atom.Args[i]
+		if !t.IsVar() {
+			v := db.Syms.Intern(t.Name)
+			if !qa.IsVar() {
+				qv, found := db.Syms.Lookup(qa.Name)
+				if !found || qv != v {
+					return c, binding, false, nil
+				}
+			}
+			slots[i] = -1
+			fixed[i] = v
+			continue
+		}
+		slot := c.VarID(t.Name)
+		if !qa.IsVar() {
+			// Push the query constant into the body binding.
+			v, found := db.Syms.Lookup(qa.Name)
+			if !found {
+				return c, binding, false, nil
+			}
+			if slot >= 0 {
+				if binding[slot] != Unbound && binding[slot] != v {
+					return c, binding, false, nil
+				}
+				binding[slot] = v
+			}
+			slots[i] = -1
+			fixed[i] = v
+		} else {
+			if slot < 0 {
+				return c, binding, false, fmt.Errorf("eval: head variable %s unbound in expansion %v", t.Name, r)
+			}
+			slots[i] = slot
+		}
+	}
+	return c, binding, true, nil
 }

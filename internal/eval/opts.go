@@ -1,11 +1,19 @@
 package eval
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/storage"
 )
+
+// ErrCanceled is returned by an evaluation whose Opts.Abort channel closed
+// before the fixpoint finished. Engines poll the channel at round
+// boundaries (and the streaming kernels additionally on every blocked tuple
+// emission), so cancellation latency is one round, never the whole
+// fixpoint. Test with errors.Is: engines wrap it with context.
+var ErrCanceled = errors.New("eval: evaluation canceled")
 
 // Opts configures evaluation for every strategy. The zero value is the
 // uninstrumented default: no tracing (nil Tracer keeps the hot paths
@@ -27,6 +35,13 @@ type Opts struct {
 	// Metrics is the registry receiving the evaluation's counters and
 	// histograms; nil means obs.Default().
 	Metrics *obs.Registry
+	// Abort, when non-nil, cancels the evaluation when it closes: engines
+	// poll it at round boundaries and return ErrCanceled instead of a
+	// result. The serving layer wires it to the HTTP request context so a
+	// disconnected client stops burning CPU, and the streaming iterators
+	// close it from Close(). Nil (the zero value) never cancels and costs
+	// one nil-channel select per round.
+	Abort <-chan struct{}
 	// Observer, when non-nil, receives one RoundStats per fixpoint round,
 	// in round order, from the coordinating goroutine.
 	//
@@ -35,6 +50,17 @@ type Opts struct {
 	// sink that emits round spans. New callers should read Stats.Trace or
 	// attach a Tracer instead.
 	Observer Observer
+}
+
+// canceled reports whether the abort channel has closed. Engines call it at
+// round boundaries; on a nil Abort it is a single non-blocking select.
+func (o Opts) canceled() bool {
+	select {
+	case <-o.Abort:
+		return true
+	default:
+		return false
+	}
 }
 
 // parent returns the span new engine spans attach under (nil when

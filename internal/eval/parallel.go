@@ -32,6 +32,19 @@ func ParallelSemiNaive(prog *ast.Program, db *storage.Database) (*storage.Databa
 // ParallelSemiNaiveOpts is ParallelSemiNaive with an explicit worker count
 // and an optional per-round observer.
 func ParallelSemiNaiveOpts(prog *ast.Program, db *storage.Database, opts Opts) (*storage.Database, Stats, error) {
+	return parallelSemiNaive(prog, db, opts, "", nil)
+}
+
+// parallelSemiNaive is the engine core shared by the materializing and
+// streaming entry points. When emit is non-nil, every tuple of streamPred is
+// fed to it as soon as it exists — the pre-fixpoint contents right after the
+// working database is prepared, then each fresh merge insert — in
+// deterministic merge order. emit returning false stops the evaluation with
+// errStreamStop (the consumer has all the answers it wants); the partially
+// saturated database is returned so the caller can account for it, but it is
+// NOT a fixpoint. Emitted tuples alias the head relation's arena and stay
+// valid for the life of the returned database.
+func parallelSemiNaive(prog *ast.Program, db *storage.Database, opts Opts, streamPred string, emit func(storage.Tuple) bool) (*storage.Database, Stats, error) {
 	work, idb, err := prepare(prog, db)
 	if err != nil {
 		return nil, Stats{}, err
@@ -53,6 +66,25 @@ func ParallelSemiNaiveOpts(prog *ast.Program, db *storage.Database, opts Opts) (
 	fix := opts.parent().Child("fixpoint").SetStr("engine", "parallel")
 	defer fix.End()
 	var st Stats
+	if emit != nil {
+		// Facts present before any rule fires (EDB tuples under the query
+		// predicate, or IDB facts loaded directly) stream first; the merge
+		// hook below only sees fresh derivations.
+		stopped := false
+		if rel := work.Rel(streamPred); rel != nil {
+			rel.Each(func(t storage.Tuple) bool {
+				if !emit(t) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+		}
+		if stopped {
+			flushDB(opts, &st, work, idb)
+			return work, st, errStreamStop
+		}
+	}
 	sink := newRoundSink(&st, opts, fix)
 	round := 0
 	for si, group := range strata {
@@ -65,7 +97,11 @@ func ParallelSemiNaiveOpts(prog *ast.Program, db *storage.Database, opts Opts) (
 			local[r.Head.Pred] = true
 		}
 		r0 := round
-		if err := parallelFixpoint(work, rules, local, workers, si, &round, &sink, &st); err != nil {
+		if err := parallelFixpoint(work, rules, local, workers, si, &round, &sink, &st, opts, streamPred, emit); err != nil {
+			if err == errStreamStop {
+				flushDB(opts, &st, work, idb)
+				return work, st, err
+			}
 			return nil, st, err
 		}
 		sink.stratumDone(round - r0)
@@ -149,8 +185,11 @@ func (ws *workerScratch) bufFor(n int) storage.Tuple {
 }
 
 // parallelFixpoint saturates one rule group with delta evaluation, fanning
-// each round's tasks across the worker pool and merging serially.
-func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[string]bool, workers, stratum int, round *int, sink *roundSink, st *Stats) error {
+// each round's tasks across the worker pool and merging serially. The abort
+// channel is polled once per round; a close surfaces as ErrCanceled. When
+// emit is non-nil, fresh streamPred inserts are handed to it during the
+// merge; emit returning false stops the fixpoint with errStreamStop.
+func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[string]bool, workers, stratum int, round *int, sink *roundSink, st *Stats, opts Opts, streamPred string, emit func(storage.Tuple) bool) error {
 	full := DBRels(work)
 
 	// Deltas are plain tuple slices, not relations: the head relations
@@ -161,20 +200,29 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 	// arena-backed header), so the merge allocates nothing per tuple and
 	// the task buffers are free to return to the pool immediately.
 	pool := &relPool{}
+	stopped := false
 	merge := func(tasks []parTask, results []parResult, next map[string][]storage.Tuple) (added, attempted int) {
 		for i, res := range results {
 			attempted += res.attempted
 			pred := tasks[i].cr.rule.Head.Pred
 			head := work.Rel(pred)
-			res.out.Each(func(t storage.Tuple) bool {
-				if head.Insert(t) {
-					added++
-					if next != nil {
-						next[pred] = append(next[pred], head.At(head.Len()-1))
+			if !stopped {
+				res.out.Each(func(t storage.Tuple) bool {
+					if head.Insert(t) {
+						added++
+						if next != nil {
+							next[pred] = append(next[pred], head.At(head.Len()-1))
+						}
+						if emit != nil && pred == streamPred && !emit(head.At(head.Len()-1)) {
+							stopped = true
+							return false
+						}
 					}
-				}
-				return true
-			})
+					return true
+				})
+			}
+			// Buffers after a stop are dropped unmerged — the consumer is
+			// gone, only the pooled capacity is worth keeping.
 			pool.put(res.out)
 			results[i].out = nil
 		}
@@ -199,6 +247,9 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 		}
 	}
 	if hasSeed {
+		if opts.canceled() {
+			return fmt.Errorf("parallel fixpoint: %w", ErrCanceled)
+		}
 		*round++
 		st.Rounds++
 		start := time.Now()
@@ -229,6 +280,9 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 			Derived: added, Attempted: attempted, Workers: workers,
 			Duration: time.Since(start), Busy: busy,
 		})
+		if stopped {
+			return errStreamStop
+		}
 	}
 
 	// Initial delta: everything in the head relations after the seed round —
@@ -240,6 +294,9 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 	}
 
 	for {
+		if opts.canceled() {
+			return fmt.Errorf("parallel fixpoint: %w", ErrCanceled)
+		}
 		*round++
 		st.Rounds++
 		start := time.Now()
@@ -282,6 +339,9 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 			Derived: added, Attempted: attempted, Workers: workers,
 			Duration: time.Since(start), Busy: busy,
 		})
+		if stopped {
+			return errStreamStop
+		}
 		if added == 0 {
 			return nil
 		}

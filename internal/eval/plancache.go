@@ -87,6 +87,12 @@ func programKey(sys *ast.RecursiveSystem) string {
 	return b.String()
 }
 
+// SystemKey returns the cache key text a recursive system's results are
+// memoized under — the same canonical rule rendering ResultCache.Answer
+// keys by. Servers use it to peek at the cache (ResultCache.Lookup) before
+// choosing a streaming evaluation.
+func SystemKey(sys *ast.RecursiveSystem) string { return programKey(sys) }
+
 // PlanFor returns the cached plan for the system and query form, compiling
 // and inserting it on a miss. The second result reports a cache hit.
 func (pl *Planner) PlanFor(sys *ast.RecursiveSystem, q ast.Query) (*Plan, bool, error) {

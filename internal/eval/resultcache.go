@@ -76,11 +76,48 @@ type resultEntry struct {
 
 // flight is one in-progress computation other callers of the same key wait
 // on. rel/st/err are written once before done closes.
+//
+// Each flight refcounts its interested callers: the leader joins at
+// creation, every waiter joins before blocking and leaves when its own
+// caller gives up. When the count hits zero the flight's abort channel
+// closes — the leader's compute (which runs with Opts.Abort = f.abort)
+// stops at its next round boundary. As long as ANY waiter remains the
+// compute keeps running even if the leader's caller disconnected: the
+// result still has an audience and gets cached.
 type flight struct {
 	done chan struct{}
 	rel  *storage.Relation
 	st   Stats
 	err  error
+
+	mu      sync.Mutex
+	waiters int
+	abort   chan struct{}
+	aborted bool
+}
+
+// tryJoin registers interest in the flight's result; it fails when the
+// flight was already abandoned by every caller (its compute is dying), in
+// which case the caller must start a fresh flight.
+func (f *flight) tryJoin() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.aborted {
+		return false
+	}
+	f.waiters++
+	return true
+}
+
+// leave drops one caller's interest; the last one out aborts the compute.
+func (f *flight) leave() {
+	f.mu.Lock()
+	f.waiters--
+	if f.waiters == 0 && !f.aborted {
+		f.aborted = true
+		close(f.abort)
+	}
+	f.mu.Unlock()
 }
 
 // DefaultResultCacheBytes is the byte budget NewResultCache callers usually
@@ -123,8 +160,10 @@ func NewResultCacheWith(reg *obs.Registry, maxBytes int64) *ResultCache {
 // riding along on another caller's in-flight computation).
 func (c *ResultCache) Answer(pl *Planner, sys *ast.RecursiveSystem, q ast.Query, snap *storage.Snapshot, opts Opts) (*storage.Relation, Stats, bool, error) {
 	key := resultKey{program: programKey(sys), query: q.String(), epoch: snap.Epoch()}
-	return c.do(key, q, true, func() (*storage.Relation, any, Stats, error) {
-		return pl.answerSnapAux(sys, q, snap, opts)
+	return c.do(key, q, true, opts.Abort, func(abort <-chan struct{}) (*storage.Relation, any, Stats, error) {
+		o := opts
+		o.Abort = abort
+		return pl.answerSnapAux(sys, q, snap, o)
 	})
 }
 
@@ -135,8 +174,10 @@ func (c *ResultCache) Answer(pl *Planner, sys *ast.RecursiveSystem, q ast.Query,
 // fixpoint, so Maintain can carry it across writes.
 func (c *ResultCache) AnswerProgram(prog *ast.Program, progKey string, q ast.Query, snap *storage.Snapshot, opts Opts) (*storage.Relation, Stats, bool, error) {
 	key := resultKey{program: progKey, query: q.String(), epoch: snap.Epoch()}
-	return c.do(key, q, true, func() (*storage.Relation, any, Stats, error) {
-		out, st, err := ParallelSemiNaiveOpts(prog, snap.DB(), opts)
+	return c.do(key, q, true, opts.Abort, func(abort <-chan struct{}) (*storage.Relation, any, Stats, error) {
+		o := opts
+		o.Abort = abort
+		out, st, err := ParallelSemiNaiveOpts(prog, snap.DB(), o)
 		if err != nil {
 			return nil, nil, st, err
 		}
@@ -153,17 +194,43 @@ func (c *ResultCache) AnswerProgram(prog *ast.Program, progKey string, q ast.Que
 // compute invocation: exactly one runs, the rest block until it finishes
 // and return its result. Errors are returned to every waiter but never
 // cached, so a transient failure is retried by the next caller.
-func (c *ResultCache) Do(program, query string, epoch uint64, compute func() (*storage.Relation, Stats, error)) (*storage.Relation, Stats, bool, error) {
+//
+// abort, when non-nil, is THIS caller's cancellation: a blocked waiter
+// unblocks with ErrCanceled, and the computing leader's evaluation is
+// stopped only once every interested caller has given up — compute receives
+// the flight's merged abort channel and must honor it (thread it into
+// Opts.Abort).
+func (c *ResultCache) Do(abort <-chan struct{}, program, query string, epoch uint64, compute func(abort <-chan struct{}) (*storage.Relation, Stats, error)) (*storage.Relation, Stats, bool, error) {
 	key := resultKey{program: program, query: query, epoch: epoch}
-	return c.do(key, ast.Query{}, false, func() (*storage.Relation, any, Stats, error) {
-		rel, st, err := compute()
+	return c.do(key, ast.Query{}, false, abort, func(fa <-chan struct{}) (*storage.Relation, any, Stats, error) {
+		rel, st, err := compute(fa)
 		return rel, nil, st, err
 	})
 }
 
+// Lookup peeks at the cache for (program, query, epoch) without computing
+// anything — the streaming path's hit check. A hit refreshes the entry's
+// LRU position and counts as a cache hit; a miss counts nothing (the
+// streaming caller evaluates without populating the cache, so it is not a
+// "miss" the hit-rate should be charged for).
+func (c *ResultCache) Lookup(program, query string, epoch uint64) (*storage.Relation, Stats, bool) {
+	key := resultKey{program: program, query: query, epoch: epoch}
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, Stats{}, false
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*resultEntry)
+	c.mu.Unlock()
+	c.hits.Inc()
+	return e.rel, e.st, true
+}
+
 // do is the shared hit/flight/compute path. compute additionally returns
 // the plan-specific maintenance state stored alongside the entry.
-func (c *ResultCache) do(key resultKey, q ast.Query, hasQuery bool, compute func() (*storage.Relation, any, Stats, error)) (*storage.Relation, Stats, bool, error) {
+func (c *ResultCache) do(key resultKey, q ast.Query, hasQuery bool, callerAbort <-chan struct{}, compute func(abort <-chan struct{}) (*storage.Relation, any, Stats, error)) (*storage.Relation, Stats, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
@@ -172,16 +239,43 @@ func (c *ResultCache) do(key resultKey, q ast.Query, hasQuery bool, compute func
 		c.hits.Inc()
 		return e.rel, e.st, true, nil
 	}
-	if f, ok := c.flight[key]; ok {
+	if f, ok := c.flight[key]; ok && f.tryJoin() {
 		c.mu.Unlock()
 		c.hits.Inc()
-		<-f.done
-		return f.rel, f.st, true, f.err
+		select {
+		case <-f.done:
+			return f.rel, f.st, true, f.err
+		case <-callerAbort:
+			// Losing the race against a just-finished compute must not
+			// discard a perfectly good answer.
+			select {
+			case <-f.done:
+				return f.rel, f.st, true, f.err
+			default:
+			}
+			f.leave()
+			return nil, Stats{}, false, fmt.Errorf("eval: wait for in-flight result of %q: %w", key.query, ErrCanceled)
+		}
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), abort: make(chan struct{}), waiters: 1}
 	c.flight[key] = f
 	c.mu.Unlock()
 	c.misses.Inc()
+
+	// The leader's own caller disconnecting releases only the leader's
+	// share of the flight: the watcher leaves, and the compute dies only if
+	// no waiter joined meanwhile.
+	if callerAbort != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-callerAbort:
+				f.leave()
+			case <-stop:
+			}
+		}()
+	}
 
 	var aux any
 	// A panicking compute must not wedge the key: fail the flight so waiters
@@ -190,13 +284,11 @@ func (c *ResultCache) do(key resultKey, q ast.Query, hasQuery bool, compute func
 		if r := recover(); r != nil {
 			f.rel, f.err = nil, fmt.Errorf("eval: result compute for %q panicked: %v", key.query, r)
 			close(f.done)
-			c.mu.Lock()
-			delete(c.flight, key)
-			c.mu.Unlock()
+			c.unregisterFlight(key, f)
 			panic(r)
 		}
 	}()
-	f.rel, aux, f.st, f.err = compute()
+	f.rel, aux, f.st, f.err = compute(f.abort)
 	if f.err == nil && f.rel != nil {
 		// Freeze before publication: waiters and future hits may read the
 		// relation (and the maintenance state) from any number of goroutines.
@@ -206,12 +298,25 @@ func (c *ResultCache) do(key resultKey, q ast.Query, hasQuery bool, compute func
 	close(f.done)
 
 	c.mu.Lock()
-	delete(c.flight, key)
+	if cur, ok := c.flight[key]; ok && cur == f {
+		delete(c.flight, key)
+	}
 	if f.err == nil && f.rel != nil {
 		c.insertLocked(&resultEntry{key: key, rel: f.rel, st: f.st, q: q, hasQuery: hasQuery, aux: aux})
 	}
 	c.mu.Unlock()
 	return f.rel, f.st, false, f.err
+}
+
+// unregisterFlight removes f from the flight table unless a successor
+// flight already replaced it (an aborted flight's key is reusable before
+// its dying compute returns).
+func (c *ResultCache) unregisterFlight(key resultKey, f *flight) {
+	c.mu.Lock()
+	if cur, ok := c.flight[key]; ok && cur == f {
+		delete(c.flight, key)
+	}
+	c.mu.Unlock()
 }
 
 // insertLocked adds the entry and evicts from the LRU tail until the byte

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/parser"
@@ -214,21 +215,21 @@ func TestResultCacheErrorNotCached(t *testing.T) {
 	rc := NewResultCache(0)
 	boom := errors.New("boom")
 	calls := 0
-	fail := func() (*storage.Relation, Stats, error) {
+	fail := func(<-chan struct{}) (*storage.Relation, Stats, error) {
 		calls++
 		return nil, Stats{}, boom
 	}
-	if _, _, _, err := rc.Do("prog", "q", 1, fail); !errors.Is(err, boom) {
+	if _, _, _, err := rc.Do(nil, "prog", "q", 1, fail); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if rc.Len() != 0 {
 		t.Fatalf("error was cached (%d entries)", rc.Len())
 	}
-	ok := func() (*storage.Relation, Stats, error) {
+	ok := func(<-chan struct{}) (*storage.Relation, Stats, error) {
 		calls++
 		return storage.NewRelation(1), Stats{}, nil
 	}
-	if _, _, cached, err := rc.Do("prog", "q", 1, ok); err != nil || cached {
+	if _, _, cached, err := rc.Do(nil, "prog", "q", 1, ok); err != nil || cached {
 		t.Fatalf("retry: cached=%v err=%v, want fresh compute", cached, err)
 	}
 	if calls != 2 {
@@ -255,7 +256,7 @@ func TestResultCacheDoPanic(t *testing.T) {
 		// Let the compute proceed to its panic only once this goroutine is
 		// about to join the flight.
 		close(release)
-		_, _, _, err := rc.Do("prog", "q", 1, func() (*storage.Relation, Stats, error) {
+		_, _, _, err := rc.Do(nil, "prog", "q", 1, func(<-chan struct{}) (*storage.Relation, Stats, error) {
 			return storage.NewRelation(1), Stats{}, nil
 		})
 		waiterErr <- err
@@ -267,7 +268,7 @@ func TestResultCacheDoPanic(t *testing.T) {
 				t.Error("panic did not propagate to the computing caller")
 			}
 		}()
-		rc.Do("prog", "q", 1, func() (*storage.Relation, Stats, error) {
+		rc.Do(nil, "prog", "q", 1, func(<-chan struct{}) (*storage.Relation, Stats, error) {
 			close(entered)
 			<-release
 			panic("compute exploded")
@@ -283,7 +284,7 @@ func TestResultCacheDoPanic(t *testing.T) {
 		t.Fatalf("panicked compute left %d cached entries", rc.Len())
 	}
 	// The key is not wedged: a fresh compute succeeds and caches.
-	rel, _, cached, err := rc.Do("prog", "q", 1, func() (*storage.Relation, Stats, error) {
+	rel, _, cached, err := rc.Do(nil, "prog", "q", 1, func(<-chan struct{}) (*storage.Relation, Stats, error) {
 		return storage.NewRelation(1), Stats{}, nil
 	})
 	if err != nil || cached || rel == nil {
@@ -291,5 +292,116 @@ func TestResultCacheDoPanic(t *testing.T) {
 	}
 	if rc.Len() != 1 {
 		t.Fatalf("post-panic compute not cached (%d entries)", rc.Len())
+	}
+}
+
+// flightState polls the cache's flight table for the key's live flight and
+// returns its current waiter count (0 when no flight is registered).
+func flightWaiters(rc *ResultCache, program, query string, epoch uint64) int {
+	key := resultKey{program: program, query: query, epoch: epoch}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	f, ok := rc.flight[key]
+	if !ok {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.waiters
+}
+
+// TestResultCacheWaiterCancel: a waiter abandoning an in-flight compute
+// unblocks with ErrCanceled while the compute keeps running for its leader,
+// and the finished result is cached normally.
+func TestResultCacheWaiterCancel(t *testing.T) {
+	rc := NewResultCache(0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	computeAborted := make(chan struct{}, 1)
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := rc.Do(nil, "prog", "q", 1, func(abort <-chan struct{}) (*storage.Relation, Stats, error) {
+			close(started)
+			select {
+			case <-abort:
+				computeAborted <- struct{}{}
+				return nil, Stats{}, fmt.Errorf("compute: %w", ErrCanceled)
+			case <-release:
+			}
+			return storage.NewRelation(1), Stats{}, nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	waiterAbort := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := rc.Do(waiterAbort, "prog", "q", 1, func(<-chan struct{}) (*storage.Relation, Stats, error) {
+			t.Error("waiter ran its own compute instead of joining the flight")
+			return nil, Stats{}, nil
+		})
+		waiterDone <- err
+	}()
+	// The waiter has joined once the flight counts two interested callers.
+	deadline := time.Now().Add(5 * time.Second)
+	for flightWaiters(rc, "prog", "q", 1) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(waiterAbort)
+	if err := <-waiterDone; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled waiter err = %v, want ErrCanceled", err)
+	}
+	select {
+	case <-computeAborted:
+		t.Fatal("waiter's cancel aborted the compute despite the leader's interest")
+	default:
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v after a waiter canceled", err)
+	}
+	if rc.Len() != 1 {
+		t.Fatalf("finished compute not cached (%d entries)", rc.Len())
+	}
+}
+
+// TestResultCacheAllCallersCancel: when every interested caller gives up,
+// the flight's abort channel closes and the compute's cancellation error
+// reaches the (already departed) leader; nothing is cached and the key is
+// immediately reusable.
+func TestResultCacheAllCallersCancel(t *testing.T) {
+	rc := NewResultCache(0)
+	started := make(chan struct{})
+	leaderAbort := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := rc.Do(leaderAbort, "prog", "q", 1, func(abort <-chan struct{}) (*storage.Relation, Stats, error) {
+			close(started)
+			<-abort // the flight's merged abort, not the caller's channel
+			return nil, Stats{}, fmt.Errorf("compute: %w", ErrCanceled)
+		})
+		leaderDone <- err
+	}()
+	<-started
+	close(leaderAbort)
+	if err := <-leaderDone; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("abandoned leader err = %v, want ErrCanceled", err)
+	}
+	if rc.Len() != 0 {
+		t.Fatalf("canceled compute was cached (%d entries)", rc.Len())
+	}
+	// The key computes fresh for the next caller.
+	rel, _, cached, err := rc.Do(nil, "prog", "q", 1, func(<-chan struct{}) (*storage.Relation, Stats, error) {
+		return storage.NewRelation(1), Stats{}, nil
+	})
+	if err != nil || cached || rel == nil {
+		t.Fatalf("retry after cancel: rel=%v cached=%v err=%v, want fresh compute", rel, cached, err)
 	}
 }

@@ -28,6 +28,11 @@ type Stats struct {
 	// by the result cache's incremental maintenance pass (a delta fixpoint
 	// over the inserted tuples) instead of being recomputed from scratch.
 	Maintained bool
+	// Truncated reports that a streaming evaluation stopped early — the
+	// consumer's limit was satisfied before the answer set was exhausted, so
+	// Rounds/Derived/Facts measure only the work actually done, not the full
+	// evaluation's cost.
+	Truncated bool
 }
 
 func (s Stats) String() string {

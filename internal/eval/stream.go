@@ -1,0 +1,377 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// Pull-based answer streaming. Every compiled plan can deliver its answers
+// through an Iterator instead of a fully materialized relation: the consumer
+// pulls tuples as the producer derives them, a bounded channel provides
+// backpressure, and closing the iterator (or an external Opts.Abort) stops
+// the producing fixpoint at its next round boundary. Cached results stream
+// through the same interface with no evaluation and no copying.
+
+// errStreamStop is the internal sentinel a streaming engine returns when the
+// consumer declined further tuples (limit satisfied, goal answered, iterator
+// closed). It never escapes the package: the iterator and streamInto
+// translate it to a clean end-of-stream.
+var errStreamStop = errors.New("eval: stream consumer stopped")
+
+// streamChanSize bounds the producer/consumer channel: enough slack that the
+// producer is not re-scheduled per tuple, small enough that an abandoned
+// consumer stops the fixpoint within one channel's worth of answers.
+const streamChanSize = 64
+
+// Iterator is a pull-based stream of answer tuples.
+//
+// The contract: call Next until it returns false, reading Tuple after each
+// true; then Err distinguishes exhaustion from failure and Stats reports the
+// work done. Close releases the producer early (idempotent, safe after
+// exhaustion) and must be called when abandoning the stream before Next
+// returned false; Err and Stats are valid only after Next returned false or
+// Close returned. Tuples stay valid until Close — they may alias the
+// producer's arena, so a consumer keeping tuples past Close must copy them.
+// An Iterator is single-consumer: Next/Tuple from one goroutine only.
+type Iterator interface {
+	Next() bool
+	Tuple() storage.Tuple
+	Err() error
+	Stats() Stats
+	Close()
+}
+
+// relIterator streams an already-materialized relation — the result cache's
+// hit path. No goroutine, no copying: Tuple returns the relation's own
+// arena-backed headers.
+type relIterator struct {
+	rel     *storage.Relation
+	idx     int
+	limit   int
+	emitted int
+	cur     storage.Tuple
+	st      Stats
+}
+
+// NewRelationIterator streams rel's tuples in insertion order. limit > 0
+// stops the stream after limit tuples and marks Stats.Truncated when more
+// existed; limit <= 0 streams everything. st seeds the iterator's Stats
+// (e.g. the cached evaluation's counters).
+func NewRelationIterator(rel *storage.Relation, limit int, st Stats) Iterator {
+	return &relIterator{rel: rel, limit: limit, st: st}
+}
+
+func (it *relIterator) Next() bool {
+	if it.rel == nil || it.idx >= it.rel.Len() {
+		it.cur = nil
+		return false
+	}
+	if it.limit > 0 && it.emitted >= it.limit {
+		it.st.Truncated = true
+		it.cur = nil
+		return false
+	}
+	it.cur = it.rel.At(it.idx)
+	it.idx++
+	it.emitted++
+	return true
+}
+
+func (it *relIterator) Tuple() storage.Tuple { return it.cur }
+func (it *relIterator) Err() error           { return nil }
+func (it *relIterator) Stats() Stats         { return it.st }
+func (it *relIterator) Close()               {}
+
+// evalIterator runs a push-mode streaming engine in a producer goroutine and
+// adapts it to the pull interface (the evalIterator shape: bounded result
+// channel, abort channel, WaitGroup cleanup). Close closes the abort
+// channel; the engine observes it either at a round boundary (Opts.Abort)
+// or on its next blocked emit, so an abandoned stream stops the fixpoint
+// promptly and Close returns only after the producer goroutine exited —
+// tests can assert zero goroutine leak right after Close.
+type evalIterator struct {
+	ch       chan storage.Tuple
+	abort    chan struct{}
+	finished chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
+	closing  atomic.Bool
+
+	cur storage.Tuple
+	st  Stats
+	err error
+}
+
+// newEvalIterator starts run in a producer goroutine. run must feed every
+// answer to emit and return its Stats; emit returning false means "stop now"
+// (run should return errStreamStop, which is not an error). limit > 0 cuts
+// the stream after limit tuples and sets Stats.Truncated. opts.Abort, when
+// non-nil, cancels the stream from outside (a watcher goroutine forwards it
+// to the producer); Err then reports ErrCanceled. Emitted tuples must stay
+// valid until the evaluation's working storage is garbage — engines emit
+// arena-backed or freshly allocated tuples, never reused scratch buffers.
+func newEvalIterator(opts Opts, limit int, run func(ro Opts, emit func(storage.Tuple) bool) (Stats, error)) *evalIterator {
+	it := &evalIterator{
+		ch:       make(chan storage.Tuple, streamChanSize),
+		abort:    make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	external := opts.Abort
+	ro := opts
+	ro.Abort = it.abort
+
+	emitted := 0
+	truncated := false
+	emit := func(t storage.Tuple) bool {
+		select {
+		case it.ch <- t:
+		case <-it.abort:
+			return false
+		}
+		emitted++
+		if limit > 0 && emitted >= limit {
+			truncated = true
+			return false
+		}
+		return true
+	}
+
+	if external != nil {
+		it.wg.Add(1)
+		go func() {
+			defer it.wg.Done()
+			select {
+			case <-external:
+				it.once.Do(func() { close(it.abort) })
+			case <-it.finished:
+			}
+		}()
+	}
+
+	it.wg.Add(1)
+	go func() {
+		defer it.wg.Done()
+		st, err := run(ro, emit)
+		if truncated {
+			st.Truncated = true
+		}
+		if err == errStreamStop {
+			err = nil
+			if !truncated {
+				// The engine stopped on a declined emit without the limit
+				// being the reason. If the abort channel is closed the stop
+				// came from Close or an external cancel — report ErrCanceled
+				// so a partial answer set is never mistaken for a complete
+				// one (Err suppresses it again for consumer-initiated Close).
+				select {
+				case <-it.abort:
+					err = fmt.Errorf("eval: stream: %w", ErrCanceled)
+				default:
+				}
+			}
+		}
+		it.st, it.err = st, err
+		// Store st/err before closing the channel: the consumer's failed
+		// receive is its happens-after edge for reading them.
+		close(it.ch)
+		close(it.finished)
+	}()
+	return it
+}
+
+func (it *evalIterator) Next() bool {
+	t, ok := <-it.ch
+	if !ok {
+		it.cur = nil
+		return false
+	}
+	it.cur = t
+	return true
+}
+
+func (it *evalIterator) Tuple() storage.Tuple { return it.cur }
+
+// Err reports how the stream ended. A deliberate stop — the consumer's limit
+// or Close — is a clean end (nil); an external Opts.Abort surfaces as
+// ErrCanceled so the caller can tell a complete answer set from a
+// disconnected one.
+func (it *evalIterator) Err() error {
+	if it.err != nil && errors.Is(it.err, ErrCanceled) && it.closing.Load() {
+		return nil
+	}
+	return it.err
+}
+
+func (it *evalIterator) Stats() Stats { return it.st }
+
+// Close aborts the producer and waits for it (and the abort watcher) to
+// exit. Idempotent; safe after exhaustion. closing is set inside the once
+// so it records who actually closed the abort channel: a Close racing an
+// external cancel that fired first must not relabel the cancellation as
+// consumer-initiated.
+func (it *evalIterator) Close() {
+	it.once.Do(func() {
+		it.closing.Store(true)
+		close(it.abort)
+	})
+	it.wg.Wait()
+}
+
+// Stream evaluates the query along the compiled path, delivering answers
+// through an Iterator as they are derived. limit > 0 stops the evaluation
+// once limit answers were delivered (Stats.Truncated set). Bound-argument
+// queries on TC plans additionally exit as soon as the answer set is
+// complete — a fully bound tc(a, b)? stops at its first derivation without
+// computing the rest of the closure. The iterator's answers equal
+// AnswerOpts' answer relation, in deterministic order per plan.
+func (p *Plan) Stream(q ast.Query, db *storage.Database, opts Opts, limit int) Iterator {
+	return newEvalIterator(opts, limit, func(ro Opts, emit func(storage.Tuple) bool) (Stats, error) {
+		return p.streamInto(q, db, ro, emit)
+	})
+}
+
+// streamInto pushes the query's answers into emit along the compiled path.
+func (p *Plan) streamInto(q ast.Query, db *storage.Database, opts Opts, emit func(storage.Tuple) bool) (Stats, error) {
+	var (
+		st  Stats
+		err error
+	)
+	switch p.Kind {
+	case PlanTC:
+		st, err = tcStream(p.sys, p.tc, q, db, opts, emit)
+	case PlanBounded:
+		st, err = streamNonRecursive(p.sys, p.rules, q, db, opts, emit)
+	case PlanStable:
+		st, err = streamFixpoint(p.stable.Program(), q, db, opts, emit)
+	default:
+		st, err = streamFixpoint(p.sys.Program(), q, db, opts, emit)
+	}
+	if err != nil && err != errStreamStop {
+		return st, err
+	}
+	st.Plan = &PlanInfo{Class: p.Class, Strategy: p.Kind.String()}
+	return st, err
+}
+
+// StreamProgram streams a query over a general stratified program (the
+// serving path for programs that are not a single recursive system): the
+// parallel semi-naive engine runs with a merge-time emit hook, so answers
+// flow out as rounds complete and an early stop abandons the rest of the
+// fixpoint.
+func StreamProgram(prog *ast.Program, q ast.Query, db *storage.Database, opts Opts, limit int) Iterator {
+	return newEvalIterator(opts, limit, func(ro Opts, emit func(storage.Tuple) bool) (Stats, error) {
+		return streamFixpoint(prog, q, db, ro, emit)
+	})
+}
+
+// streamFixpoint runs the parallel semi-naive engine with an emit hook on
+// the query predicate, filtering each emitted tuple against the query's
+// bound constants (the same selection AnswerQuery applies to the finished
+// fixpoint).
+func streamFixpoint(prog *ast.Program, q ast.Query, db *storage.Database, opts Opts, emit func(storage.Tuple) bool) (Stats, error) {
+	n := q.Atom.Arity()
+	bound := make([]bool, n)
+	vals := make(storage.Tuple, n)
+	known := true
+	for i, t := range q.Atom.Args {
+		if !t.IsVar() {
+			bound[i] = true
+			v, ok := db.Syms.Lookup(t.Name)
+			if !ok {
+				// Constant the database has never seen: no tuple can match,
+				// but the fixpoint still runs so Stats mirror the
+				// materializing path (which also evaluates, then selects).
+				known = false
+				break
+			}
+			vals[i] = v
+		}
+	}
+	filtered := func(t storage.Tuple) bool {
+		if !known || len(t) != n {
+			return true
+		}
+		for i := range t {
+			if bound[i] && t[i] != vals[i] {
+				return true
+			}
+		}
+		return emit(t)
+	}
+	_, st, err := parallelSemiNaive(prog, db, opts, q.Atom.Pred, filtered)
+	return st, err
+}
+
+// streamNonRecursive is the bounded-union plan's streaming path: expansion
+// rules run in order, each fresh (deduplicated) head projection is emitted
+// immediately, and a declined emit abandons the remaining expansions.
+func streamNonRecursive(sys *ast.RecursiveSystem, rules []ast.Rule, q ast.Query, db *storage.Database, opts Opts, emit func(storage.Tuple) bool) (Stats, error) {
+	n := sys.Arity()
+	var st Stats
+	if q.Atom.Pred != sys.Pred() || q.Atom.Arity() != n {
+		return st, fmt.Errorf("eval: query %v does not match predicate %s/%d", q, sys.Pred(), n)
+	}
+	fix := opts.parent().Child("fixpoint").SetStr("engine", "bounded")
+	defer fix.End()
+	answers := storage.NewRelation(n)
+	sink := newRoundSink(&st, opts, fix)
+	defer func() {
+		fix.SetInt("rounds", int64(st.Rounds)).SetInt("derived", int64(st.Derived))
+		sink.stratumDone(st.Rounds)
+		flushRels(opts, &st, answers)
+	}()
+	rels := DBRels(db)
+	slots := make([]int, n)
+	fixed := make(storage.Tuple, n)
+	buf := make(storage.Tuple, n)
+	for _, r := range rules {
+		if opts.canceled() {
+			return st, fmt.Errorf("bounded union: %w", ErrCanceled)
+		}
+		st.Rounds++
+		sink.begin()
+		var rsp *obs.Span
+		if sink.traced() {
+			rsp = sink.rule(r.String())
+		}
+		c, binding, ok, err := bindHead(r, q, db, slots, fixed)
+		if err != nil {
+			return st, err
+		}
+		d0 := st.Derived
+		stopped := false
+		if ok {
+			c.Eval(rels, binding, func(b []storage.Value) bool {
+				for i, s := range slots {
+					if s >= 0 {
+						buf[i] = b[s]
+					} else {
+						buf[i] = fixed[i]
+					}
+				}
+				if answers.Insert(buf) {
+					st.Derived++
+					// Insert copied buf into the arena; emit the stable
+					// arena-backed header, not the scratch buffer.
+					if !emit(answers.At(answers.Len() - 1)) {
+						stopped = true
+						return false
+					}
+				}
+				return true
+			})
+		}
+		rsp.SetInt("derived", int64(st.Derived-d0)).End()
+		sink.end(RoundStats{Round: st.Rounds, Derived: st.Derived - d0})
+		if stopped {
+			return st, errStreamStop
+		}
+	}
+	return st, nil
+}

@@ -133,7 +133,10 @@ func tcEvalAux(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storag
 		switch {
 		case b0:
 			// Forward BFS from c0 over q, then join the closure with E.
-			closure := bfsClosure(edges, 0, 1, []storage.Value{c0}, &st, &sink)
+			closure, err := bfsClosure(edges, 0, 1, []storage.Value{c0}, &st, &sink, opts)
+			if err != nil {
+				return nil, nil, st, err
+			}
 			aux.visited = closure
 			closure.Each(func(z storage.Value) bool {
 				exitRel.EachCol(0, z, func(t storage.Tuple) bool {
@@ -154,7 +157,11 @@ func tcEvalAux(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storag
 				seeds = append(seeds, t[0])
 				return true
 			})
-			aux.visited = bfsClosure(edges, 1, 0, seeds, &st, &sink)
+			visited, err := bfsClosure(edges, 1, 0, seeds, &st, &sink, opts)
+			if err != nil {
+				return nil, nil, st, err
+			}
+			aux.visited = visited
 			aux.visited.Each(func(x storage.Value) bool {
 				st.Facts++
 				buf[0], buf[1] = x, c1
@@ -165,7 +172,9 @@ func tcEvalAux(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storag
 			})
 		default:
 			// All free: semi-naive compose P ← P ∪ q ∘ ΔP seeded with E.
-			composeClosure(edges, exitRel, true, answers, &st, &sink)
+			if err := composeClosure(edges, exitRel, true, answers, &st, &sink, opts); err != nil {
+				return nil, nil, st, err
+			}
 		}
 	} else {
 		// p(x, y) ⟺ ∃z: E(x, z) ∧ z →q* y.
@@ -176,7 +185,11 @@ func tcEvalAux(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storag
 				seeds = append(seeds, t[1])
 				return true
 			})
-			aux.visited = bfsClosure(edges, 0, 1, seeds, &st, &sink)
+			visited, err := bfsClosure(edges, 0, 1, seeds, &st, &sink, opts)
+			if err != nil {
+				return nil, nil, st, err
+			}
+			aux.visited = visited
 			aux.visited.Each(func(y storage.Value) bool {
 				st.Facts++
 				buf[0], buf[1] = c0, y
@@ -187,7 +200,10 @@ func tcEvalAux(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storag
 			})
 		case b1:
 			// Reverse BFS from c1 over q, then join the closure with E.
-			closure := bfsClosure(edges, 1, 0, []storage.Value{c1}, &st, &sink)
+			closure, err := bfsClosure(edges, 1, 0, []storage.Value{c1}, &st, &sink, opts)
+			if err != nil {
+				return nil, nil, st, err
+			}
 			aux.visited = closure
 			closure.Each(func(z storage.Value) bool {
 				exitRel.EachCol(1, z, func(t storage.Tuple) bool {
@@ -202,7 +218,9 @@ func tcEvalAux(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storag
 			})
 		default:
 			// All free: semi-naive compose P ← P ∪ ΔP ∘ q seeded with E.
-			composeClosure(edges, exitRel, false, answers, &st, &sink)
+			if err := composeClosure(edges, exitRel, false, answers, &st, &sink, opts); err != nil {
+				return nil, nil, st, err
+			}
 		}
 	}
 	return answers, aux, st, nil
@@ -214,7 +232,7 @@ func tcEvalAux(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storag
 // counts as one attempted fact. The visited set is a word-hashed
 // storage.ValueSet, so the sweep allocates only for set growth and the
 // frontier slices.
-func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st *Stats, sink *roundSink) *storage.ValueSet {
+func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st *Stats, sink *roundSink, opts Opts) (*storage.ValueSet, error) {
 	visited := storage.NewValueSet(len(seeds))
 	frontier := make([]storage.Value, 0, len(seeds))
 	for _, v := range seeds {
@@ -228,9 +246,12 @@ func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st
 			sink.begin()
 			sink.end(RoundStats{Round: st.Rounds, Delta: len(frontier)})
 		}
-		return visited
+		return visited, nil
 	}
 	for len(frontier) > 0 {
+		if opts.canceled() {
+			return nil, fmt.Errorf("tc-frontier bfs: %w", ErrCanceled)
+		}
 		st.Rounds++
 		sink.begin()
 		facts0 := st.Facts
@@ -247,7 +268,7 @@ func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st
 		sink.end(RoundStats{Round: st.Rounds, Delta: len(frontier), Derived: len(next), Attempted: st.Facts - facts0})
 		frontier = next
 	}
-	return visited
+	return visited, nil
 }
 
 // composeClosure computes the full closure relation for the all-free query:
@@ -256,7 +277,7 @@ func bfsClosure(edges *storage.Relation, from, to int, seeds []storage.Value, st
 // (new (x, y) from q(x, z), Δ(z, y)), Δ ∘ q for the left-linear one. Delta
 // entries alias the answers relation's arena (At after a successful
 // Insert), so no tuple is ever cloned.
-func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers *storage.Relation, st *Stats, sink *roundSink) {
+func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers *storage.Relation, st *Stats, sink *roundSink, opts Opts) error {
 	sink.begin()
 	delta := make([]storage.Tuple, 0, exitRel.Len())
 	exitRel.Each(func(t storage.Tuple) bool {
@@ -272,10 +293,13 @@ func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers 
 	}
 	sink.end(RoundStats{Round: st.Rounds, Derived: len(delta), Attempted: exitRel.Len()})
 	if edges == nil {
-		return
+		return nil
 	}
 	nt := make(storage.Tuple, 2)
 	for len(delta) > 0 {
+		if opts.canceled() {
+			return fmt.Errorf("tc-frontier compose: %w", ErrCanceled)
+		}
 		st.Rounds++
 		sink.begin()
 		facts0, derived0 := st.Facts, st.Derived
@@ -306,4 +330,5 @@ func composeClosure(edges, exitRel *storage.Relation, rightLinear bool, answers 
 		sink.end(RoundStats{Round: st.Rounds, Delta: len(delta), Derived: st.Derived - derived0, Attempted: st.Facts - facts0})
 		delta = next
 	}
+	return nil
 }

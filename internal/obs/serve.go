@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // NewMux returns an http.ServeMux serving the observability endpoints:
@@ -32,11 +33,68 @@ func NewMux(reg *Registry) *http.ServeMux {
 	return mux
 }
 
+// Default http.Server timeouts. A bare http.Server has none, which leaves
+// any internet-facing listener open to slowloris header dribbling and to
+// connections wedged forever on a dead peer's write path. The defaults are
+// deliberately asymmetric: headers must arrive promptly, but response
+// writes get minutes because streaming NDJSON answers legitimately take a
+// while on large closures.
+const (
+	// DefaultReadHeaderTimeout bounds how long a connection may take to
+	// send its request headers (the slowloris window).
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultIdleTimeout closes keep-alive connections with no request in
+	// flight.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultWriteTimeout bounds the whole response write, long enough for
+	// a slow streaming consumer, short enough to reap dead peers.
+	DefaultWriteTimeout = 5 * time.Minute
+)
+
+// ServerConfig tunes the http.Server timeouts NewServer applies. The zero
+// value means the defaults above; a negative duration disables that timeout
+// entirely (http.Server semantics for zero are restored by passing the
+// field through as 0).
+type ServerConfig struct {
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading the whole request including the body;
+	// zero keeps it unset (the header timeout still applies) because fact
+	// bulk loads may legitimately upload for a while.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+}
+
+// timeout resolves one configured duration: zero → def, negative → off.
+func timeout(d, def time.Duration) time.Duration {
+	switch {
+	case d < 0:
+		return 0
+	case d == 0:
+		return def
+	}
+	return d
+}
+
+// NewServer wraps the handler in an http.Server with the config's timeouts
+// (defaults where zero). Every listener this package or its callers expose
+// should go through here — a timeout-less http.Server accumulates wedged
+// connections until file descriptors run out.
+func NewServer(h http.Handler, cfg ServerConfig) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: timeout(cfg.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		ReadTimeout:       timeout(cfg.ReadTimeout, 0),
+		WriteTimeout:      timeout(cfg.WriteTimeout, DefaultWriteTimeout),
+		IdleTimeout:       timeout(cfg.IdleTimeout, DefaultIdleTimeout),
+	}
+}
+
 // Serve serves the observability mux on the listener until the listener
-// closes. The caller usually runs it in a goroutine for the life of the
-// process.
+// closes, with the default timeouts. The caller usually runs it in a
+// goroutine for the life of the process.
 func Serve(l net.Listener, reg *Registry) error {
-	return http.Serve(l, NewMux(reg))
+	return NewServer(NewMux(reg), ServerConfig{}).Serve(l)
 }
 
 // Listen binds addr (e.g. ":8080" or "127.0.0.1:0") and serves the

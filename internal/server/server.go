@@ -22,11 +22,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +52,15 @@ const (
 	mInflight     = "dl_server_inflight_queries"
 	mQueryDur     = "dl_server_query_duration_seconds"
 	mEvalDur      = "dl_server_eval_duration_seconds"
+	// mRowsStreamed counts answer rows delivered through the streaming path
+	// (NDJSON responses and limit'ed JSON responses).
+	mRowsStreamed = "dl_query_rows_streamed_total"
+	// mEarlyTerm counts streamed queries that stopped before exhausting
+	// their answer set — a limit was satisfied mid-evaluation.
+	mEarlyTerm = "dl_query_early_terminations_total"
+	// mCanceled counts queries abandoned by their client (request context
+	// canceled before the evaluation finished).
+	mCanceled = "dl_server_canceled_queries_total"
 )
 
 // durBuckets covers query latencies from 10µs to 10s.
@@ -59,6 +70,10 @@ var durBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 2.5, 5, 10}
 // zero: large enough for bulk loads, small enough that a runaway client
 // cannot exhaust memory through io.ReadAll.
 const DefaultMaxFactsBytes = 8 << 20
+
+// DefaultMaxQueryBytes caps a POST /query body when Config.MaxQueryBytes is
+// zero. Queries are single lines; a megabyte is already generous.
+const DefaultMaxQueryBytes = 1 << 20
 
 // Config tunes a Server. The zero value works: default cache budget,
 // GOMAXPROCS workers, a fresh registry, incremental maintenance on.
@@ -74,6 +89,9 @@ type Config struct {
 	// MaxFactsBytes caps the POST /facts request body; 0 means
 	// DefaultMaxFactsBytes, negative means no limit.
 	MaxFactsBytes int64
+	// MaxQueryBytes caps the POST /query request body; 0 means
+	// DefaultMaxQueryBytes, negative means no limit.
+	MaxQueryBytes int64
 	// DisableMaintenance turns off the result cache's incremental
 	// maintenance pass on writes (every write then cold-starts the cache).
 	// Used by benchmarks to measure the maintained/cold gap.
@@ -97,9 +115,12 @@ type Server struct {
 	reg      *obs.Registry
 	workers  int
 	maxFacts int64
+	maxQuery int64
 	maintain bool
 
 	queries, errors, clientErrors *obs.Counter
+	rowsStreamed, earlyTerm       *obs.Counter
+	canceled                      *obs.Counter
 	inflight                      *obs.Gauge
 	queryDur                      *obs.Histogram
 	evalDur                       *obs.Histogram
@@ -141,6 +162,10 @@ func New(src string, cfg Config) (*Server, error) {
 	if maxFacts == 0 {
 		maxFacts = DefaultMaxFactsBytes
 	}
+	maxQuery := cfg.MaxQueryBytes
+	if maxQuery == 0 {
+		maxQuery = DefaultMaxQueryBytes
+	}
 	s := &Server{
 		db:       storage.NewDatabase(),
 		prog:     &ast.Program{Rules: prog.Rules},
@@ -149,11 +174,15 @@ func New(src string, cfg Config) (*Server, error) {
 		reg:      reg,
 		workers:  cfg.Workers,
 		maxFacts: maxFacts,
+		maxQuery: maxQuery,
 		maintain: !cfg.DisableMaintenance,
 
 		queries:      reg.Counter(mQueries),
 		errors:       reg.Counter(mErrors),
 		clientErrors: reg.Counter(mClientErrors),
+		rowsStreamed: reg.Counter(mRowsStreamed),
+		earlyTerm:    reg.Counter(mEarlyTerm),
+		canceled:     reg.Counter(mCanceled),
 		inflight:     reg.Gauge(mInflight),
 		queryDur:     reg.Histogram(mQueryDur, durBuckets),
 		evalDur:      reg.Histogram(mEvalDur, durBuckets),
@@ -282,13 +311,21 @@ type QueryResult struct {
 	Strategy   string `json:"strategy,omitempty"`
 	Rounds     int    `json:"rounds"`
 	Derived    int    `json:"derived"`
-	DurationUS int64  `json:"duration_us"`
-	Trace      any    `json:"trace,omitempty"`
+	// Limit echoes the request's answer cap (0 = none); Truncated reports
+	// that the evaluation stopped early because the cap was reached before
+	// the answer set was exhausted.
+	Limit      int   `json:"limit,omitempty"`
+	Truncated  bool  `json:"truncated,omitempty"`
+	DurationUS int64 `json:"duration_us"`
+	Trace      any   `json:"trace,omitempty"`
 }
 
 // Query answers one query string against the latest snapshot, through the
 // result cache. The tracer, when non-nil, receives the evaluation's spans.
-func (s *Server) Query(qs string, tracer *obs.Tracer) (*QueryResult, error) {
+// ctx cancellation aborts the evaluation (eval.ErrCanceled): a disconnected
+// client stops burning CPU at the next fixpoint round, while a singleflight
+// compute with other live waiters keeps running for them.
+func (s *Server) Query(ctx context.Context, qs string, tracer *obs.Tracer) (*QueryResult, error) {
 	q, err := parser.ParseQuery(qs)
 	if err != nil {
 		return nil, &clientError{err: err}
@@ -297,7 +334,7 @@ func (s *Server) Query(qs string, tracer *obs.Tracer) (*QueryResult, error) {
 	if err := s.validateQuery(q, snap); err != nil {
 		return nil, err
 	}
-	opts := eval.Opts{Workers: s.workers, Metrics: s.reg, Tracer: tracer}
+	opts := eval.Opts{Workers: s.workers, Metrics: s.reg, Tracer: tracer, Abort: ctx.Done()}
 
 	t0 := time.Now()
 	var (
@@ -319,23 +356,9 @@ func (s *Server) Query(qs string, tracer *obs.Tracer) (*QueryResult, error) {
 	}
 
 	syms := snap.Syms()
-	res := &QueryResult{
-		Query:      q.String(),
-		Answers:    make([][]string, 0, rel.Len()),
-		Count:      rel.Len(),
-		Epoch:      snap.Epoch(),
-		Cached:     cached,
-		Maintained: st.Maintained,
-		Rounds:     st.Rounds,
-		Derived:    st.Derived,
-		DurationUS: time.Since(t0).Microseconds(),
-	}
-	if st.Plan != nil {
-		res.Class = st.Plan.Class
-		res.Strategy = st.Plan.Strategy
-	} else if s.sys == nil {
-		res.Strategy = "parallel"
-	}
+	res := s.newResult(q, snap, st, cached, t0)
+	res.Answers = make([][]string, 0, rel.Len())
+	res.Count = rel.Len()
 	rel.Each(func(t storage.Tuple) bool {
 		row := make([]string, len(t))
 		for i, v := range t {
@@ -344,6 +367,120 @@ func (s *Server) Query(qs string, tracer *obs.Tracer) (*QueryResult, error) {
 		res.Answers = append(res.Answers, row)
 		return true
 	})
+	return res, nil
+}
+
+// newResult fills the answer-independent QueryResult fields.
+func (s *Server) newResult(q ast.Query, snap *storage.Snapshot, st eval.Stats, cached bool, t0 time.Time) *QueryResult {
+	res := &QueryResult{
+		Query:      q.String(),
+		Epoch:      snap.Epoch(),
+		Cached:     cached,
+		Maintained: st.Maintained,
+		Rounds:     st.Rounds,
+		Derived:    st.Derived,
+		Truncated:  st.Truncated,
+		DurationUS: time.Since(t0).Microseconds(),
+	}
+	if st.Plan != nil {
+		res.Class = st.Plan.Class
+		res.Strategy = st.Plan.Strategy
+	} else if s.sys == nil {
+		res.Strategy = "parallel"
+	}
+	return res
+}
+
+// queryStream is one open streaming evaluation: the iterator plus the
+// request-scoped state the response needs before and after the rows.
+type queryStream struct {
+	it     eval.Iterator
+	q      ast.Query
+	snap   *storage.Snapshot
+	cached bool
+	t0     time.Time
+}
+
+// openStream parses and validates the query, then opens its answer stream
+// against the latest snapshot: a zero-copy iterator over the cached relation
+// on a cache hit, otherwise a streaming evaluation along the compiled plan
+// (which a limit or a ctx cancellation stops mid-fixpoint). Streamed misses
+// do not populate the result cache — a truncated answer set must never be
+// served as the full one.
+func (s *Server) openStream(ctx context.Context, qs string, limit int, tracer *obs.Tracer) (*queryStream, error) {
+	q, err := parser.ParseQuery(qs)
+	if err != nil {
+		return nil, &clientError{err: err}
+	}
+	snap := s.snap.Load()
+	if err := s.validateQuery(q, snap); err != nil {
+		return nil, err
+	}
+	opts := eval.Opts{Workers: s.workers, Metrics: s.reg, Tracer: tracer, Abort: ctx.Done()}
+	qst := &queryStream{q: q, snap: snap, t0: time.Now()}
+
+	progKey := s.progKey
+	if s.sys != nil {
+		progKey = eval.SystemKey(s.sys)
+	}
+	if rel, cst, ok := s.cache.Lookup(progKey, q.String(), snap.Epoch()); ok {
+		qst.cached = true
+		qst.it = eval.NewRelationIterator(rel, limit, cst)
+		return qst, nil
+	}
+	if s.sys != nil {
+		plan, _, err := s.planner.PlanForEpoch(s.sys, q, snap.Epoch(), opts)
+		if err != nil {
+			return nil, err
+		}
+		qst.it = plan.Stream(q, snap.DB(), opts, limit)
+		return qst, nil
+	}
+	qst.it = eval.StreamProgram(s.prog, q, snap.DB(), opts, limit)
+	return qst, nil
+}
+
+// StreamQuery answers one query, delivering each answer row to the callback
+// as it is derived instead of materializing the full set. each returning
+// false stops the evaluation (remaining fixpoint rounds are abandoned); so
+// do reaching the limit (limit > 0) and ctx cancellation. The returned
+// QueryResult summarizes the stream — Count is the number of rows delivered,
+// Answers stays nil. On ctx cancellation the summary is returned alongside
+// an error wrapping eval.ErrCanceled.
+func (s *Server) StreamQuery(ctx context.Context, qs string, limit int, tracer *obs.Tracer, each func(row []string) bool) (*QueryResult, error) {
+	qst, err := s.openStream(ctx, qs, limit, tracer)
+	if err != nil {
+		return nil, err
+	}
+	defer qst.it.Close()
+	syms := qst.snap.Syms()
+	rows := 0
+	for qst.it.Next() {
+		t := qst.it.Tuple()
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = syms.Name(v)
+		}
+		rows++
+		if !each(row) {
+			break
+		}
+	}
+	// Close before reading Stats/Err: after an early break the producer may
+	// still be running, and both are defined only once it has exited.
+	qst.it.Close()
+	st := qst.it.Stats()
+	s.evalDur.Observe(time.Since(qst.t0).Seconds())
+	s.rowsStreamed.Add(int64(rows))
+	if st.Truncated {
+		s.earlyTerm.Inc()
+	}
+	res := s.newResult(qst.q, qst.snap, st, qst.cached, qst.t0)
+	res.Count = rows
+	res.Limit = limit
+	if err := qst.it.Err(); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -392,22 +529,53 @@ func (s *Server) Handler() http.Handler {
 type queryRequest struct {
 	Query string `json:"query"`
 	Trace bool   `json:"trace,omitempty"`
+	// Limit caps the number of answers (0 = all); the evaluation stops as
+	// soon as the cap is reached.
+	Limit int `json:"limit,omitempty"`
+	// Stream switches the response to chunked NDJSON: a header object, one
+	// {"row": [...]} object per answer as it is derived, then a summary.
+	Stream bool `json:"stream,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var qs string
-	var wantTrace bool
+	var wantTrace, stream bool
+	var limit int
 	switch r.Method {
 	case http.MethodGet:
-		qs = r.URL.Query().Get("q")
-		wantTrace = r.URL.Query().Get("trace") == "1"
+		qv := r.URL.Query()
+		qs = qv.Get("q")
+		wantTrace = qv.Get("trace") == "1"
+		stream = qv.Get("stream") == "1"
+		if lv := qv.Get("limit"); lv != "" {
+			n, err := strconv.Atoi(lv)
+			if err != nil || n < 0 {
+				s.fail(w, http.StatusBadRequest, fmt.Errorf("limit must be a non-negative integer, got %q", lv))
+				return
+			}
+			limit = n
+		}
 	case http.MethodPost:
+		body := io.Reader(r.Body)
+		if s.maxQuery > 0 {
+			body = http.MaxBytesReader(w, r.Body, s.maxQuery)
+		}
 		var req queryRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				s.fail(w, http.StatusRequestEntityTooLarge,
+					clientErrf("query body exceeds %d bytes", mbe.Limit))
+				return
+			}
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		qs, wantTrace = req.Query, req.Trace
+		if req.Limit < 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("limit must be non-negative, got %d", req.Limit))
+			return
+		}
+		qs, wantTrace, limit, stream = req.Query, req.Trace, req.Limit, req.Stream
 	default:
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET ?q= or POST"))
 		return
@@ -429,8 +597,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if wantTrace {
 		tracer = obs.New("query")
 	}
-	res, err := s.Query(qs, tracer)
+	ctx := r.Context()
+	if stream {
+		s.streamResponse(ctx, w, qs, limit, tracer)
+		return
+	}
+
+	var res *QueryResult
+	var err error
+	if limit > 0 {
+		// Limited non-streaming query: evaluate through the streaming path
+		// (the fixpoint stops at the cap) but answer with one JSON body.
+		var answers [][]string
+		res, err = s.StreamQuery(ctx, qs, limit, tracer, func(row []string) bool {
+			answers = append(answers, row)
+			return true
+		})
+		if res != nil {
+			res.Answers = answers
+			if res.Answers == nil {
+				res.Answers = [][]string{}
+			}
+		}
+	} else {
+		res, err = s.Query(ctx, qs, tracer)
+	}
 	if err != nil {
+		if s.countCanceled(ctx, err) {
+			// The client is gone; there is nobody to answer.
+			return
+		}
 		s.fail(w, errStatus(err), err)
 		return
 	}
@@ -440,6 +636,113 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
+}
+
+// countCanceled reports whether err (or the request context) means the
+// client abandoned the query, counting it once into
+// dl_server_canceled_queries_total. Cancellations are neither server errors
+// nor client errors — nothing was wrong with the request.
+func (s *Server) countCanceled(ctx context.Context, err error) bool {
+	if errors.Is(err, eval.ErrCanceled) || (ctx.Err() != nil && err != nil) {
+		s.canceled.Inc()
+		return true
+	}
+	return false
+}
+
+// streamResponse answers one query as chunked NDJSON: a header object
+// (query, epoch, cached, limit), one {"row": [...]} line per answer flushed
+// as it is derived, and a final {"done": true, ...} summary. A client
+// disconnect cancels the evaluation via the request context; rows already
+// buffered are simply dropped.
+func (s *Server) streamResponse(ctx context.Context, w http.ResponseWriter, qs string, limit int, tracer *obs.Tracer) {
+	qst, err := s.openStream(ctx, qs, limit, tracer)
+	if err != nil {
+		if s.countCanceled(ctx, err) {
+			return
+		}
+		s.fail(w, errStatus(err), err)
+		return
+	}
+	defer qst.it.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.Encode(map[string]any{
+		"query":  qst.q.String(),
+		"epoch":  qst.snap.Epoch(),
+		"cached": qst.cached,
+		"limit":  limit,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	syms := qst.snap.Syms()
+	rows := 0
+	writeOK := true
+	for qst.it.Next() {
+		t := qst.it.Tuple()
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = syms.Name(v)
+		}
+		rows++
+		if err := enc.Encode(map[string]any{"row": row}); err != nil {
+			// The write path is dead (client gone); stop pulling. The
+			// context cancellation tears down the producer.
+			writeOK = false
+			break
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// Close before reading Stats/Err: after a write-error break the producer
+	// may still be running, and both are defined only once it has exited.
+	qst.it.Close()
+	st := qst.it.Stats()
+	s.evalDur.Observe(time.Since(qst.t0).Seconds())
+	s.rowsStreamed.Add(int64(rows))
+	if st.Truncated {
+		s.earlyTerm.Inc()
+	}
+	serr := qst.it.Err()
+	if s.countCanceled(ctx, serr) || s.countCanceled(ctx, ctx.Err()) {
+		return
+	}
+	if !writeOK {
+		s.canceled.Inc()
+		return
+	}
+	res := s.newResult(qst.q, qst.snap, st, qst.cached, qst.t0)
+	res.Count = rows
+	res.Limit = limit
+	done := map[string]any{
+		"done":        true,
+		"count":       rows,
+		"truncated":   res.Truncated,
+		"cached":      res.Cached,
+		"class":       res.Class,
+		"strategy":    res.Strategy,
+		"rounds":      res.Rounds,
+		"derived":     res.Derived,
+		"duration_us": res.DurationUS,
+	}
+	if serr != nil {
+		s.errors.Inc()
+		done["error"] = serr.Error()
+	}
+	if tracer != nil {
+		tracer.Finish()
+		done["trace"] = json.RawMessage(traceJSON(tracer))
+	}
+	enc.Encode(done)
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // traceJSON renders a finished tracer's span tree as JSON bytes.

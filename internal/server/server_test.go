@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -228,7 +229,7 @@ func TestServerConcurrentReadWrite(t *testing.T) {
 		go func(r int) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
-				res, err := s.Query("?- p(X, Y).", nil)
+				res, err := s.Query(context.Background(), "?- p(X, Y).", nil)
 				if err != nil {
 					t.Error(err)
 					return
@@ -264,7 +265,7 @@ func TestServerConcurrentReadWrite(t *testing.T) {
 	// Final state: every inserted edge is visible — the chain segments give
 	// a known TC size, cross-checked against a serial evaluation.
 	snap := s.Snapshot()
-	final, err := s.Query("?- p(X, Y).", nil)
+	final, err := s.Query(context.Background(), "?- p(X, Y).", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
