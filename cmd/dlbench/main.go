@@ -2,15 +2,16 @@
 // paper's figures (F1–F6) as graph structures, the worked examples
 // (E1–E12) with their classifications, compiled plans and engine
 // cross-checks, the theorem property sweeps (T), and the quantitative
-// comparisons (Q1–Q10) between the paper's compiled plans and the
+// comparisons (Q1–Q11) between the paper's compiled plans and the
 // bottom-up / magic-sets / parallel baselines (Q8 benchmarks the storage
 // core itself and writes BENCH_storage.json; Q9 benchmarks the snapshot-
-// isolated serving stack behind dlserve and Q10 the streaming/early-
-// termination path, both writing into BENCH_serve.json).
+// isolated serving stack behind dlserve, Q10 the streaming/early-
+// termination path and Q11 the sharded-fixpoint scale-out, all writing
+// into BENCH_serve.json).
 //
 // Usage:
 //
-//	dlbench [-experiment all|figures|examples|theorems|q1|q2|q3|q4|q5|q6|q7|q8|q9|q10] [-quick] [-serve ADDR]
+//	dlbench [-experiment all|figures|examples|theorems|q1|q2|q3|q4|q5|q6|q7|q8|q9|q10|q11] [-quick] [-serve ADDR]
 //
 // Output is a plain-text report; EXPERIMENTS.md embeds a captured run.
 // -serve exposes /metrics, /debug/vars and /debug/pprof/ on ADDR for the
@@ -58,8 +59,9 @@ func main() {
 		"q8":       r.q8,
 		"q9":       r.q9,
 		"q10":      r.q10,
+		"q11":      r.q11,
 	}
-	order := []string{"figures", "examples", "theorems", "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9", "q10"}
+	order := []string{"figures", "examples", "theorems", "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9", "q10", "q11"}
 	if *experiment == "all" {
 		for _, g := range order {
 			groups[g]()

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dlrun [-strategy naive|seminaive|parallel|magic|state|class|auto]
-//	      [-stats] [-trace] [-trace-json FILE] [-serve ADDR] [file]
+//	      [-stats] [-shards N] [-trace] [-trace-json FILE] [-serve ADDR] [file]
 //
 // Example input:
 //
@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -56,6 +57,7 @@ func main() {
 		serveAddr    = flag.String("serve", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address and block after the queries")
 	)
 	flag.BoolVar(&trace, "trace", false, "print one line per fixpoint round (every strategy) and the compiled plan (auto)")
+	flag.IntVar(&shards, "shards", 0, "fixpoint hash-shard count (0 = auto: sharded kernels for large inputs, 1 = never shard)")
 	flag.Parse()
 
 	strategy, err := parseStrategy(*strategyName)
@@ -180,7 +182,7 @@ func runQuery(strategy eval.Strategy, prog *ast.Program, q ast.Query, db *storag
 	// -trace implies the summary line: the per-round lines are useless
 	// without the totals they add up to.
 	if showStats || trace {
-		fmt.Printf("%% stats: %v\n", st)
+		fmt.Printf("%% stats: %v gomaxprocs=%d\n", st, runtime.GOMAXPROCS(0))
 	}
 	return nil
 }
@@ -225,9 +227,11 @@ func repl(strategy eval.Strategy, db *storage.Database, showStats bool) {
 }
 
 // trace enables per-round observer lines for every strategy; tracer is
-// non-nil when -trace-json collects the hierarchical span tree.
+// non-nil when -trace-json collects the hierarchical span tree; shards
+// forces (or disables) the sharded fixpoint kernels.
 var (
 	trace  bool
+	shards int
 	tracer *obs.Tracer
 )
 
@@ -235,7 +239,7 @@ var (
 // observer when -trace is set, and a per-query span subtree when -trace-json
 // is set.
 func queryOpts(q ast.Query) (eval.Opts, *obs.Span) {
-	opts := eval.Opts{}
+	opts := eval.Opts{Shards: shards}
 	if trace {
 		opts.Observer = eval.ObserverFunc(func(r eval.RoundStats) {
 			fmt.Printf("%% %v\n", r)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dlserve -program FILE [-facts FILE] [-addr :8080]
-//	        [-cache-bytes N] [-workers N] [-max-facts-bytes N]
+//	        [-cache-bytes N] [-workers N] [-shards N] [-max-facts-bytes N]
 //	        [-max-query-bytes N] [-read-header-timeout D]
 //	        [-write-timeout D] [-idle-timeout D]
 //
@@ -58,6 +58,7 @@ func main() {
 		factsPath  = flag.String("facts", "", "bulk-load additional ground facts from this file at startup")
 		cacheBytes = flag.Int64("cache-bytes", eval.DefaultResultCacheBytes, "result-cache byte budget")
 		workers    = flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 0, "fixpoint hash-shard count (0 = auto: sharded kernels for large inputs, 1 = never shard)")
 		maxFacts   = flag.Int64("max-facts-bytes", server.DefaultMaxFactsBytes, "POST /facts body size cap (negative = unlimited)")
 		maxQuery   = flag.Int64("max-query-bytes", server.DefaultMaxQueryBytes, "POST /query body size cap (negative = unlimited)")
 		rhTimeout  = flag.Duration("read-header-timeout", obs.DefaultReadHeaderTimeout, "http.Server ReadHeaderTimeout (slowloris bound; negative = disabled)")
@@ -76,6 +77,7 @@ func main() {
 		Registry:      obs.Default(),
 		CacheBytes:    *cacheBytes,
 		Workers:       *workers,
+		Shards:        *shards,
 		MaxFactsBytes: *maxFacts,
 		MaxQueryBytes: *maxQuery,
 	})

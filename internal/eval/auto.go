@@ -144,7 +144,7 @@ func (p *Plan) AnswerOpts(q ast.Query, db *storage.Database, opts Opts) (*storag
 	if err != nil {
 		return nil, st, err
 	}
-	st.Plan = &PlanInfo{Class: p.Class, Strategy: p.Kind.String()}
+	st.Plan = &PlanInfo{Class: p.Class, Strategy: p.Kind.String(), Shards: st.Shards}
 	return rel, st, nil
 }
 
@@ -190,14 +190,17 @@ func (p *Plan) answerAux(q ast.Query, db *storage.Database, opts Opts) (*storage
 	if err != nil {
 		return nil, nil, st, err
 	}
-	st.Plan = &PlanInfo{Class: p.Class, Strategy: p.Kind.String()}
+	st.Plan = &PlanInfo{Class: p.Class, Strategy: p.Kind.String(), Shards: st.Shards}
 	return rel, aux, st, nil
 }
 
-// parallelAnswer runs the parallel semi-naive engine over the system's
-// program and selects the query's answers from the fixpoint.
+// parallelAnswer runs the fixpoint engine over the system's program and
+// selects the query's answers. The engine is chosen per database: the
+// sharded kernel for large inputs (chooseShards), the plain parallel engine
+// otherwise — plans are database-independent, so the decision cannot be
+// made at compile time.
 func parallelAnswer(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
-	out, st, err := ParallelSemiNaiveOpts(sys.Program(), db, opts)
+	out, st, err := shardedSemiNaive(sys.Program(), db, opts, "", nil)
 	if err != nil {
 		return nil, st, err
 	}
@@ -209,7 +212,7 @@ func parallelAnswer(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database,
 // as the entry's maintenance state.
 func fixpointAnswerAux(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, any, Stats, error) {
 	prog := sys.Program()
-	out, st, err := ParallelSemiNaiveOpts(prog, db, opts)
+	out, st, err := shardedSemiNaive(prog, db, opts, "", nil)
 	if err != nil {
 		return nil, nil, st, err
 	}

@@ -24,6 +24,13 @@ type Opts struct {
 	// Workers is the parallel engine's pool size; 0 or negative means
 	// runtime.GOMAXPROCS(0). Ignored by the sequential engines.
 	Workers int
+	// Shards controls the sharded fixpoint engine (shard.go): 0 lets the
+	// planner choose (GOMAXPROCS-many shards for large inputs, the plain
+	// parallel path otherwise), 1 disables sharding, and >= 2 forces exactly
+	// that many hash shards. Respected by every auto-planned fixpoint, the
+	// streaming path, the TC compose kernel and ParallelSemiNaiveOpts; the
+	// sequential engines ignore it.
+	Shards int
 	// Tracer, when non-nil, receives the evaluation's hierarchical spans
 	// (fixpoint → round → per-rule join, plus classify/plan-compile from
 	// the auto planner).
@@ -106,6 +113,12 @@ const (
 	mRoundDur      = "dl_round_duration_seconds"
 	mWorkerUtil    = "dl_worker_utilization"
 	mStratumRounds = "dl_rounds_per_stratum"
+	// mShardedEvals counts evaluations that ran on the sharded engine;
+	// mExchanged counts tuples routed across shards at round barriers (the
+	// cross-shard delta exchange volume a distributed mode would put on the
+	// network).
+	mShardedEvals = "dl_sharded_evaluations_total"
+	mExchanged    = "dl_tuples_exchanged_total"
 )
 
 // utilBuckets covers the [0, 1] worker-utilization ratio.
@@ -192,6 +205,10 @@ func (rs *roundSink) end(r RoundStats) {
 		}
 		if r.Workers > 0 {
 			s.SetInt("workers", int64(r.Workers))
+		}
+		if r.Shards > 0 {
+			s.SetInt("shards", int64(r.Shards))
+			s.SetInt("exchanged", int64(r.Exchanged))
 		}
 		s.End()
 		rs.span = nil

@@ -30,8 +30,13 @@ func ParallelSemiNaive(prog *ast.Program, db *storage.Database) (*storage.Databa
 }
 
 // ParallelSemiNaiveOpts is ParallelSemiNaive with an explicit worker count
-// and an optional per-round observer.
+// and an optional per-round observer. An explicit Opts.Shards >= 2 switches
+// to the sharded engine (shard.go) with exactly that many hash shards; the
+// default keeps the contiguous-chunk fan-out of this engine.
 func ParallelSemiNaiveOpts(prog *ast.Program, db *storage.Database, opts Opts) (*storage.Database, Stats, error) {
+	if opts.Shards > 1 {
+		return shardedSemiNaive(prog, db, opts, "", nil)
+	}
 	return parallelSemiNaive(prog, db, opts, "", nil)
 }
 
@@ -126,6 +131,10 @@ type parTask struct {
 	// span is the round span the task's join span attaches under; nil when
 	// untraced. Workers emit concurrently — obs.Span serializes internally.
 	span *obs.Span
+	// shard is 1 + the hash shard the task's delta chunk belongs to when the
+	// sharded engine built the task; 0 for unsharded tasks (the parallel
+	// engine's contiguous chunks and both engines' seed rounds).
+	shard int
 }
 
 // parResult is a task's private output buffer, merged single-threaded. The
@@ -432,6 +441,9 @@ func runTask(res *parResult, task parTask, rels RelFunc, pool *relPool, scratch 
 		js = task.span.Child("join").SetStr("rule", cr.rule.String())
 		if task.seedIdx >= 0 {
 			js.SetInt("chunk", int64(len(task.chunk)))
+		}
+		if task.shard > 0 {
+			js.SetInt("shard", int64(task.shard-1))
 		}
 	}
 	out := pool.get(len(cr.slots))

@@ -33,10 +33,25 @@ type Stats struct {
 	// Rounds/Derived/Facts measure only the work actually done, not the full
 	// evaluation's cost.
 	Truncated bool
+	// Shards is the hash-shard count of the sharded fixpoint engine
+	// (shard.go); 0 when the evaluation ran unsharded.
+	Shards int
+	// Exchanged counts the tuples routed across shards at round barriers:
+	// derived in one shard, owned (by join-column hash) by another. Always 0
+	// for unsharded evaluations.
+	Exchanged int
 }
 
 func (s Stats) String() string {
 	base := fmt.Sprintf("rounds=%d derived=%d attempted=%d", s.Rounds, s.Derived, s.Facts)
+	if s.Shards > 1 {
+		// The plan line repeats the shard count (PlanInfo.Shards); only the
+		// exchange volume is unique to the stats.
+		if s.Plan == nil {
+			base += fmt.Sprintf(" shards=%d", s.Shards)
+		}
+		base += fmt.Sprintf(" exchanged=%d", s.Exchanged)
+	}
 	if s.Plan != nil {
 		base += " " + s.Plan.String()
 	}
@@ -54,6 +69,11 @@ type PlanInfo struct {
 	// CacheHit reports that the plan was served from the planner's cache,
 	// skipping classification and rewriting.
 	CacheHit bool
+	// Shards is the hash-shard count the evaluation ran with (0 or 1 means
+	// the unsharded engine). The shard decision is per-database — plans are
+	// database-independent — so it is recorded here at answer time, not
+	// compile time.
+	Shards int
 }
 
 func (p PlanInfo) String() string {
@@ -61,7 +81,11 @@ func (p PlanInfo) String() string {
 	if p.CacheHit {
 		cache = "hit"
 	}
-	return fmt.Sprintf("class=%s strategy=%s cache=%s", p.Class, p.Strategy, cache)
+	s := fmt.Sprintf("class=%s strategy=%s cache=%s", p.Class, p.Strategy, cache)
+	if p.Shards > 1 {
+		s += fmt.Sprintf(" shards=%d", p.Shards)
+	}
+	return s
 }
 
 // RoundStats records one fixpoint round: how much delta was consumed, what
@@ -88,6 +112,11 @@ type RoundStats struct {
 	Attempted int
 	// Workers is the size of the worker pool.
 	Workers int
+	// Shards is the hash-shard count of the round (0 for unsharded rounds);
+	// Exchanged counts the round's freshly derived tuples routed into a
+	// different shard's next frontier than the one deriving them.
+	Shards    int
+	Exchanged int
 	// Duration is the wall-clock time of the round (fan-out through merge).
 	Duration time.Duration
 	// Busy is the summed execution time of the round's tasks across all
@@ -115,6 +144,9 @@ func (r RoundStats) String() string {
 		// Only the parallel engine fills the pool fields; sequential rounds
 		// would otherwise print meaningless tasks=0 workers=0 util=0%.
 		s += fmt.Sprintf(" tasks=%d workers=%d util=%.0f%%", r.Tasks, r.Workers, 100*r.Utilization())
+	}
+	if r.Shards > 0 {
+		s += fmt.Sprintf(" shards=%d exchanged=%d", r.Shards, r.Exchanged)
 	}
 	return s + fmt.Sprintf(" wall=%v", r.Duration)
 }

@@ -304,7 +304,11 @@ func streamFixpoint(prog *ast.Program, q ast.Query, db *storage.Database, opts O
 		}
 		return emit(t)
 	}
-	_, st, err := parallelSemiNaive(prog, db, opts, q.Atom.Pred, filtered)
+	// The sharded core delegates to the parallel engine for small inputs, so
+	// the streaming path gets the same per-database engine choice as the
+	// materializing one; shard outputs flow through the same merge-time emit
+	// hook, in deterministic barrier order.
+	_, st, err := shardedSemiNaive(prog, db, opts, q.Atom.Pred, filtered)
 	return st, err
 }
 

@@ -171,8 +171,15 @@ func tcEvalAux(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storag
 				return true
 			})
 		default:
-			// All free: semi-naive compose P ← P ∪ q ∘ ΔP seeded with E.
-			if err := composeClosure(edges, exitRel, true, answers, &st, &sink, opts); err != nil {
+			// All free: semi-naive compose P ← P ∪ q ∘ ΔP seeded with E,
+			// hash-sharded by the join endpoint when the edge relation is
+			// large enough (chooseShardsTC).
+			if shards := chooseShardsTC(opts, edges); shards > 1 {
+				st.Shards = shards
+				if err := shardedCompose(edges, exitRel, true, answers, shards, &st, &sink, opts); err != nil {
+					return nil, nil, st, err
+				}
+			} else if err := composeClosure(edges, exitRel, true, answers, &st, &sink, opts); err != nil {
 				return nil, nil, st, err
 			}
 		}
@@ -217,8 +224,15 @@ func tcEvalAux(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, db *storag
 				return true
 			})
 		default:
-			// All free: semi-naive compose P ← P ∪ ΔP ∘ q seeded with E.
-			if err := composeClosure(edges, exitRel, false, answers, &st, &sink, opts); err != nil {
+			// All free: semi-naive compose P ← P ∪ ΔP ∘ q seeded with E,
+			// hash-sharded by the join endpoint when the edge relation is
+			// large enough (chooseShardsTC).
+			if shards := chooseShardsTC(opts, edges); shards > 1 {
+				st.Shards = shards
+				if err := shardedCompose(edges, exitRel, false, answers, shards, &st, &sink, opts); err != nil {
+					return nil, nil, st, err
+				}
+			} else if err := composeClosure(edges, exitRel, false, answers, &st, &sink, opts); err != nil {
 				return nil, nil, st, err
 			}
 		}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -86,6 +87,10 @@ type Config struct {
 	CacheBytes int64
 	// Workers is handed to eval.Opts.Workers for the parallel engine.
 	Workers int
+	// Shards is handed to eval.Opts.Shards: 0 lets the engine pick its
+	// shard count per query (sharded fixpoint for large inputs), 1 disables
+	// sharding, >= 2 forces that many hash shards.
+	Shards int
 	// MaxFactsBytes caps the POST /facts request body; 0 means
 	// DefaultMaxFactsBytes, negative means no limit.
 	MaxFactsBytes int64
@@ -114,6 +119,7 @@ type Server struct {
 	cache    *eval.ResultCache
 	reg      *obs.Registry
 	workers  int
+	shards   int
 	maxFacts int64
 	maxQuery int64
 	maintain bool
@@ -173,6 +179,7 @@ func New(src string, cfg Config) (*Server, error) {
 		cache:    eval.NewResultCacheWith(reg, cfg.CacheBytes),
 		reg:      reg,
 		workers:  cfg.Workers,
+		shards:   cfg.Shards,
 		maxFacts: maxFacts,
 		maxQuery: maxQuery,
 		maintain: !cfg.DisableMaintenance,
@@ -281,7 +288,7 @@ func (s *Server) LoadFacts(src string) (uint64, error) {
 			Sys:     s.sys,
 			Prog:    s.prog,
 			ProgKey: s.progKey,
-			Opts:    eval.Opts{Workers: s.workers, Metrics: s.reg},
+			Opts:    eval.Opts{Workers: s.workers, Shards: s.shards, Metrics: s.reg},
 		})
 	}
 	s.snap.Store(snap)
@@ -314,8 +321,13 @@ type QueryResult struct {
 	// Limit echoes the request's answer cap (0 = none); Truncated reports
 	// that the evaluation stopped early because the cap was reached before
 	// the answer set was exhausted.
-	Limit      int   `json:"limit,omitempty"`
-	Truncated  bool  `json:"truncated,omitempty"`
+	Limit     int  `json:"limit,omitempty"`
+	Truncated bool `json:"truncated,omitempty"`
+	// Shards is the hash-shard count the evaluation ran with (omitted when
+	// unsharded); GoMaxProcs records runtime.GOMAXPROCS(0) at answer time,
+	// so every perf number in a response is attributable to a core count.
+	Shards     int   `json:"shards,omitempty"`
+	GoMaxProcs int   `json:"gomaxprocs"`
 	DurationUS int64 `json:"duration_us"`
 	Trace      any   `json:"trace,omitempty"`
 }
@@ -334,7 +346,7 @@ func (s *Server) Query(ctx context.Context, qs string, tracer *obs.Tracer) (*Que
 	if err := s.validateQuery(q, snap); err != nil {
 		return nil, err
 	}
-	opts := eval.Opts{Workers: s.workers, Metrics: s.reg, Tracer: tracer, Abort: ctx.Done()}
+	opts := eval.Opts{Workers: s.workers, Shards: s.shards, Metrics: s.reg, Tracer: tracer, Abort: ctx.Done()}
 
 	t0 := time.Now()
 	var (
@@ -380,6 +392,8 @@ func (s *Server) newResult(q ast.Query, snap *storage.Snapshot, st eval.Stats, c
 		Rounds:     st.Rounds,
 		Derived:    st.Derived,
 		Truncated:  st.Truncated,
+		Shards:     st.Shards,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		DurationUS: time.Since(t0).Microseconds(),
 	}
 	if st.Plan != nil {
@@ -416,7 +430,7 @@ func (s *Server) openStream(ctx context.Context, qs string, limit int, tracer *o
 	if err := s.validateQuery(q, snap); err != nil {
 		return nil, err
 	}
-	opts := eval.Opts{Workers: s.workers, Metrics: s.reg, Tracer: tracer, Abort: ctx.Done()}
+	opts := eval.Opts{Workers: s.workers, Shards: s.shards, Metrics: s.reg, Tracer: tracer, Abort: ctx.Done()}
 	qst := &queryStream{q: q, snap: snap, t0: time.Now()}
 
 	progKey := s.progKey
@@ -729,6 +743,8 @@ func (s *Server) streamResponse(ctx context.Context, w http.ResponseWriter, qs s
 		"strategy":    res.Strategy,
 		"rounds":      res.Rounds,
 		"derived":     res.Derived,
+		"shards":      res.Shards,
+		"gomaxprocs":  res.GoMaxProcs,
 		"duration_us": res.DurationUS,
 	}
 	if serr != nil {

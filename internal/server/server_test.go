@@ -468,3 +468,48 @@ func TestServerQueryValidation(t *testing.T) {
 		t.Errorf("engine errors = %d, want 0", got)
 	}
 }
+
+// TestServerShardsInResult: a forced shard count must flow through the
+// serving path into the evaluation and come back out in the /query JSON,
+// alongside the host parallelism the answer was computed with.
+func TestServerShardsInResult(t *testing.T) {
+	s, err := New(tcProgram, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/query?q=" + strings.ReplaceAll("?- p(X, Y).", " ", "%20"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res QueryResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 4 {
+		t.Errorf("result shards = %d, want the configured 4", res.Shards)
+	}
+	if res.GoMaxProcs < 1 {
+		t.Errorf("result gomaxprocs = %d, want >= 1", res.GoMaxProcs)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"shards", "gomaxprocs"} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("/query JSON missing %q: %s", key, raw)
+		}
+	}
+	// The sharded kernels must still serve the exact closure.
+	if res.Count != 6 {
+		t.Errorf("sharded closure count = %d, want 6", res.Count)
+	}
+}
