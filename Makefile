@@ -46,10 +46,17 @@ bench-smoke:
 
 # End-to-end observability smoke: dlrun emits a -trace-json span tree that
 # the schema-checking CLI test validates, plus the -serve endpoint test and
-# the span-tree goldens.
+# the span-tree goldens. The dlserve debug test then drives the request-
+# scoped surface against the built binary: /debug/queries, the slow ring
+# (a 1ns threshold forces a query into it, sampled span tree attached),
+# /statz percentiles, /readyz and the structured startup/request log. The
+# journal/sampler unit suite runs under -race with the AllocsPerRun gate
+# pinning the unsampled hot path at zero allocations.
 obs-smoke:
-	$(GO) test -run 'TestCLIDlrunTraceJSON|TestCLIDlrunServe' -count=1 .
+	$(GO) test -run 'TestCLIDlrunTraceJSON|TestCLIDlrunServe|TestCLIDlserveDebugEndpoints' -count=1 .
 	$(GO) test -run 'TestSpanTreeGolden' -count=1 ./internal/eval
+	$(GO) test -race -run 'TestJournal|TestSampler|TestMountJournal|TestQuantile|TestPrometheusHistogramExposition|TestBuildInfo|TestStatz' -count=1 ./internal/obs
+	$(GO) test -run 'TestSlowQueryJournalEndToEnd|TestInflightStreamedQuery|TestReadyz|TestRequestID|TestStructured' -count=1 ./internal/server
 
 # End-to-end serving smoke: build dlserve, query it over HTTP (cold, warm,
 # write, re-query, streamed NDJSON) and assert the result-cache and serving

@@ -499,3 +499,156 @@ e(a, b). e(b, c). e(c, d).
 		}
 	}
 }
+
+// TestCLIDlserveDebugEndpoints starts dlserve with the observability flags
+// cranked to their most visible settings (every query slow, every query
+// trace-sampled) and drives the debug surface end to end: the structured
+// startup line, request-ID echo, the query journal, the slow-query ring
+// with an attached span tree, /statz percentiles and /readyz.
+func TestCLIDlserveDebugEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	program := filepath.Join(dir, "tc.dl")
+	src := `p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+e(a, b). e(b, c). e(c, d).
+`
+	if err := os.WriteFile(program, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "dlserve")
+	runTool(t, "", "build", "-o", bin, "./cmd/dlserve")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-program", program,
+		"-slow-query", "1ns", "-trace-sample", "1", "-journal-size", "32")
+	cmd.Dir = "."
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The structured startup line (stderr) precedes the serving line
+	// (stdout); both arrive on the combined pipe in order.
+	var base, startLine string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, `"msg":"starting"`) {
+			startLine = line
+		}
+		if strings.Contains(line, "serving http://") {
+			rest := line[strings.Index(line, "http://")+len("http://"):]
+			base = "http://" + rest[:strings.Index(rest, "/")]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("dlserve never printed the serving address")
+	}
+	if startLine == "" {
+		t.Fatal("dlserve never logged its effective config")
+	}
+	var start map[string]any
+	if err := json.Unmarshal([]byte(startLine), &start); err != nil {
+		t.Fatalf("startup line is not JSON: %q: %v", startLine, err)
+	}
+	for _, key := range []string{"addr", "program", "gomaxprocs", "journal_size", "slow_query_threshold", "trace_sample", "go_version"} {
+		if _, ok := start[key]; !ok {
+			t.Errorf("startup line missing %q: %v", key, start)
+		}
+	}
+
+	// One query with a client-supplied correlation ID.
+	req, err := http.NewRequest("GET", base+"/query?q="+strings.ReplaceAll("?- p(X, Y).", " ", "%20"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "cli-debug-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "cli-debug-1" {
+		t.Errorf("X-Request-Id echoed as %q, want cli-debug-1", got)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	getJSON := func(path string, v any) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+		return resp.StatusCode
+	}
+
+	// The 1ns threshold puts the completed query in both rings, and the
+	// 1-in-1 sampler attached a span tree the client never asked for.
+	var slow struct {
+		SlowThresholdUS int64            `json:"slow_threshold_us"`
+		Slow            []map[string]any `json:"slow"`
+	}
+	if code := getJSON("/debug/queries/slow", &slow); code != 200 {
+		t.Fatalf("GET /debug/queries/slow = %d", code)
+	}
+	if len(slow.Slow) != 1 {
+		t.Fatalf("slow ring = %d records, want 1: %v", len(slow.Slow), slow.Slow)
+	}
+	rec := slow.Slow[0]
+	if rec["id"] != "cli-debug-1" || rec["class"] == nil || rec["sampled"] != true {
+		t.Errorf("slow record = %v, want id=cli-debug-1 with class and sampled", rec)
+	}
+	if trace, ok := rec["trace"].(map[string]any); !ok || trace["name"] != "query" {
+		t.Errorf("slow record trace = %v, want span tree rooted at \"query\"", rec["trace"])
+	}
+
+	var journal struct {
+		Inflight []map[string]any `json:"inflight"`
+		Recent   []map[string]any `json:"recent"`
+	}
+	if code := getJSON("/debug/queries", &journal); code != 200 {
+		t.Fatalf("GET /debug/queries = %d", code)
+	}
+	if len(journal.Recent) != 1 || journal.Recent[0]["id"] != "cli-debug-1" {
+		t.Errorf("journal recent = %v, want the cli-debug-1 record", journal.Recent)
+	}
+
+	var statz map[string]any
+	if code := getJSON("/statz", &statz); code != 200 {
+		t.Fatalf("GET /statz = %d", code)
+	}
+	bi, ok := statz["dl_build_info"].(map[string]any)
+	if !ok || bi["go_version"] == "" {
+		t.Errorf("/statz dl_build_info = %v, want build labels", statz["dl_build_info"])
+	}
+	foundPercentiles := false
+	for name, v := range statz {
+		if h, ok := v.(map[string]any); ok {
+			if _, ok := h["p50"]; ok && h["p90"] != nil && h["p99"] != nil {
+				foundPercentiles = true
+				_ = name
+			}
+		}
+	}
+	if !foundPercentiles {
+		t.Errorf("/statz has no histogram percentile summaries: %v", statz)
+	}
+
+	var ready map[string]any
+	if code := getJSON("/readyz", &ready); code != 200 || ready["ready"] != true {
+		t.Errorf("/readyz = %d %v, want 200 ready=true", 200, ready)
+	}
+}

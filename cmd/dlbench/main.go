@@ -41,7 +41,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dlbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("serving http://%s/metrics /debug/vars /debug/pprof/\n", addr)
+		fmt.Printf("serving http://%s/metrics /statz /debug/vars /debug/pprof/\n", addr)
 	}
 
 	r := &runner{quick: *quick}

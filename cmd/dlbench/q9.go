@@ -39,6 +39,7 @@ type q9Throughput struct {
 type q9Report struct {
 	Generated       string         `json:"generated"`
 	Quick           bool           `json:"quick"`
+	GoVersion       string         `json:"go_version"`
 	NumCPU          int            `json:"numcpu"`
 	Nodes           int            `json:"nodes"`
 	Edges           int            `json:"edges"`
@@ -239,6 +240,7 @@ func (r *runner) q9() {
 	}
 	report := q9Report{
 		Generated:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
 		Quick:           r.quick,
 		NumCPU:          runtime.GOMAXPROCS(0),
 		Nodes:           nodes,

@@ -3,6 +3,8 @@ package eval
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Stats accumulates work counters so the benchmarks can report logical cost
@@ -56,6 +58,26 @@ func (s Stats) String() string {
 		base += " " + s.Plan.String()
 	}
 	return base
+}
+
+// FillJournal copies the evaluation-side facts of one answered query into
+// a journal record: fixpoint counters, shard/exchange volume, maintenance
+// and truncation flags, and the auto planner's class/strategy decision.
+// The serving layer owns the request-side fields (ID, query text, epoch,
+// timings, rows, error class) — this split keeps the journal schema in one
+// place while letting eval stay the source of truth for what an
+// evaluation did.
+func (s Stats) FillJournal(rec *obs.QueryRecord) {
+	rec.Rounds = s.Rounds
+	rec.Derived = s.Derived
+	rec.Shards = s.Shards
+	rec.Exchanged = s.Exchanged
+	rec.Maintained = s.Maintained
+	rec.Truncated = s.Truncated
+	if s.Plan != nil {
+		rec.Class = s.Plan.Class
+		rec.Strategy = s.Plan.Strategy
+	}
 }
 
 // PlanInfo describes the outcome of classification-driven planning for one

@@ -104,6 +104,17 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v.Value())
 		case *Gauge:
 			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v.Value())
+		case *Info:
+			// An info metric is a gauge pinned at 1 whose labels carry the
+			// payload (dl_build_info{go_version="go1.24.0",...} 1).
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s{", name, name)
+			for i, k := range v.keys {
+				if i > 0 {
+					io.WriteString(w, ",")
+				}
+				fmt.Fprintf(w, "%s=%q", k, v.labels[k])
+			}
+			io.WriteString(w, "} 1\n")
 		case *Histogram:
 			bounds, counts, sum, count := v.snapshot()
 			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
@@ -135,6 +146,8 @@ func (r *Registry) Snapshot() map[string]any {
 			out[name] = v.Value()
 		case *Gauge:
 			out[name] = v.Value()
+		case *Info:
+			out[name] = v.Labels()
 		case *Histogram:
 			bounds, counts, sum, count := v.snapshot()
 			buckets := make(map[string]int64, len(bounds)+1)

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalRingOverwritesOldest(t *testing.T) {
+	j := NewJournal(3, -1)
+	for i := 1; i <= 5; i++ {
+		j.Record(QueryRecord{ID: string(rune('a' + i - 1)), Rows: i})
+	}
+	got := j.Recent()
+	if len(got) != 3 {
+		t.Fatalf("Recent() = %d records, want 3 (ring capacity)", len(got))
+	}
+	// Newest first: pushes 5, 4, 3 survive; 1 and 2 were overwritten.
+	for i, want := range []int{5, 4, 3} {
+		if got[i].Rows != want {
+			t.Errorf("Recent()[%d].Rows = %d, want %d", i, got[i].Rows, want)
+		}
+	}
+}
+
+func TestJournalPartialRing(t *testing.T) {
+	j := NewJournal(8, -1)
+	j.Record(QueryRecord{Rows: 1})
+	j.Record(QueryRecord{Rows: 2})
+	got := j.Recent()
+	if len(got) != 2 || got[0].Rows != 2 || got[1].Rows != 1 {
+		t.Fatalf("Recent() = %+v, want two records newest-first", got)
+	}
+}
+
+func TestJournalSlowRingRetention(t *testing.T) {
+	// Threshold 1ms: only records at/above 1000us land in the slow ring,
+	// and a flood of fast records must never evict them.
+	j := NewJournal(4, time.Millisecond)
+	j.Record(QueryRecord{ID: "slow-1", WallUS: 1000})
+	for i := 0; i < 100; i++ {
+		j.Record(QueryRecord{ID: "fast", WallUS: 5})
+	}
+	slow := j.Slow()
+	if len(slow) != 1 || slow[0].ID != "slow-1" {
+		t.Fatalf("Slow() = %+v, want exactly the slow-1 record retained", slow)
+	}
+	if recent := j.Recent(); len(recent) != 4 || recent[0].ID != "fast" {
+		t.Fatalf("Recent() = %+v, want 4 fast records", recent)
+	}
+}
+
+func TestJournalSlowThresholdModes(t *testing.T) {
+	zero := NewJournal(2, 0) // zero threshold: everything is slow
+	zero.Record(QueryRecord{WallUS: 0})
+	if len(zero.Slow()) != 1 {
+		t.Errorf("zero threshold: Slow() = %d records, want 1", len(zero.Slow()))
+	}
+	off := NewJournal(2, -1) // negative: slow ring disabled
+	off.Record(QueryRecord{WallUS: 1 << 40})
+	if len(off.Slow()) != 0 {
+		t.Errorf("disabled slow ring: Slow() = %d records, want 0", len(off.Slow()))
+	}
+	if off.SlowThreshold() >= 0 {
+		t.Errorf("SlowThreshold() = %v, want negative (disabled)", off.SlowThreshold())
+	}
+}
+
+func TestJournalInflight(t *testing.T) {
+	j := NewJournal(4, -1)
+	tok1 := j.Begin("r1", "?- p(X).")
+	time.Sleep(2 * time.Millisecond)
+	tok2 := j.Begin("r2", "?- q(X).")
+	in := j.Inflight()
+	if len(in) != 2 {
+		t.Fatalf("Inflight() = %d entries, want 2", len(in))
+	}
+	// Oldest first, with a nonzero age for the one that has been live 2ms.
+	if in[0].ID != "r1" || in[1].ID != "r2" {
+		t.Fatalf("Inflight() order = %q, %q; want r1 (oldest) first", in[0].ID, in[1].ID)
+	}
+	if in[0].AgeUS <= 0 {
+		t.Errorf("Inflight()[0].AgeUS = %d, want > 0", in[0].AgeUS)
+	}
+	j.End(tok1)
+	j.End(tok1) // idempotent
+	if in := j.Inflight(); len(in) != 1 || in[0].ID != "r2" {
+		t.Fatalf("after End(tok1): Inflight() = %+v, want only r2", in)
+	}
+	j.End(tok2)
+	if in := j.Inflight(); len(in) != 0 {
+		t.Fatalf("after End(all): Inflight() = %+v, want empty", in)
+	}
+	// Slots are reused: a fresh Begin gets tok1's freed slot back.
+	if tok := j.Begin("r3", "?- r(X)."); tok != 0 {
+		t.Errorf("Begin after frees = token %d, want 0 (slot reuse)", tok)
+	}
+}
+
+func TestJournalInflightGrowsPastCapacity(t *testing.T) {
+	j := NewJournal(4, -1)
+	var toks []int
+	for i := 0; i < 40; i++ { // more than the initial 16-slot table
+		toks = append(toks, j.Begin("id", "q"))
+	}
+	if len(j.Inflight()) != 40 {
+		t.Fatalf("Inflight() = %d entries, want 40", len(j.Inflight()))
+	}
+	for _, tok := range toks {
+		j.End(tok)
+	}
+	if len(j.Inflight()) != 0 {
+		t.Fatalf("Inflight() = %d entries after End, want 0", len(j.Inflight()))
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	tok := j.Begin("id", "q")
+	if tok != -1 {
+		t.Errorf("nil.Begin() = %d, want -1", tok)
+	}
+	j.End(tok)
+	j.Record(QueryRecord{})
+	if j.Recent() != nil || j.Slow() != nil || j.Inflight() != nil {
+		t.Error("nil journal snapshots should be nil")
+	}
+	if j.SlowThreshold() >= 0 {
+		t.Errorf("nil.SlowThreshold() = %v, want negative", j.SlowThreshold())
+	}
+}
+
+func TestJournalConcurrency(t *testing.T) {
+	// Hammer every journal operation from many goroutines; run under -race
+	// (make verify does) to prove the locking. Assertions are minimal — the
+	// point is the interleaving.
+	j := NewJournal(8, 50*time.Microsecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tok := j.Begin("id", "q")
+				j.Record(QueryRecord{WallUS: int64(i % 100)})
+				j.Recent()
+				j.Slow()
+				j.Inflight()
+				j.End(tok)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(j.Inflight()) != 0 {
+		t.Fatalf("Inflight() = %d entries after all goroutines ended, want 0", len(j.Inflight()))
+	}
+	if len(j.Recent()) != 8 {
+		t.Fatalf("Recent() = %d records, want full ring of 8", len(j.Recent()))
+	}
+}
+
+func TestJournalHotPathAllocs(t *testing.T) {
+	// The unsampled serving path does Begin/End/Record against preallocated
+	// slots and one Sample() per request; none of it may allocate.
+	j := NewJournal(16, time.Millisecond)
+	s := NewSampler(1 << 30) // effectively never samples after the first
+	s.Sample()               // consume the sampled first request
+	rec := QueryRecord{ID: "id", Query: "?- p(X).", WallUS: 5}
+	if n := testing.AllocsPerRun(100, func() {
+		tok := j.Begin("id", "?- p(X).")
+		if s.Sample() {
+			t.Fatal("sampler fired inside the unsampled window")
+		}
+		j.Record(rec)
+		j.End(tok)
+	}); n != 0 {
+		t.Errorf("journal hot path allocates %v per run, want 0", n)
+	}
+	var nilJ *Journal
+	var nilS *Sampler
+	if n := testing.AllocsPerRun(100, func() {
+		tok := nilJ.Begin("id", "q")
+		nilS.Sample()
+		nilJ.Record(rec)
+		nilJ.End(tok)
+	}); n != 0 {
+		t.Errorf("nil journal path allocates %v per run, want 0", n)
+	}
+}
+
+func TestSamplerOneInN(t *testing.T) {
+	s := NewSampler(4)
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, s.Sample())
+	}
+	want := []bool{true, false, false, false, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sample() sequence = %v, want %v (first of each window)", got, want)
+		}
+	}
+	if NewSampler(0) != nil || NewSampler(-3) != nil {
+		t.Error("NewSampler(<=0) should return nil (sampling off)")
+	}
+	var nilS *Sampler
+	if nilS.Sample() {
+		t.Error("nil sampler sampled")
+	}
+}
+
+func TestMountJournalEndpoints(t *testing.T) {
+	j := NewJournal(4, 0) // everything slow: both rings populate
+	j.Record(QueryRecord{ID: "req-1", Query: "?- p(X).", Class: "A1", WallUS: 7})
+	tok := j.Begin("req-2", "?- q(X).")
+	defer j.End(tok)
+
+	mux := http.NewServeMux()
+	MountJournal(mux, j)
+	for _, path := range []string{"/debug/queries", "/debug/queries/slow"} {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, rr.Code)
+		}
+		var body struct {
+			SlowThresholdUS int64           `json:"slow_threshold_us"`
+			Inflight        []InflightQuery `json:"inflight"`
+			Slow            []QueryRecord   `json:"slow"`
+			Recent          []QueryRecord   `json:"recent"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+		if len(body.Slow) != 1 || body.Slow[0].ID != "req-1" || body.Slow[0].Class != "A1" {
+			t.Fatalf("GET %s slow = %+v, want the req-1/A1 record", path, body.Slow)
+		}
+		if path == "/debug/queries" {
+			if len(body.Inflight) != 1 || body.Inflight[0].ID != "req-2" {
+				t.Fatalf("inflight = %+v, want the live req-2", body.Inflight)
+			}
+			if len(body.Recent) != 1 {
+				t.Fatalf("recent = %+v, want one record", body.Recent)
+			}
+		}
+	}
+}

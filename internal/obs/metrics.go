@@ -41,6 +41,12 @@ func (r *Registry) lookup(name string, make func() any) any {
 	return m
 }
 
+// panicTypeMismatch reports a name registered under two metric types —
+// always a programming error.
+func panicTypeMismatch(name string, m any) {
+	panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+}
+
 // Counter returns the registry's counter of that name, creating it if
 // needed.
 func (r *Registry) Counter(name string) *Counter {

@@ -11,18 +11,26 @@ import (
 // NewMux returns an http.ServeMux serving the observability endpoints:
 //
 //	/metrics       Prometheus text exposition of the registry
+//	/statz         JSON snapshot with histogram percentiles (p50/p90/p99)
 //	/debug/vars    expvar JSON (includes the registry under "datalog")
 //	/debug/pprof/  net/http/pprof profiles (CPU, heap, goroutine, trace, ...)
 //
-// Both dlrun -serve and dlbench -serve mount this mux; it deliberately
-// avoids http.DefaultServeMux so importing this package never changes the
-// behavior of an embedding program's own server.
+// The registry gets the dl_build_info identity metric on the way, so every
+// scrape is attributable to a build. Both dlrun -serve and dlbench -serve
+// mount this mux; it deliberately avoids http.DefaultServeMux so importing
+// this package never changes the behavior of an embedding program's own
+// server.
 func NewMux(reg *Registry) *http.ServeMux {
 	PublishExpvar(reg)
+	RegisterBuildInfo(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteStatz(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+)
+
+// This file adds the two scrape-side conveniences of the observability
+// layer: percentile estimates over the fixed-bucket histograms (the /statz
+// endpoint — an operator asking "what is p99 right now" should not need a
+// Prometheus server to integrate the bucket counts), and the dl_build_info
+// metric that stamps every exposition with the build it came from, so a
+// saved scrape or bench JSON is attributable to a binary.
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed samples
+// by linear interpolation inside the histogram's buckets: rank q·count is
+// located in the cumulative bucket counts and interpolated between the
+// bucket's bounds (the first bucket interpolates from 0). Samples in the
+// +Inf bucket clamp to the largest finite bound — a fixed-bucket histogram
+// cannot see beyond its last boundary. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, counts, _, count := h.snapshot()
+	return quantile(bounds, counts, count, q)
+}
+
+// quantile is the pure bucket-interpolation kernel, split out so tests can
+// drive it against hand-computed distributions without a Histogram.
+func quantile(bounds []float64, counts []int64, count int64, q float64) float64 {
+	if count == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	cum, lo := 0.0, 0.0
+	for i, b := range bounds {
+		c := float64(counts[i])
+		if c > 0 && cum+c >= rank {
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (b-lo)*frac
+		}
+		cum += c
+		lo = b
+	}
+	return bounds[len(bounds)-1]
+}
+
+// statzQuantiles are the percentiles /statz reports for every histogram.
+var statzQuantiles = []struct {
+	name string
+	q    float64
+}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}}
+
+// Statz returns the registry's current values with histograms rendered as
+// percentile summaries ({count, sum, avg, p50, p90, p99}) instead of raw
+// buckets — the /statz endpoint body.
+func (r *Registry) Statz() map[string]any {
+	out := make(map[string]any)
+	r.each(func(name string, m any) {
+		switch v := m.(type) {
+		case *Counter:
+			out[name] = v.Value()
+		case *Gauge:
+			out[name] = v.Value()
+		case *Info:
+			out[name] = v.Labels()
+		case *Histogram:
+			bounds, counts, sum, count := v.snapshot()
+			h := map[string]any{"count": count, "sum": sum}
+			if count > 0 {
+				h["avg"] = sum / float64(count)
+			}
+			for _, p := range statzQuantiles {
+				h[p.name] = quantile(bounds, counts, count, p.q)
+			}
+			out[name] = h
+		}
+	})
+	return out
+}
+
+// WriteStatz writes the Statz summary as indented JSON.
+func (r *Registry) WriteStatz(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Statz())
+}
+
+// Info is a gauge-with-labels metric pinned at value 1 — the Prometheus
+// idiom for attaching build/runtime identity to an exposition
+// (name{key="value",...} 1). Labels are fixed at registration.
+type Info struct {
+	keys   []string // sorted
+	labels map[string]string
+}
+
+// Info returns the registry's info metric of that name, creating it with
+// the given labels if needed. Labels of an existing info metric are kept.
+func (r *Registry) Info(name string, labels map[string]string) *Info {
+	m := r.lookup(name, func() any { return newInfo(labels) })
+	i, ok := m.(*Info)
+	if !ok {
+		panicTypeMismatch(name, m)
+	}
+	return i
+}
+
+func newInfo(labels map[string]string) *Info {
+	cp := make(map[string]string, len(labels))
+	keys := make([]string, 0, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return &Info{keys: keys, labels: cp}
+}
+
+// Labels returns a copy of the metric's labels.
+func (i *Info) Labels() map[string]string {
+	out := make(map[string]string, len(i.labels))
+	for k, v := range i.labels {
+		out[k] = v
+	}
+	return out
+}
+
+// BuildInfoMetric is the name of the build-identity info metric.
+const BuildInfoMetric = "dl_build_info"
+
+// RegisterBuildInfo registers dl_build_info in the registry: module
+// version and VCS revision when the binary embeds them (go build of a
+// module in a VCS checkout), Go runtime version, GOOS/GOARCH and the
+// GOMAXPROCS the process started with. NewMux calls it, so every /metrics
+// scrape — and every bench JSON recorded next to one — can attribute its
+// numbers to a build. Get-or-create like every registry metric: repeated
+// calls return the first registration.
+func RegisterBuildInfo(r *Registry) *Info {
+	version, revision := "unknown", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		version = bi.Main.Version
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	labels := map[string]string{
+		"version":    version,
+		"go_version": runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+	}
+	if revision != "" {
+		labels["revision"] = revision
+	}
+	return r.Info(BuildInfoMetric, labels)
+}

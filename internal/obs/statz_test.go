@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestQuantileKnownDistribution(t *testing.T) {
+	// Bounds {1,2,4}; samples 0.5, 1.5, 3, 3.5 → bucket counts {1,1,2}, no
+	// +Inf overflow. Hand-computed by linear interpolation:
+	//   p50: rank 2.0 → bucket (1,2] fraction 1.0 → 2.0
+	//   p75: rank 3.0 → bucket (2,4] fraction 0.5 → 3.0
+	//   p25: rank 1.0 → bucket [0,1] fraction 1.0 → 1.0
+	bounds := []float64{1, 2, 4}
+	counts := []int64{1, 1, 2, 0} // len(bounds)+1: last is +Inf
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.25, 1.0}, {0.50, 2.0}, {0.75, 3.0}, {1.00, 4.0}, {0, 0}} {
+		if got := quantile(bounds, counts, 4, tc.q); got != tc.want {
+			t.Errorf("quantile(q=%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileInfOverflowClamps(t *testing.T) {
+	// All mass in +Inf: a fixed-bucket histogram cannot see past its last
+	// bound, so every quantile clamps there.
+	bounds := []float64{1, 10}
+	counts := []int64{0, 0, 5}
+	if got := quantile(bounds, counts, 5, 0.99); got != 10 {
+		t.Errorf("quantile with +Inf mass = %v, want clamp to 10", got)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	if got := quantile([]float64{1, 2}, []int64{0, 0, 0}, 0, 0.5); got != 0 {
+		t.Errorf("quantile of empty histogram = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_us", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 3.5} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); got != 2.0 {
+		t.Errorf("Quantile(0.5) = %v, want 2.0", got)
+	}
+	if got := h.Quantile(0.75); got != 3.0 {
+		t.Errorf("Quantile(0.75) = %v, want 3.0", got)
+	}
+}
+
+func TestPrometheusHistogramExposition(t *testing.T) {
+	// The text exposition must be cumulative over le, end with +Inf, and
+	// keep _sum/_count consistent with the observations.
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat histogram\n",
+		`lat_bucket{le="1"} 1` + "\n",
+		`lat_bucket{le="2"} 2` + "\n",
+		`lat_bucket{le="4"} 3` + "\n",
+		`lat_bucket{le="+Inf"} 4` + "\n",
+		"lat_sum 105\n",
+		"lat_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildInfoExposition(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, "# TYPE dl_build_info gauge\n") {
+		t.Fatalf("missing dl_build_info TYPE line in:\n%s", out)
+	}
+	for _, want := range []string{
+		`go_version="` + runtime.Version() + `"`,
+		`goos="` + runtime.GOOS + `"`,
+		`gomaxprocs="` + strconv.Itoa(runtime.GOMAXPROCS(0)) + `"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dl_build_info missing label %s in:\n%s", want, out)
+		}
+	}
+	// The info sample itself is the constant 1.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "dl_build_info{") && !strings.HasSuffix(line, "} 1") {
+			t.Errorf("dl_build_info sample = %q, want value 1", line)
+		}
+	}
+	// Registering twice keeps the single metric (get-or-create).
+	RegisterBuildInfo(r)
+	var b2 strings.Builder
+	r.WritePrometheus(&b2)
+	if n := strings.Count(b2.String(), "# TYPE dl_build_info"); n != 1 {
+		t.Errorf("dl_build_info registered %d times, want 1", n)
+	}
+}
+
+func TestStatzEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	h := r.Histogram("lat_us", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 3.5} {
+		h.Observe(v)
+	}
+	RegisterBuildInfo(r)
+
+	mux := NewMux(r)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/statz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /statz = %d, want 200", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad /statz JSON: %v", err)
+	}
+	if got := body["hits"]; got != float64(3) {
+		t.Errorf("statz hits = %v, want 3", got)
+	}
+	lat, ok := body["lat_us"].(map[string]any)
+	if !ok {
+		t.Fatalf("statz lat_us = %T, want histogram summary object", body["lat_us"])
+	}
+	// p90: rank 3.6 lands in bucket (2,4] at fraction 0.8 → 3.6.
+	if lat["count"] != float64(4) || lat["p50"] != 2.0 || lat["p90"] != 3.6 {
+		t.Errorf("lat_us summary = %v, want count=4 p50=2 p90=3.6", lat)
+	}
+	bi, ok := body[BuildInfoMetric].(map[string]any)
+	if !ok || bi["go_version"] != runtime.Version() {
+		t.Errorf("statz %s = %v, want labels with go_version", BuildInfoMetric, body[BuildInfoMetric])
+	}
+}

@@ -11,14 +11,25 @@
 // tical concurrent cold queries collapse into one fixpoint (singleflight),
 // and a write automatically invalidates by advancing the epoch.
 //
-// Endpoints (on top of the obs mux's /metrics, /debug/vars, /debug/pprof/):
+// Endpoints (on top of the obs mux's /metrics, /statz, /debug/vars,
+// /debug/pprof/):
 //
 //	GET  /query?q=?- p(a, Y).   answer one query (POST {"query": ...} too)
 //	POST /facts                 load "pred(a, b)." lines, advance the epoch
 //	GET  /healthz               liveness plus epoch and cache footprint
+//	GET  /readyz                readiness: 503 + reason until the startup
+//	                            snapshot is published and the plan warms
+//	GET  /debug/queries         query journal: in-flight, recent, slow
+//	GET  /debug/queries/slow    the slow ring alone
 //
 // Add &trace=1 to /query to receive the evaluation's span tree in the
 // response (per-query tracing, the HTTP form of dlrun -trace-json).
+//
+// Every request carries a correlation ID — accepted from the client's
+// X-Request-Id header or generated — echoed in the response header, the
+// JSON body (request_id), the NDJSON header/done lines, the query journal
+// and the structured request log (Config.Logger, one log/slog JSON line
+// per request).
 package server
 
 import (
@@ -27,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -35,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adorn"
 	"repro/internal/ast"
 	"repro/internal/eval"
 	"repro/internal/obs"
@@ -76,6 +89,12 @@ const DefaultMaxFactsBytes = 8 << 20
 // zero. Queries are single lines; a megabyte is already generous.
 const DefaultMaxQueryBytes = 1 << 20
 
+// DefaultSlowQueryThreshold gates the journal's slow ring when
+// Config.SlowQueryThreshold is zero: long enough that cache hits and small
+// fixpoints never land there, short enough that anything a human would
+// call slow does.
+const DefaultSlowQueryThreshold = 250 * time.Millisecond
+
 // Config tunes a Server. The zero value works: default cache budget,
 // GOMAXPROCS workers, a fresh registry, incremental maintenance on.
 type Config struct {
@@ -101,6 +120,27 @@ type Config struct {
 	// maintenance pass on writes (every write then cold-starts the cache).
 	// Used by benchmarks to measure the maintained/cold gap.
 	DisableMaintenance bool
+	// JournalSize caps the query journal's recent and slow rings; 0 means
+	// obs.DefaultJournalSize, negative disables the journal entirely (the
+	// /debug/queries endpoints then serve empty lists).
+	JournalSize int
+	// SlowQueryThreshold is the wall-clock latency at which a completed
+	// query also enters the journal's always-retained slow ring; 0 means
+	// DefaultSlowQueryThreshold, negative disables the slow ring.
+	SlowQueryThreshold time.Duration
+	// TraceSampleRate attaches a full span tree to 1 in every N requests'
+	// journal records (the first of each window); 0 disables sampling.
+	// Unsampled requests keep the nil-tracer zero-allocation path.
+	TraceSampleRate int
+	// Logger, when non-nil, receives one structured line per request
+	// (queries and fact writes). The handler's level decides what is kept;
+	// nil disables request logging.
+	Logger *slog.Logger
+	// HoldReady starts the server unready: /readyz answers 503 until
+	// MarkReady is called. dlserve uses it to gate readiness on the startup
+	// bulk fact load; the zero value is ready as soon as New returns (the
+	// seed snapshot is published synchronously).
+	HoldReady bool
 }
 
 // Server serves one Datalog program over HTTP. Safe for any number of
@@ -123,6 +163,21 @@ type Server struct {
 	maxFacts int64
 	maxQuery int64
 	maintain bool
+
+	journal *obs.Journal
+	sampler *obs.Sampler
+	log     *slog.Logger
+	// idBase prefixes generated request IDs (a per-process hex stamp), so
+	// IDs from different server lifetimes never collide in aggregated logs.
+	idBase string
+	idSeq  atomic.Uint64
+
+	// ready gates /readyz; warmOnce/warmErr memoize the one-shot plan
+	// compile check (readiness means the serving plan is warm-able, not
+	// just that the process is up).
+	ready    atomic.Bool
+	warmOnce sync.Once
+	warmErr  error
 
 	queries, errors, clientErrors *obs.Counter
 	rowsStreamed, earlyTerm       *obs.Counter
@@ -172,6 +227,14 @@ func New(src string, cfg Config) (*Server, error) {
 	if maxQuery == 0 {
 		maxQuery = DefaultMaxQueryBytes
 	}
+	var journal *obs.Journal
+	if cfg.JournalSize >= 0 {
+		thresh := cfg.SlowQueryThreshold
+		if thresh == 0 {
+			thresh = DefaultSlowQueryThreshold
+		}
+		journal = obs.NewJournal(cfg.JournalSize, thresh)
+	}
 	s := &Server{
 		db:       storage.NewDatabase(),
 		prog:     &ast.Program{Rules: prog.Rules},
@@ -183,6 +246,11 @@ func New(src string, cfg Config) (*Server, error) {
 		maxFacts: maxFacts,
 		maxQuery: maxQuery,
 		maintain: !cfg.DisableMaintenance,
+
+		journal: journal,
+		sampler: obs.NewSampler(cfg.TraceSampleRate),
+		log:     cfg.Logger,
+		idBase:  fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
 
 		queries:      reg.Counter(mQueries),
 		errors:       reg.Counter(mErrors),
@@ -215,8 +283,17 @@ func New(src string, cfg Config) (*Server, error) {
 		}
 	}
 	s.snap.Store(s.db.Snapshot())
+	s.ready.Store(!cfg.HoldReady)
 	return s, nil
 }
+
+// MarkReady flips /readyz to 200. Servers built without Config.HoldReady
+// are ready as soon as New returns; dlserve calls this after its startup
+// bulk fact load so load balancers never route to a half-loaded database.
+func (s *Server) MarkReady() { s.ready.Store(true) }
+
+// Journal returns the server's query journal (nil when disabled).
+func (s *Server) Journal() *obs.Journal { return s.journal }
 
 // systemOf extracts the single linear recursive system from the program
 // (one recursive rule, rest exit rules for the same head).
@@ -253,9 +330,19 @@ func systemOf(prog *ast.Program) (*ast.RecursiveSystem, error) {
 // carries the previous epoch's entries forward (unless disabled), and only
 // then is the new snapshot published, so readers never cold-start.
 func (s *Server) LoadFacts(src string) (uint64, error) {
+	epoch, _, _, err := s.loadFacts(src)
+	return epoch, err
+}
+
+// loadFacts is LoadFacts plus the write-path observability payload: the
+// maintenance pass's outcome and duration, which the /facts handler logs
+// (maintained vs recomputed entries is the one number that says whether a
+// write was cheap or cold-started the cache).
+func (s *Server) loadFacts(src string) (uint64, eval.MaintResult, time.Duration, error) {
+	var mres eval.MaintResult
 	facts, err := storage.ScanFacts(src)
 	if err != nil {
-		return s.snap.Load().Epoch(), &clientError{err: err}
+		return s.snap.Load().Epoch(), mres, 0, &clientError{err: err}
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
@@ -268,7 +355,7 @@ func (s *Server) LoadFacts(src string) (uint64, error) {
 			}
 		}
 		if seen && want != len(f.Args) {
-			return s.db.Epoch(), clientErrf(
+			return s.db.Epoch(), mres, 0, clientErrf(
 				"fact %s/%d conflicts with arity %d; no facts from this batch were loaded",
 				f.Pred, len(f.Args), want)
 		}
@@ -278,21 +365,24 @@ func (s *Server) LoadFacts(src string) (uint64, error) {
 	for _, f := range facts {
 		if _, err := s.db.Insert(f.Pred, f.Args...); err != nil {
 			// Unreachable after validation; surface it rather than hide it.
-			return s.db.Epoch(), err
+			return s.db.Epoch(), mres, 0, err
 		}
 	}
 	snap := s.db.Snapshot()
+	var maintDur time.Duration
 	if s.maintain && snap != old {
-		s.cache.Maintain(old, snap, eval.MaintSpec{
+		t0 := time.Now()
+		mres = s.cache.Maintain(old, snap, eval.MaintSpec{
 			Planner: s.planner,
 			Sys:     s.sys,
 			Prog:    s.prog,
 			ProgKey: s.progKey,
 			Opts:    eval.Opts{Workers: s.workers, Shards: s.shards, Metrics: s.reg},
 		})
+		maintDur = time.Since(t0)
 	}
 	s.snap.Store(snap)
-	return snap.Epoch(), nil
+	return snap.Epoch(), mres, maintDur, nil
 }
 
 // Snapshot returns the latest published snapshot.
@@ -306,11 +396,21 @@ func (s *Server) Cache() *eval.ResultCache { return s.cache }
 
 // QueryResult is the /query response body.
 type QueryResult struct {
-	Query   string     `json:"query"`
-	Answers [][]string `json:"answers"`
-	Count   int        `json:"count"`
-	Epoch   uint64     `json:"epoch"`
-	Cached  bool       `json:"cached"`
+	Query string `json:"query"`
+	// RequestID is the request's correlation ID: echoed from the client's
+	// X-Request-Id header or generated, and repeated in the response header,
+	// the journal record and the request log line.
+	RequestID string `json:"request_id,omitempty"`
+	// Pred/Arity/Adornment identify the query shape: the queried predicate
+	// and its binding pattern in the paper's d/v notation ("dv" = first
+	// argument bound, second free).
+	Pred      string     `json:"pred,omitempty"`
+	Arity     int        `json:"arity,omitempty"`
+	Adornment string     `json:"adornment,omitempty"`
+	Answers   [][]string `json:"answers"`
+	Count     int        `json:"count"`
+	Epoch     uint64     `json:"epoch"`
+	Cached    bool       `json:"cached"`
 	// Maintained reports that the answer was carried across a write by the
 	// result cache's incremental maintenance pass rather than recomputed.
 	Maintained bool   `json:"maintained,omitempty"`
@@ -330,6 +430,10 @@ type QueryResult struct {
 	GoMaxProcs int   `json:"gomaxprocs"`
 	DurationUS int64 `json:"duration_us"`
 	Trace      any   `json:"trace,omitempty"`
+
+	// stats keeps the raw evaluation counters for the journal handoff
+	// (eval.Stats.FillJournal); not part of the JSON body.
+	stats eval.Stats
 }
 
 // Query answers one query string against the latest snapshot, through the
@@ -386,6 +490,10 @@ func (s *Server) Query(ctx context.Context, qs string, tracer *obs.Tracer) (*Que
 func (s *Server) newResult(q ast.Query, snap *storage.Snapshot, st eval.Stats, cached bool, t0 time.Time) *QueryResult {
 	res := &QueryResult{
 		Query:      q.String(),
+		Pred:       q.Atom.Pred,
+		Arity:      q.Atom.Arity(),
+		Adornment:  adorn.FromQuery(q).String(),
+		stats:      st,
 		Epoch:      snap.Epoch(),
 		Cached:     cached,
 		Maintained: st.Maintained,
@@ -529,13 +637,16 @@ func (s *Server) validateQuery(q ast.Query, snap *storage.Snapshot) error {
 	return nil
 }
 
-// Handler returns the server's HTTP handler: the obs mux (metrics, expvar,
-// pprof) plus the query, facts and health endpoints.
+// Handler returns the server's HTTP handler: the obs mux (metrics, statz,
+// expvar, pprof, the query journal's /debug/queries endpoints) plus the
+// query, facts, liveness and readiness endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := obs.NewMux(s.reg)
+	obs.MountJournal(mux, s.journal)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/facts", s.handleFacts)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	return mux
 }
 
@@ -599,31 +710,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	reqID := s.requestID(r)
+	w.Header().Set("X-Request-Id", reqID)
+
 	s.queries.Inc()
 	s.inflight.Add(1)
 	t0 := time.Now()
+
+	// Sampled requests get a full span tree attached to their journal
+	// record even when the client did not ask for one; unsampled requests
+	// without &trace=1 keep the nil tracer — the zero-allocation hot path.
+	sampled := s.sampler.Sample()
+	var tracer *obs.Tracer
+	if wantTrace || sampled {
+		tracer = obs.New("query")
+	}
+	tok := s.journal.Begin(reqID, qs)
+	rec := obs.QueryRecord{ID: reqID, Query: qs, Start: t0, Sampled: sampled, Streamed: stream}
+
+	var res *QueryResult
+	var qerr error
 	defer func() {
 		s.inflight.Add(-1)
 		s.queryDur.Observe(time.Since(t0).Seconds())
+		s.journal.End(tok)
+		s.completeRequest(&rec, res, qerr, tracer, t0)
 	}()
 
-	var tracer *obs.Tracer
-	if wantTrace {
-		tracer = obs.New("query")
-	}
 	ctx := r.Context()
 	if stream {
-		s.streamResponse(ctx, w, qs, limit, tracer)
+		res, qerr = s.streamResponse(ctx, w, qs, limit, tracer, wantTrace, reqID)
 		return
 	}
 
-	var res *QueryResult
-	var err error
 	if limit > 0 {
 		// Limited non-streaming query: evaluate through the streaming path
 		// (the fixpoint stops at the cap) but answer with one JSON body.
 		var answers [][]string
-		res, err = s.StreamQuery(ctx, qs, limit, tracer, func(row []string) bool {
+		res, qerr = s.StreamQuery(ctx, qs, limit, tracer, func(row []string) bool {
 			answers = append(answers, row)
 			return true
 		})
@@ -634,22 +758,107 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else {
-		res, err = s.Query(ctx, qs, tracer)
+		res, qerr = s.Query(ctx, qs, tracer)
 	}
-	if err != nil {
-		if s.countCanceled(ctx, err) {
+	if qerr != nil {
+		if s.countCanceled(ctx, qerr) {
 			// The client is gone; there is nobody to answer.
 			return
 		}
-		s.fail(w, errStatus(err), err)
+		s.fail(w, errStatus(qerr), qerr)
 		return
 	}
-	if tracer != nil {
+	res.RequestID = reqID
+	if tracer != nil && wantTrace {
 		tracer.Finish()
 		res.Trace = json.RawMessage(traceJSON(tracer))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
+}
+
+// requestID returns the request's correlation ID: the client's
+// X-Request-Id header when present (truncated to 128 bytes), otherwise a
+// generated per-process-unique ID.
+func (s *Server) requestID(r *http.Request) string {
+	if id := strings.TrimSpace(r.Header.Get("X-Request-Id")); id != "" {
+		if len(id) > 128 {
+			id = id[:128]
+		}
+		return id
+	}
+	return s.idBase + "-" + strconv.FormatUint(s.idSeq.Add(1), 10)
+}
+
+// errClass buckets a request outcome for the journal and the request log:
+// "" success, "client" (the request was wrong), "canceled" (the client
+// left), "engine" (the evaluation failed).
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, eval.ErrCanceled), errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	var ce *clientError
+	if errors.As(err, &ce) {
+		return "client"
+	}
+	return "engine"
+}
+
+// completeRequest closes out one /query request's observability: fills the
+// journal record from the result (evaluation counters via
+// eval.Stats.FillJournal), attaches the span tree when one was collected,
+// records it, and emits the structured request log line.
+func (s *Server) completeRequest(rec *obs.QueryRecord, res *QueryResult, err error, tracer *obs.Tracer, t0 time.Time) {
+	rec.WallUS = time.Since(t0).Microseconds()
+	if res != nil {
+		rec.Pred, rec.Arity, rec.Adornment = res.Pred, res.Arity, res.Adornment
+		rec.Epoch = res.Epoch
+		rec.Cached = res.Cached
+		rec.Rows = res.Count
+		rec.EvalUS = res.DurationUS
+		res.stats.FillJournal(rec)
+	}
+	rec.Error = errClass(err)
+	if tracer != nil {
+		tracer.Finish()
+		rec.Trace = traceJSON(tracer)
+	}
+	slow := s.journal.SlowThreshold() >= 0 && rec.WallUS >= s.journal.SlowThreshold().Microseconds()
+	s.journal.Record(*rec)
+	if s.log == nil {
+		return
+	}
+	level := slog.LevelInfo
+	switch rec.Error {
+	case "engine":
+		level = slog.LevelError
+	case "client", "canceled":
+		level = slog.LevelWarn
+	}
+	s.log.LogAttrs(context.Background(), level, "query",
+		slog.String("request_id", rec.ID),
+		slog.String("query", rec.Query),
+		slog.String("pred", rec.Pred),
+		slog.String("adornment", rec.Adornment),
+		slog.String("class", rec.Class),
+		slog.String("strategy", rec.Strategy),
+		slog.Bool("cached", rec.Cached),
+		slog.Bool("maintained", rec.Maintained),
+		slog.Bool("streamed", rec.Streamed),
+		slog.Uint64("epoch", rec.Epoch),
+		slog.Int("shards", rec.Shards),
+		slog.Int("rounds", rec.Rounds),
+		slog.Int("rows", rec.Rows),
+		slog.Bool("truncated", rec.Truncated),
+		slog.Bool("slow", slow),
+		slog.Bool("sampled", rec.Sampled),
+		slog.Int64("wall_us", rec.WallUS),
+		slog.Int64("eval_us", rec.EvalUS),
+		slog.String("error", rec.Error),
+	)
 }
 
 // countCanceled reports whether err (or the request context) means the
@@ -665,18 +874,19 @@ func (s *Server) countCanceled(ctx context.Context, err error) bool {
 }
 
 // streamResponse answers one query as chunked NDJSON: a header object
-// (query, epoch, cached, limit), one {"row": [...]} line per answer flushed
-// as it is derived, and a final {"done": true, ...} summary. A client
-// disconnect cancels the evaluation via the request context; rows already
-// buffered are simply dropped.
-func (s *Server) streamResponse(ctx context.Context, w http.ResponseWriter, qs string, limit int, tracer *obs.Tracer) {
+// (request_id, query, epoch, cached, limit), one {"row": [...]} line per
+// answer flushed as it is derived, and a final {"done": true, ...} summary.
+// A client disconnect cancels the evaluation via the request context; rows
+// already buffered are simply dropped. The returned summary and error feed
+// the caller's journal record; the HTTP response is fully written here.
+func (s *Server) streamResponse(ctx context.Context, w http.ResponseWriter, qs string, limit int, tracer *obs.Tracer, wantTrace bool, reqID string) (*QueryResult, error) {
 	qst, err := s.openStream(ctx, qs, limit, tracer)
 	if err != nil {
 		if s.countCanceled(ctx, err) {
-			return
+			return nil, err
 		}
 		s.fail(w, errStatus(err), err)
-		return
+		return nil, err
 	}
 	defer qst.it.Close()
 
@@ -685,10 +895,11 @@ func (s *Server) streamResponse(ctx context.Context, w http.ResponseWriter, qs s
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	enc.Encode(map[string]any{
-		"query":  qst.q.String(),
-		"epoch":  qst.snap.Epoch(),
-		"cached": qst.cached,
-		"limit":  limit,
+		"request_id": reqID,
+		"query":      qst.q.String(),
+		"epoch":      qst.snap.Epoch(),
+		"cached":     qst.cached,
+		"limit":      limit,
 	})
 	if flusher != nil {
 		flusher.Flush()
@@ -723,19 +934,25 @@ func (s *Server) streamResponse(ctx context.Context, w http.ResponseWriter, qs s
 	if st.Truncated {
 		s.earlyTerm.Inc()
 	}
-	serr := qst.it.Err()
-	if s.countCanceled(ctx, serr) || s.countCanceled(ctx, ctx.Err()) {
-		return
-	}
-	if !writeOK {
-		s.canceled.Inc()
-		return
-	}
 	res := s.newResult(qst.q, qst.snap, st, qst.cached, qst.t0)
+	res.RequestID = reqID
 	res.Count = rows
 	res.Limit = limit
+	serr := qst.it.Err()
+	if s.countCanceled(ctx, serr) || s.countCanceled(ctx, ctx.Err()) {
+		if serr == nil {
+			serr = context.Canceled
+		}
+		return res, serr
+	}
+	if !writeOK {
+		// The response write path died mid-stream: the client is gone.
+		s.canceled.Inc()
+		return res, fmt.Errorf("client disconnected mid-stream: %w", eval.ErrCanceled)
+	}
 	done := map[string]any{
 		"done":        true,
+		"request_id":  reqID,
 		"count":       rows,
 		"truncated":   res.Truncated,
 		"cached":      res.Cached,
@@ -751,7 +968,7 @@ func (s *Server) streamResponse(ctx context.Context, w http.ResponseWriter, qs s
 		s.errors.Inc()
 		done["error"] = serr.Error()
 	}
-	if tracer != nil {
+	if tracer != nil && wantTrace {
 		tracer.Finish()
 		done["trace"] = json.RawMessage(traceJSON(tracer))
 	}
@@ -759,6 +976,7 @@ func (s *Server) streamResponse(ctx context.Context, w http.ResponseWriter, qs s
 	if flusher != nil {
 		flusher.Flush()
 	}
+	return res, serr
 }
 
 // traceJSON renders a finished tracer's span tree as JSON bytes.
@@ -775,6 +993,8 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST fact lines (\"pred(a, b).\") to /facts"))
 		return
 	}
+	reqID := s.requestID(r)
+	w.Header().Set("X-Request-Id", reqID)
 	body := r.Body
 	if s.maxFacts > 0 {
 		body = http.MaxBytesReader(w, body, s.maxFacts)
@@ -790,13 +1010,48 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, &clientError{err: err})
 		return
 	}
-	epoch, err := s.LoadFacts(string(raw))
+	t0 := time.Now()
+	epoch, mres, maintDur, err := s.loadFacts(string(raw))
+	s.logFacts(reqID, len(raw), epoch, mres, maintDur, time.Since(t0), err)
 	if err != nil {
 		s.fail(w, errStatus(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"epoch": epoch})
+	json.NewEncoder(w).Encode(map[string]any{
+		"epoch": epoch,
+		// Maintenance outcome: entries carried forward vs rebuilt from
+		// scratch by this write's cache-maintenance pass.
+		"maintained": mres.Maintained,
+		"recomputed": mres.Recomputed,
+	})
+}
+
+// logFacts emits the write-path structured log line: batch size, resulting
+// epoch, and the maintenance outcome (entries carried forward vs
+// recomputed, and how long the pass took).
+func (s *Server) logFacts(reqID string, bytes int, epoch uint64, mres eval.MaintResult, maintDur, wall time.Duration, err error) {
+	if s.log == nil {
+		return
+	}
+	level := slog.LevelInfo
+	switch errClass(err) {
+	case "engine":
+		level = slog.LevelError
+	case "client", "canceled":
+		level = slog.LevelWarn
+	}
+	s.log.LogAttrs(context.Background(), level, "facts",
+		slog.String("request_id", reqID),
+		slog.Int("bytes", bytes),
+		slog.Uint64("epoch", epoch),
+		slog.Int("maintained", mres.Maintained),
+		slog.Int("recomputed", mres.Recomputed),
+		slog.Int("skipped", mres.Skipped),
+		slog.Int64("maintenance_us", maintDur.Microseconds()),
+		slog.Int64("wall_us", wall.Microseconds()),
+		slog.String("error", errClass(err)),
+	)
 }
 
 // errStatus maps an error to its HTTP status: 400 for request-caused
@@ -809,6 +1064,9 @@ func errStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
+// handleHealth is pure liveness: the process is up and can answer HTTP.
+// Routing decisions belong to /readyz — a live server may still be loading
+// its initial facts.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	snap := s.snap.Load()
 	w.Header().Set("Content-Type", "application/json")
@@ -818,6 +1076,47 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"cache_entries": s.cache.Len(),
 		"cache_bytes":   s.cache.Bytes(),
 	})
+}
+
+// handleReady is readiness: 200 only once the startup snapshot is fully
+// published (MarkReady after any HoldReady bulk load) and the served
+// system's plan compiles. Before that it answers 503 with a JSON reason,
+// so load balancers and orchestration probes keep traffic away.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	notReady := func(reason string) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": reason})
+	}
+	if !s.ready.Load() {
+		notReady("startup fact load in progress; latest snapshot not yet published")
+		return
+	}
+	s.warmOnce.Do(s.warmPlan)
+	if s.warmErr != nil {
+		notReady("plan compilation failed: " + s.warmErr.Error())
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"ready": true,
+		"epoch": s.snap.Load().Epoch(),
+	})
+}
+
+// warmPlan compiles (and caches) the served system's all-free plan once:
+// readiness promises not just a published snapshot but a plan the first
+// real query can reuse from the plan cache.
+func (s *Server) warmPlan() {
+	if s.sys == nil {
+		return // generic programs are answered without a compiled plan
+	}
+	args := make([]ast.Term, s.sys.Arity())
+	for i := range args {
+		args[i] = ast.V(fmt.Sprintf("Warm%d", i))
+	}
+	q := ast.Query{Atom: ast.NewAtom(s.sys.Pred(), args...)}
+	_, _, err := s.planner.PlanForEpoch(s.sys, q, s.snap.Load().Epoch(), eval.Opts{Workers: s.workers, Metrics: s.reg})
+	s.warmErr = err
 }
 
 // fail writes a JSON error and counts it: 5xx into dl_server_errors_total,
