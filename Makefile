@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race verify cover bench bench-smoke obs-smoke serve-smoke shard-smoke experiments fuzz clean
+.PHONY: all build vet test test-short race verify cover bench bench-smoke obs-smoke serve-smoke shard-smoke plan-smoke experiments fuzz clean
 
 all: build vet test
 
@@ -13,8 +13,10 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test execution order so inter-test state
+# dependencies (shared caches, package-level registries) cannot hide.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 test-short:
 	$(GO) test -short ./...
@@ -28,8 +30,9 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -run 'Sharded|ChooseShards|ShardOf|PartitionTuplesByHash' -count=1 ./internal/eval ./internal/storage
 
-# Full pre-merge gate: build, vet, tests, race detector, shard smoke.
-verify: build vet test race shard-smoke
+# Full pre-merge gate: build, vet, shuffled tests, race detector, shard
+# and cost-planner smokes.
+verify: build vet test race shard-smoke plan-smoke
 
 cover:
 	$(GO) test -cover ./...
@@ -43,6 +46,9 @@ bench:
 # no longer compile or crash, cheap enough for CI.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./internal/storage ./internal/eval
+	@t=$$(mktemp -d) && cp BENCH_serve.json $$t/ 2>/dev/null; \
+	$(GO) build -o $$t/dlbench ./cmd/dlbench && (cd $$t && ./dlbench -experiment q12 -quick); \
+	rc=$$?; rm -rf $$t; exit $$rc
 
 # End-to-end observability smoke: dlrun emits a -trace-json span tree that
 # the schema-checking CLI test validates, plus the -serve endpoint test and
@@ -73,6 +79,17 @@ serve-smoke:
 	$(GO) test -run 'TestServer' -count=1 ./internal/server
 	@t=$$(mktemp -d) && cp BENCH_serve.json $$t/ 2>/dev/null; \
 	$(GO) build -o $$t/dlbench ./cmd/dlbench && (cd $$t && ./dlbench -experiment q9 -quick && ./dlbench -experiment q10 -quick); \
+	rc=$$?; rm -rf $$t; exit $$rc
+
+# Cost-planner smoke: the differential suite (compiled orders tuple-
+# identical to greedy across engines, negation strata and the auto
+# planner) plus cost-model/stats-epoch units, then the quick Q12 skew
+# sweep in a scratch directory — the >=3x fewer-visits gate is counted
+# in tuples visited, so it is machine-independent.
+plan-smoke:
+	$(GO) test -run 'TestCostModelSkew|TestCompiledOrdersMatchGreedy|TestPlanCacheStatsEpoch|TestAutoPlanReportsCost|TestColCardinalityContract|TestColStats|TestStatsEpochAdvances' -count=1 ./internal/eval ./internal/storage
+	@t=$$(mktemp -d) && cp BENCH_serve.json $$t/ 2>/dev/null; \
+	$(GO) build -o $$t/dlbench ./cmd/dlbench && (cd $$t && ./dlbench -experiment q12 -quick); \
 	rc=$$?; rm -rf $$t; exit $$rc
 
 # Sharded-fixpoint smoke: the differential suite under the race detector

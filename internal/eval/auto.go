@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/classify"
@@ -63,6 +64,14 @@ type Plan struct {
 	rank   int                  // PlanBounded
 	rules  []ast.Rule           // PlanBounded: exit + substituted expansions
 	stable *ast.RecursiveSystem // PlanStable: the stabilized system
+
+	// book holds the cost-based join orders compiled from the plan
+	// database's column statistics (cost.go); nil when the plan was
+	// compiled without a database (CompilePlan/CompilePlanOpts) or for the
+	// TC kernel, which never enumerates conjunctions. The planner's cache
+	// key includes the database's statistics epoch, so a book can never
+	// outlive the statistics it was computed from.
+	book *orderBook
 }
 
 // CompilePlan classifies the system and compiles the class-appropriate
@@ -78,6 +87,18 @@ func CompilePlan(sys *ast.RecursiveSystem) (*Plan, error) {
 // recorded under a "classify" span (class code, rank when bounded) and the
 // strategy selection plus rewriting under a "plan-compile" span (kind).
 func CompilePlanOpts(sys *ast.RecursiveSystem, opts Opts) (*Plan, error) {
+	return CompilePlanDB(sys, nil, nil, opts)
+}
+
+// CompilePlanDB is CompilePlanOpts additionally compiling the plan's
+// cost-based join orders from db's column statistics (a nil db yields a
+// bookless plan — every engine then keeps the runtime greedy ordering).
+// bound flags the query's adorned head argument positions (true = the query
+// supplies a constant there); the bounded path pre-binds those variables
+// when costing its expansion rules, which is why the plan cache keys plans
+// by adornment. The chosen orders and the summed cost estimate land on the
+// "plan-compile" span and in PlanInfo.
+func CompilePlanDB(sys *ast.RecursiveSystem, db *storage.Database, bound []bool, opts Opts) (*Plan, error) {
 	cls := opts.parent().Child("classify")
 	res, err := classify.Classify(sys.Recursive)
 	if err != nil {
@@ -95,8 +116,53 @@ func CompilePlanOpts(sys *ast.RecursiveSystem, opts Opts) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	if db != nil {
+		p.compileBook(db, bound)
+		if p.book != nil {
+			pc.SetInt("cost", int64(p.book.cost))
+			if len(p.book.desc) > 0 {
+				pc.SetStr("orders", strings.Join(p.book.desc, "; "))
+			}
+		}
+	}
 	pc.SetStr("kind", p.Kind.String())
 	return p, nil
+}
+
+// compileBook attaches the kind-appropriate order book: the rules the
+// chosen engine will actually enumerate (the stabilized system's for
+// PlanStable, the expansion union's for PlanBounded), costed against db's
+// current statistics. The TC kernel gets none — its frontier BFS never
+// runs a conjunction.
+func (p *Plan) compileBook(db *storage.Database, bound []bool) {
+	switch p.Kind {
+	case PlanTC:
+	case PlanBounded:
+		boundOf := func(r ast.Rule) map[string]bool {
+			m := make(map[string]bool, len(bound))
+			for i, t := range r.Head.Args {
+				if i < len(bound) && bound[i] && t.IsVar() {
+					m[t.Name] = true
+				}
+			}
+			return m
+		}
+		p.book = compileOrderBook(db.Syms, p.rules, db, boundOf)
+	case PlanStable:
+		p.book = compileOrderBook(db.Syms, p.stable.Program().Rules, db, nil)
+	default:
+		p.book = compileOrderBook(db.Syms, p.sys.Program().Rules, db, nil)
+	}
+}
+
+// planInfo builds the Stats.Plan record for one answered query.
+func (p *Plan) planInfo(st *Stats) *PlanInfo {
+	pi := &PlanInfo{Class: p.Class, Strategy: p.Kind.String(), Shards: st.Shards}
+	if p.book != nil {
+		pi.Cost = int64(p.book.cost)
+		pi.Orders = p.book.desc
+	}
+	return pi
 }
 
 // compilePlan builds the plan for a precomputed classification.
@@ -144,11 +210,14 @@ func (p *Plan) AnswerOpts(q ast.Query, db *storage.Database, opts Opts) (*storag
 	if err != nil {
 		return nil, st, err
 	}
-	st.Plan = &PlanInfo{Class: p.Class, Strategy: p.Kind.String(), Shards: st.Shards}
+	st.Plan = p.planInfo(&st)
 	return rel, st, nil
 }
 
 func (p *Plan) answer(q ast.Query, db *storage.Database, opts Opts) (*storage.Relation, Stats, error) {
+	if opts.book == nil {
+		opts.book = p.book
+	}
 	switch p.Kind {
 	case PlanTC:
 		return TCEvalOpts(p.sys, p.tc, q, db, opts)
@@ -173,6 +242,9 @@ func (p *Plan) answerAux(q ast.Query, db *storage.Database, opts Opts) (*storage
 		st  Stats
 		err error
 	)
+	if opts.book == nil {
+		opts.book = p.book
+	}
 	switch p.Kind {
 	case PlanTC:
 		var ta *tcAux
@@ -190,7 +262,7 @@ func (p *Plan) answerAux(q ast.Query, db *storage.Database, opts Opts) (*storage
 	if err != nil {
 		return nil, nil, st, err
 	}
-	st.Plan = &PlanInfo{Class: p.Class, Strategy: p.Kind.String(), Shards: st.Shards}
+	st.Plan = p.planInfo(&st)
 	return rel, aux, st, nil
 }
 

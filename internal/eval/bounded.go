@@ -95,10 +95,21 @@ func evalNonRecursive(rules []ast.Rule, q ast.Query, db *storage.Database, answe
 			sink.end(RoundStats{Round: st.Rounds})
 			continue
 		}
-		d := c.EvalProject(rels, binding, slots, fixed, answers)
+		// The plan's order book (compiled per adornment, so the pre-bound
+		// head constants the search assumed are exactly the ones bindHead
+		// just pushed into the binding) replaces the greedy ordering when
+		// present.
+		var order []int
+		var est int64
+		if ord := opts.book.orderFor(r); ord != nil && ord.full != nil {
+			order = ord.full
+			est = int64(ord.fullCost)
+		}
+		visited0 := st.Visited
+		d := c.EvalProjectWith(rels, binding, slots, fixed, answers, order, &st.Visited)
 		st.Derived += d
 		rsp.SetInt("derived", int64(d)).End()
-		sink.end(RoundStats{Round: st.Rounds, Derived: d})
+		sink.end(RoundStats{Round: st.Rounds, Derived: d, Estimated: est, Visited: st.Visited - visited0})
 	}
 	return nil
 }

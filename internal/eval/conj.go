@@ -119,7 +119,7 @@ func DBRels(db *storage.Database) RelFunc {
 // return false to stop early. Eval reports whether enumeration ran to
 // completion (true) or was stopped by yield (false).
 func (c *Conj) Eval(rels RelFunc, binding []storage.Value, yield func([]storage.Value) bool) bool {
-	return c.eval(rels, binding, yield, true)
+	return c.eval(rels, binding, yield, true, nil, nil)
 }
 
 // EvalOrdered is Eval without the dynamic bound-first ordering: atoms are
@@ -127,7 +127,19 @@ func (c *Conj) Eval(rels RelFunc, binding []storage.Value, yield func([]storage.
 // for the paper's evaluation principle (selections before joins); see
 // BenchmarkAblationJoinOrder.
 func (c *Conj) EvalOrdered(rels RelFunc, binding []storage.Value, yield func([]storage.Value) bool) bool {
-	return c.eval(rels, binding, yield, false)
+	return c.eval(rels, binding, yield, false, nil, nil)
+}
+
+// EvalWith is Eval with an optional compiled join order and an optional
+// visit counter. A non-nil order must be a permutation of the atom indexes
+// that keeps every negated literal after the positive atoms binding its
+// variables (the cost planner guarantees this); atoms are then taken in
+// that order with no per-step selection scan. A nil order falls back to the
+// dynamic greedy ordering. When visits is non-nil it is incremented once
+// per tuple the enumeration pulls from an index posting or scan — the
+// intermediate-result work the cost model estimates.
+func (c *Conj) EvalWith(rels RelFunc, binding []storage.Value, order []int, visits *int64, yield func([]storage.Value) bool) bool {
+	return c.eval(rels, binding, yield, true, order, visits)
 }
 
 // boundArgs counts the atom's arguments that are constants or bound
@@ -142,44 +154,67 @@ func boundArgs(binding []storage.Value, a compiledAtom) int {
 	return bound
 }
 
-// selectAtom picks the next un-done atom to evaluate, or −1 when none is
-// eligible. Negated literals are deferred identically in both orderings:
-// an anti-join only runs once every one of its variables is bound (for a
-// safe rule the positive atoms guarantee this happens, regardless of where
-// the negation sits in source order). Dynamic mode otherwise prefers the
-// most-bound atom, breaking ties toward the smaller relation; static mode
-// takes source order.
-func (c *Conj) selectAtom(rels RelFunc, binding []storage.Value, done []bool, dynamic bool) int {
-	if !dynamic {
-		for i, a := range c.atoms {
-			if done[i] {
-				continue
-			}
-			if a.neg && boundArgs(binding, a) < len(a.args) {
-				continue // defer until positives bind it
-			}
-			return i
-		}
-		return -1
-	}
-	best, bestBound, bestSize := -1, -1, -1
-	for i, a := range c.atoms {
-		if done[i] {
+// selectStatic picks the next un-done atom in source order, or −1 when none
+// is eligible. Negated literals are deferred until every one of their
+// variables is bound (for a safe rule the positive atoms guarantee this
+// happens, regardless of where the negation sits in source order).
+func (e *enumState) selectStatic() int {
+	for i, a := range e.c.atoms {
+		if e.done[i] {
 			continue
 		}
-		bound := boundArgs(binding, a)
+		if a.neg && boundArgs(e.binding, a) < len(a.args) {
+			continue // defer until positives bind it
+		}
+		return i
+	}
+	return -1
+}
+
+// selectDynamic picks the next un-done atom greedily: the most-bound atom,
+// breaking ties toward the smallest expected enumeration. The tie-break uses
+// MatchCount — the bound value's actual index bucket size — rather than the
+// full Relation.Len(), so a large relation probed on a selective bound
+// column correctly beats a small relation that must be scanned (on skewed
+// data Len() alone mis-orders exactly the joins where order matters most).
+// Negated literals wait until fully bound; once bound they are constant-time
+// filters and are applied immediately.
+func (e *enumState) selectDynamic() int {
+	c, binding := e.c, e.binding
+	best, bestBound, bestSize := -1, -1, -1
+	for i := range c.atoms {
+		if e.done[i] {
+			continue
+		}
+		a := &c.atoms[i]
+		bound := boundArgs(binding, *a)
 		if a.neg {
 			if bound < len(a.args) {
 				continue // anti-joins wait until fully bound
 			}
-			// A fully bound negated literal is a constant-time filter:
-			// apply it immediately.
 			return i
 		}
-		rel := rels(a.pred, a.idx)
+		rel := e.rels(a.pred, a.idx)
 		size := 0
 		if rel != nil {
-			size = rel.Len()
+			if bound > 0 {
+				sc := e.atomScratch(i, len(a.args))
+				for j, s := range a.args {
+					switch {
+					case !s.isVar:
+						sc.bound[j] = true
+						sc.vals[j] = s.val
+					case binding[s.varID] != Unbound:
+						sc.bound[j] = true
+						sc.vals[j] = binding[s.varID]
+					default:
+						sc.bound[j] = false
+					}
+				}
+				size = rel.MatchCount(sc.bound, sc.vals)
+			} else {
+				size = rel.Len()
+			}
 		}
 		if best == -1 || bound > bestBound || (bound == bestBound && size < bestSize) {
 			best, bestBound, bestSize = i, bound, size
@@ -188,11 +223,12 @@ func (c *Conj) selectAtom(rels RelFunc, binding []storage.Value, done []bool, dy
 	return best
 }
 
-func (c *Conj) eval(rels RelFunc, binding []storage.Value, yield func([]storage.Value) bool, dynamic bool) bool {
+func (c *Conj) eval(rels RelFunc, binding []storage.Value, yield func([]storage.Value) bool, dynamic bool, order []int, visits *int64) bool {
 	e := enumState{
 		c: c, rels: rels, binding: binding, yield: yield,
 		dynamic: dynamic, done: make([]bool, len(c.atoms)),
 		scratch: make([]atomScratch, len(c.atoms)),
+		order:   order, visits: visits,
 	}
 	return e.step(len(c.atoms))
 }
@@ -221,6 +257,14 @@ type enumState struct {
 	dynamic bool
 	done    []bool
 	scratch []atomScratch
+	// order, when non-nil, is the compiled join order: atom order[k] runs at
+	// depth k and no per-step selection scan happens. len(order) must equal
+	// len(c.atoms); seeded enumerations use orders whose first entry is the
+	// seed atom.
+	order []int
+	// visits, when non-nil, counts tuples pulled from index postings or
+	// scans across the enumeration — the planner's cost unit.
+	visits *int64
 }
 
 // atomScratch returns the (lazily sized) scratch buffers of atom i.
@@ -240,7 +284,15 @@ func (e *enumState) step(remaining int) bool {
 		return e.yield(e.binding)
 	}
 	c, binding := e.c, e.binding
-	best := c.selectAtom(e.rels, binding, e.done, e.dynamic)
+	var best int
+	switch {
+	case e.order != nil:
+		best = e.order[len(e.order)-remaining]
+	case e.dynamic:
+		best = e.selectDynamic()
+	default:
+		best = e.selectStatic()
+	}
 	if best == -1 {
 		// Only negated literals with unbound variables remain: the rule
 		// failed the safety check upstream.
@@ -258,6 +310,11 @@ func (e *enumState) step(remaining int) bool {
 		for j, s := range a.args {
 			if s.isVar {
 				vals[j] = binding[s.varID]
+				if vals[j] == Unbound {
+					// Only a compiled order can route here early; the
+					// planner's placement constraint makes it a bug.
+					panic(fmt.Sprintf("eval: negated literal %s/%d reached with unbound variable", a.pred, len(a.args)))
+				}
 			} else {
 				vals[j] = s.val
 			}
@@ -300,6 +357,9 @@ func (e *enumState) step(remaining int) bool {
 		// The assigned buffer is safe to reuse: EachMatch invokes this
 		// callback sequentially and recursion only touches other atoms'
 		// scratch.
+		if e.visits != nil {
+			*e.visits++
+		}
 		sc.assigned = sc.assigned[:0]
 		okTuple := true
 		for j, s := range a.args {
@@ -347,10 +407,19 @@ type seeder struct {
 }
 
 func newSeeder(c *Conj, rels RelFunc, binding []storage.Value, yield func([]storage.Value) bool) *seeder {
+	return newSeederWith(c, rels, binding, nil, nil, yield)
+}
+
+// newSeederWith is newSeeder with a compiled join order and a visit counter
+// (both optional, see EvalWith). A non-nil order must start with the seed
+// atom passed to every subsequent seed call — the planner compiles one
+// order per seedable atom.
+func newSeederWith(c *Conj, rels RelFunc, binding []storage.Value, order []int, visits *int64, yield func([]storage.Value) bool) *seeder {
 	return &seeder{e: enumState{
 		c: c, rels: rels, binding: binding, yield: yield,
 		dynamic: true, done: make([]bool, len(c.atoms)),
 		scratch: make([]atomScratch, len(c.atoms)),
+		order:   order, visits: visits,
 	}}
 }
 
@@ -358,6 +427,9 @@ func newSeeder(c *Conj, rels RelFunc, binding []storage.Value, yield func([]stor
 // rest of the conjunction; see EvalSeeded for the contract.
 func (s *seeder) seed(seedIdx int, seed storage.Tuple) bool {
 	c, binding := s.e.c, s.e.binding
+	if s.e.order != nil && s.e.order[0] != seedIdx {
+		panic(fmt.Sprintf("eval: compiled order starts at atom %d, seeded at %d", s.e.order[0], seedIdx))
+	}
 	a := c.atoms[seedIdx]
 	if a.neg {
 		panic("eval: seeded atom must be positive")
@@ -400,9 +472,15 @@ func (s *seeder) seed(seedIdx int, seed storage.Tuple) bool {
 // be −1 to emit a fixed constant from fixed. Returns the number of new
 // tuples inserted.
 func (c *Conj) EvalProject(rels RelFunc, binding []storage.Value, slots []int, fixed storage.Tuple, out *storage.Relation) int {
+	return c.EvalProjectWith(rels, binding, slots, fixed, out, nil, nil)
+}
+
+// EvalProjectWith is EvalProject with a compiled join order and a visit
+// counter (both optional, see EvalWith).
+func (c *Conj) EvalProjectWith(rels RelFunc, binding []storage.Value, slots []int, fixed storage.Tuple, out *storage.Relation, order []int, visits *int64) int {
 	added := 0
 	buf := make(storage.Tuple, len(slots))
-	c.Eval(rels, binding, func(b []storage.Value) bool {
+	c.EvalWith(rels, binding, order, visits, func(b []storage.Value) bool {
 		for i, s := range slots {
 			if s >= 0 {
 				buf[i] = b[s]

@@ -198,7 +198,7 @@ func (m *maintainer) budget(oldSize int) int {
 
 // entrySys maintains one entry of the single-system serving path.
 func (m *maintainer) entrySys(e *resultEntry, res *MaintResult) {
-	p, _, err := m.spec.Planner.planFor(m.spec.Sys, e.q, m.cur.Epoch(), m.spec.Opts)
+	p, _, err := m.spec.Planner.planFor(m.spec.Sys, e.q, m.cur.Epoch(), m.cur.DB(), m.spec.Opts)
 	if err != nil {
 		res.Skipped++
 		return
@@ -385,7 +385,7 @@ func maintainTC(sys *ast.RecursiveSystem, shape *tcShape, q ast.Query, oldRel *s
 		// the semi-naive seeded join, here over the nonrecursive exit rules.
 		// Rematerializing the whole exit relation would make every write
 		// O(database), swamping the delta pass it feeds.
-		rules, err := compileRules(db.Syms, sys.Exits)
+		rules, err := compileRules(db.Syms, sys.Exits, nil)
 		if err != nil {
 			return nil, nil, false
 		}
@@ -715,7 +715,7 @@ func incrementalFixpoint(prog *ast.Program, aux *fixAux, db *storage.Database, d
 		}
 		heads[pred] = wr
 	}
-	rules, err := compileRules(db.Syms, prog.Rules)
+	rules, err := compileRules(db.Syms, prog.Rules, nil)
 	if err != nil {
 		return nil, false
 	}

@@ -8,15 +8,37 @@ import (
 	"repro/internal/storage"
 )
 
-// compiledRule pairs a rule with its compiled body and head projection.
+// compiledRule pairs a rule with its compiled body, head projection and —
+// when an order book is in force — its cost-chosen join orders.
 type compiledRule struct {
 	rule  ast.Rule
 	conj  *Conj
 	slots []int
 	fixed storage.Tuple
+	// ord is the rule's compiled ordering decision, nil when evaluation
+	// uses the dynamic greedy ordering (no book, or the body was too large
+	// for the search).
+	ord *ruleOrder
 }
 
-func compileRules(syms *storage.Symbols, rules []ast.Rule) ([]compiledRule, error) {
+// fullOrder returns the compiled order for a full evaluation (nil = dynamic).
+func (cr *compiledRule) fullOrder() []int {
+	if cr.ord == nil {
+		return nil
+	}
+	return cr.ord.full
+}
+
+// seededOrder returns the compiled order with atom bi leading (the delta
+// occurrence), and its per-input-tuple cost estimate.
+func (cr *compiledRule) seededOrder(bi int) ([]int, float64) {
+	if cr.ord == nil || bi >= len(cr.ord.seeded) {
+		return nil, 0
+	}
+	return cr.ord.seeded[bi], cr.ord.seedCost[bi]
+}
+
+func compileRules(syms *storage.Symbols, rules []ast.Rule, book *orderBook) ([]compiledRule, error) {
 	out := make([]compiledRule, 0, len(rules))
 	for _, r := range rules {
 		c := CompileConj(syms, r.Body)
@@ -24,7 +46,7 @@ func compileRules(syms *storage.Symbols, rules []ast.Rule) ([]compiledRule, erro
 		if err != nil {
 			return nil, fmt.Errorf("rule %v: %w", r, err)
 		}
-		out = append(out, compiledRule{rule: r, conj: c, slots: slots, fixed: fixed})
+		out = append(out, compiledRule{rule: r, conj: c, slots: slots, fixed: fixed, ord: book.orderFor(r)})
 	}
 	return out, nil
 }
@@ -114,13 +136,14 @@ func NaiveOpts(prog *ast.Program, db *storage.Database, opts Opts) (*storage.Dat
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	opts = opts.withAutoBook(db.Syms, prog.Rules, db)
 	fix := opts.parent().Child("fixpoint").SetStr("engine", "naive")
 	defer fix.End()
 	var st Stats
 	sink := newRoundSink(&st, opts, fix)
 	round := 0
 	for si, group := range strata {
-		rules, err := compileRules(db.Syms, group)
+		rules, err := compileRules(db.Syms, group, opts.book)
 		if err != nil {
 			return nil, st, err
 		}
@@ -139,21 +162,30 @@ func NaiveOpts(prog *ast.Program, db *storage.Database, opts Opts) (*storage.Dat
 // saturation within work.
 func naiveFixpoint(work *storage.Database, rules []compiledRule, stratum int, round *int, st *Stats, sink *roundSink) error {
 	rels := DBRels(work)
+	// One full re-evaluation of the group costs the same estimate every
+	// round under the compiled orders.
+	var roundEst int64
+	for i := range rules {
+		if rules[i].ord != nil && rules[i].ord.full != nil {
+			roundEst += int64(rules[i].ord.fullCost)
+		}
+	}
 	for {
 		*round++
 		st.Rounds++
 		sink.begin()
 		added := 0
-		facts0 := st.Facts
-		for _, cr := range rules {
+		facts0, visited0 := st.Facts, st.Visited
+		for i := range rules {
+			cr := &rules[i]
 			var rsp *obs.Span
 			if sink.traced() {
 				rsp = sink.rule(cr.rule.String())
 			}
-			ruleAdded, ruleFacts := added, st.Facts
+			ruleAdded, ruleFacts, ruleVisited := added, st.Facts, st.Visited
 			head := work.Rel(cr.rule.Head.Pred)
 			buf := make(storage.Tuple, len(cr.slots))
-			cr.conj.Eval(rels, cr.conj.NewBinding(), func(b []storage.Value) bool {
+			cr.conj.EvalWith(rels, cr.conj.NewBinding(), cr.fullOrder(), &st.Visited, func(b []storage.Value) bool {
 				for i, s := range cr.slots {
 					if s >= 0 {
 						buf[i] = b[s]
@@ -167,10 +199,11 @@ func naiveFixpoint(work *storage.Database, rules []compiledRule, stratum int, ro
 				}
 				return true
 			})
-			rsp.SetInt("derived", int64(added-ruleAdded)).SetInt("attempted", int64(st.Facts-ruleFacts)).End()
+			rsp.SetInt("derived", int64(added-ruleAdded)).SetInt("attempted", int64(st.Facts-ruleFacts)).SetInt("visited", st.Visited-ruleVisited).End()
 		}
 		st.Derived += added
-		sink.end(RoundStats{Round: *round, Stratum: stratum, Derived: added, Attempted: st.Facts - facts0})
+		sink.end(RoundStats{Round: *round, Stratum: stratum, Derived: added, Attempted: st.Facts - facts0,
+			Estimated: roundEst, Visited: st.Visited - visited0})
 		if added == 0 {
 			return nil
 		}
@@ -200,13 +233,14 @@ func SemiNaiveOpts(prog *ast.Program, db *storage.Database, opts Opts) (*storage
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	opts = opts.withAutoBook(db.Syms, prog.Rules, db)
 	fix := opts.parent().Child("fixpoint").SetStr("engine", "seminaive")
 	defer fix.End()
 	var st Stats
 	sink := newRoundSink(&st, opts, fix)
 	round := 0
 	for si, group := range strata {
-		rules, err := compileRules(db.Syms, group)
+		rules, err := compileRules(db.Syms, group, opts.book)
 		if err != nil {
 			return nil, st, err
 		}
@@ -261,8 +295,9 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 		st.Rounds++
 		*round++
 		sink.begin()
-		facts0 := st.Facts
+		facts0, visited0 := st.Facts, st.Visited
 		added0 := 0
+		var est int64
 		for i := range rules {
 			cr := &rules[i]
 			if hasLocalLit(cr) {
@@ -272,10 +307,13 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 			if sink.traced() {
 				rsp = sink.rule(cr.rule.String())
 			}
-			ruleAdded, ruleFacts := added0, st.Facts
+			ruleAdded, ruleFacts, ruleVisited := added0, st.Facts, st.Visited
+			if cr.ord != nil && cr.ord.full != nil {
+				est += int64(cr.ord.fullCost)
+			}
 			head := work.Rel(cr.rule.Head.Pred)
 			buf := make(storage.Tuple, len(cr.slots))
-			cr.conj.Eval(full, cr.conj.NewBinding(), func(b []storage.Value) bool {
+			cr.conj.EvalWith(full, cr.conj.NewBinding(), cr.fullOrder(), &st.Visited, func(b []storage.Value) bool {
 				for i, s := range cr.slots {
 					if s >= 0 {
 						buf[i] = b[s]
@@ -290,17 +328,18 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 				}
 				return true
 			})
-			rsp.SetInt("derived", int64(added0-ruleAdded)).SetInt("attempted", int64(st.Facts-ruleFacts)).End()
+			rsp.SetInt("derived", int64(added0-ruleAdded)).SetInt("attempted", int64(st.Facts-ruleFacts)).SetInt("visited", st.Visited-ruleVisited).End()
 		}
 		st.Derived += added0
-		sink.end(RoundStats{Round: *round, Stratum: stratum, Derived: added0, Attempted: st.Facts - facts0})
+		sink.end(RoundStats{Round: *round, Stratum: stratum, Derived: added0, Attempted: st.Facts - facts0,
+			Estimated: est, Visited: st.Visited - visited0})
 	}
 
 	for {
 		st.Rounds++
 		*round++
 		sink.begin()
-		facts0 := st.Facts
+		facts0, visited0 := st.Facts, st.Visited
 		deltaSize := 0
 		for _, d := range delta {
 			deltaSize += d.Len()
@@ -310,6 +349,7 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 			next[pred] = storage.NewRelation(work.Rel(pred).Arity())
 		}
 		added := 0
+		var est int64
 		for ri := range rules {
 			cr := &rules[ri]
 			for bi, a := range cr.rule.Body {
@@ -325,16 +365,25 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 				if sink.traced() {
 					rsp = sink.rule(cr.rule.String())
 				}
-				ruleAdded, ruleFacts := added, st.Facts
+				ruleAdded, ruleFacts, ruleVisited := added, st.Facts, st.Visited
 				rels := func(pred string, atomIdx int) *storage.Relation {
 					if atomIdx == deltaIdx {
 						return delta[deltaPred]
 					}
 					return work.Rel(pred)
 				}
+				// The compiled order for a delta round leads with the delta
+				// occurrence (the frontier is the selective input); the
+				// round estimate is the per-tuple continuation cost times
+				// the frontier size.
+				ord, perTuple := cr.seededOrder(bi)
+				if ord != nil {
+					// +1 per frontier tuple: enumerating the delta itself.
+					est += int64((perTuple + 1) * float64(delta[deltaPred].Len()))
+				}
 				head := work.Rel(cr.rule.Head.Pred)
 				buf := make(storage.Tuple, len(cr.slots))
-				cr.conj.Eval(rels, cr.conj.NewBinding(), func(b []storage.Value) bool {
+				cr.conj.EvalWith(rels, cr.conj.NewBinding(), ord, &st.Visited, func(b []storage.Value) bool {
 					for i, s := range cr.slots {
 						if s >= 0 {
 							buf[i] = b[s]
@@ -349,11 +398,12 @@ func semiNaiveFixpoint(work *storage.Database, rules []compiledRule, local map[s
 					}
 					return true
 				})
-				rsp.SetInt("derived", int64(added-ruleAdded)).SetInt("attempted", int64(st.Facts-ruleFacts)).End()
+				rsp.SetInt("derived", int64(added-ruleAdded)).SetInt("attempted", int64(st.Facts-ruleFacts)).SetInt("visited", st.Visited-ruleVisited).End()
 			}
 		}
 		st.Derived += added
-		sink.end(RoundStats{Round: *round, Stratum: stratum, Delta: deltaSize, Derived: added, Attempted: st.Facts - facts0})
+		sink.end(RoundStats{Round: *round, Stratum: stratum, Delta: deltaSize, Derived: added, Attempted: st.Facts - facts0,
+			Estimated: est, Visited: st.Visited - visited0})
 		if added == 0 {
 			return nil
 		}

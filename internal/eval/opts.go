@@ -57,6 +57,19 @@ type Opts struct {
 	// sink that emits round spans. New callers should read Stats.Trace or
 	// attach a Tracer instead.
 	Observer Observer
+	// CostOrders makes the explicitly invoked engines (NaiveOpts,
+	// SemiNaiveOpts, the parallel/sharded entry points) compile cost-based
+	// join orders from the database's column statistics before evaluating,
+	// instead of the per-step greedy ordering. The auto planner ignores this
+	// flag: plans compiled through a Planner always carry their own order
+	// book. Off by default so the explicit engines stay exact ablation
+	// baselines (dlbench Q12 A/B-tests precisely this switch).
+	CostOrders bool
+	// book, when non-nil, is the compiled join-order book the evaluation
+	// uses (set by the auto planner from its cached Plan, or compiled on
+	// demand when CostOrders is set). Unexported: Opts is passed by value
+	// everywhere, so plans can attach it without callers forging one.
+	book *orderBook
 }
 
 // canceled reports whether the abort channel has closed. Engines call it at
@@ -209,6 +222,10 @@ func (rs *roundSink) end(r RoundStats) {
 		if r.Shards > 0 {
 			s.SetInt("shards", int64(r.Shards))
 			s.SetInt("exchanged", int64(r.Exchanged))
+		}
+		if r.Estimated > 0 || r.Visited > 0 {
+			s.SetInt("estimated", r.Estimated)
+			s.SetInt("visited", r.Visited)
 		}
 		s.End()
 		rs.span = nil

@@ -92,8 +92,9 @@ func parallelSemiNaive(prog *ast.Program, db *storage.Database, opts Opts, strea
 	}
 	sink := newRoundSink(&st, opts, fix)
 	round := 0
+	opts = opts.withAutoBook(db.Syms, prog.Rules, db)
 	for si, group := range strata {
-		rules, err := compileRules(db.Syms, group)
+		rules, err := compileRules(db.Syms, group, opts.book)
 		if err != nil {
 			return nil, st, err
 		}
@@ -144,7 +145,10 @@ type parTask struct {
 type parResult struct {
 	out       *storage.Relation
 	attempted int
-	busy      time.Duration
+	// visits counts the tuples the task's enumerations walked (see
+	// Stats.Visited); accumulated task-locally, summed at the merge.
+	visits int64
+	busy   time.Duration
 }
 
 // relPool recycles task output relations across rounds. A pooled relation
@@ -213,6 +217,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 	merge := func(tasks []parTask, results []parResult, next map[string][]storage.Tuple) (added, attempted int) {
 		for i, res := range results {
 			attempted += res.attempted
+			st.Visited += res.visits
 			pred := tasks[i].cr.rule.Head.Pred
 			head := work.Rel(pred)
 			if !stopped {
@@ -264,6 +269,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 		start := time.Now()
 		sink.begin()
 		var seedTasks []parTask
+		var est int64
 		for i := range rules {
 			cr := &rules[i]
 			hasLocal := false
@@ -275,12 +281,16 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 			}
 			if !hasLocal {
 				seedTasks = append(seedTasks, parTask{cr: cr, seedIdx: -1, head: work.Rel(cr.rule.Head.Pred), span: sink.span})
+				if cr.ord != nil && cr.ord.full != nil {
+					est += int64(cr.ord.fullCost)
+				}
 			}
 		}
 		results, busy, err := runTasks(seedTasks, workers, full, pool)
 		if err != nil {
 			return err
 		}
+		visited0 := st.Visited
 		added, attempted := merge(seedTasks, results, nil)
 		st.Facts += attempted
 		st.Derived += added
@@ -288,6 +298,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 			Round: *round, Stratum: stratum, Tasks: len(seedTasks),
 			Derived: added, Attempted: attempted, Workers: workers,
 			Duration: time.Since(start), Busy: busy,
+			Estimated: est, Visited: st.Visited - visited0,
 		})
 		if stopped {
 			return errStreamStop
@@ -312,6 +323,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 		sink.begin()
 		deltaSize := 0
 		var tasks []parTask
+		var est int64
 		for i := range rules {
 			cr := &rules[i]
 			for bi, a := range cr.rule.Body {
@@ -321,6 +333,9 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 				d := delta[a.Pred]
 				if len(d) == 0 {
 					continue
+				}
+				if _, perTuple := cr.seededOrder(bi); perTuple > 0 {
+					est += int64(perTuple * float64(len(d)))
 				}
 				for _, chunk := range storage.PartitionTuples(d, workers*3) {
 					tasks = append(tasks, parTask{cr: cr, seedIdx: bi, chunk: chunk, head: work.Rel(cr.rule.Head.Pred), span: sink.span})
@@ -333,6 +348,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 		next := make(map[string][]storage.Tuple)
 		added, attempted := 0, 0
 		var busy time.Duration
+		visited0 := st.Visited
 		if len(tasks) > 0 {
 			results, b, err := runTasks(tasks, workers, full, pool)
 			if err != nil {
@@ -347,6 +363,7 @@ func parallelFixpoint(work *storage.Database, rules []compiledRule, local map[st
 			Round: *round, Stratum: stratum, Tasks: len(tasks), Delta: deltaSize,
 			Derived: added, Attempted: attempted, Workers: workers,
 			Duration: time.Since(start), Busy: busy,
+			Estimated: est, Visited: st.Visited - visited0,
 		})
 		if stopped {
 			return errStreamStop
@@ -468,9 +485,10 @@ func runTask(res *parResult, task parTask, rels RelFunc, pool *relPool, scratch 
 	}
 	binding := scratch.bindingFor(cr.conj.NumVars())
 	if task.seedIdx < 0 {
-		cr.conj.Eval(rels, binding, yield)
+		cr.conj.EvalWith(rels, binding, cr.fullOrder(), &res.visits, yield)
 	} else {
-		s := newSeeder(cr.conj, rels, binding, yield)
+		ord, _ := cr.seededOrder(task.seedIdx)
+		s := newSeederWith(cr.conj, rels, binding, ord, &res.visits, yield)
 		for _, t := range task.chunk {
 			s.seed(task.seedIdx, t)
 		}
@@ -478,6 +496,6 @@ func runTask(res *parResult, task parTask, rels RelFunc, pool *relPool, scratch 
 	res.out = out
 	res.attempted = attempted
 	res.busy = time.Since(start)
-	js.SetInt("attempted", int64(attempted)).SetInt("buffered", int64(out.Len())).End()
+	js.SetInt("attempted", int64(attempted)).SetInt("buffered", int64(out.Len())).SetInt("visited", res.visits).End()
 	return nil
 }

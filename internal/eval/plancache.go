@@ -44,6 +44,15 @@ type planKey struct {
 	program string
 	adorn   string
 	epoch   uint64
+	// stats is the database's statistics epoch (Database.StatsEpoch) at
+	// compile time. Plans now carry a cost-based order book computed from
+	// column statistics, so the key must change when the statistics do —
+	// otherwise a CompactIndexes (or any index rebuild) could leave a
+	// cached plan serving join orders chosen for data that no longer
+	// exists. Entries with an older stats value under the same
+	// (program, adornment, epoch) are pruned on insert. 0 for bookless
+	// callers (no database at plan time).
+	stats uint64
 }
 
 // planEpochWindow is how many epochs behind the newest seen epoch a cached
@@ -101,20 +110,29 @@ func (pl *Planner) PlanFor(sys *ast.RecursiveSystem, q ast.Query) (*Plan, bool, 
 
 // PlanForOpts is PlanFor with instrumentation: the lookup is recorded under
 // a "plan-cache" span (result=hit|miss) and a miss compiles under the
-// classify/plan-compile spans of CompilePlanOpts.
+// classify/plan-compile spans of CompilePlanOpts. Plans compiled this way
+// carry no order book (there is no database to read statistics from); the
+// serving path uses PlanForEpoch.
 func (pl *Planner) PlanForOpts(sys *ast.RecursiveSystem, q ast.Query, opts Opts) (*Plan, bool, error) {
-	return pl.planFor(sys, q, 0, opts)
+	return pl.planFor(sys, q, 0, nil, opts)
 }
 
-// PlanForEpoch is PlanForOpts keyed additionally by a snapshot epoch — the
-// serving path's lookup. Entries of epochs far behind the newest seen
-// epoch are pruned automatically (see Planner).
-func (pl *Planner) PlanForEpoch(sys *ast.RecursiveSystem, q ast.Query, epoch uint64, opts Opts) (*Plan, bool, error) {
-	return pl.planFor(sys, q, epoch, opts)
+// PlanForEpoch is PlanForOpts keyed additionally by a snapshot epoch and the
+// database's statistics epoch — the serving path's lookup. db (the pinned
+// snapshot's view) supplies the column statistics the plan's join orders
+// are compiled from; nil db compiles a bookless plan under stats key 0.
+// Entries of epochs far behind the newest seen epoch are pruned
+// automatically (see Planner), and so are entries whose statistics went
+// stale under the same program/adornment/epoch.
+func (pl *Planner) PlanForEpoch(sys *ast.RecursiveSystem, q ast.Query, epoch uint64, db *storage.Database, opts Opts) (*Plan, bool, error) {
+	return pl.planFor(sys, q, epoch, db, opts)
 }
 
-func (pl *Planner) planFor(sys *ast.RecursiveSystem, q ast.Query, epoch uint64, opts Opts) (*Plan, bool, error) {
+func (pl *Planner) planFor(sys *ast.RecursiveSystem, q ast.Query, epoch uint64, db *storage.Database, opts Opts) (*Plan, bool, error) {
 	key := planKey{program: programKey(sys), adorn: adorn.FromQuery(q).String(), epoch: epoch}
+	if db != nil {
+		key.stats = db.StatsEpoch()
+	}
 	sp := opts.parent().Child("plan-cache").SetStr("adorn", key.adorn)
 	pl.mu.RLock()
 	p, ok := pl.plans[key]
@@ -125,7 +143,7 @@ func (pl *Planner) planFor(sys *ast.RecursiveSystem, q ast.Query, epoch uint64, 
 		return p, true, nil
 	}
 	sp.SetStr("result", "miss").End()
-	p, err := CompilePlanOpts(sys, opts)
+	p, err := CompilePlanDB(sys, db, queryBound(q), opts)
 	pl.misses.Inc()
 	if err != nil {
 		return nil, false, err
@@ -138,9 +156,21 @@ func (pl *Planner) planFor(sys *ast.RecursiveSystem, q ast.Query, epoch uint64, 
 	} else {
 		pl.plans[key] = p
 		pl.pruneLocked(epoch)
+		pl.pruneStatsLocked(key)
 	}
 	pl.mu.Unlock()
 	return p, false, nil
+}
+
+// queryBound flags the query's constant argument positions — the adorned
+// "bound" columns CompilePlanDB pre-binds when costing a bounded plan's
+// expansion rules.
+func queryBound(q ast.Query) []bool {
+	bound := make([]bool, len(q.Atom.Args))
+	for i, t := range q.Atom.Args {
+		bound[i] = !t.IsVar()
+	}
+	return bound
 }
 
 // pruneLocked ages out entries whose epoch fell behind the newest seen
@@ -154,6 +184,24 @@ func (pl *Planner) pruneLocked(epoch uint64) {
 	n := 0
 	for k := range pl.plans {
 		if k.epoch != 0 && k.epoch+planEpochWindow <= pl.maxEpoch {
+			delete(pl.plans, k)
+			n++
+		}
+	}
+	if n > 0 {
+		pl.invalidations.Add(int64(n))
+	}
+}
+
+// pruneStatsLocked drops entries that differ from the just-inserted key
+// only by an older statistics epoch: their join orders were compiled from
+// statistics that no longer describe the data, and no future lookup can hit
+// them (lookups always use the current stats epoch). Caller holds the write
+// lock.
+func (pl *Planner) pruneStatsLocked(key planKey) {
+	n := 0
+	for k := range pl.plans {
+		if k.program == key.program && k.adorn == key.adorn && k.epoch == key.epoch && k.stats < key.stats {
 			delete(pl.plans, k)
 			n++
 		}
@@ -185,7 +233,7 @@ func (pl *Planner) AnswerSnap(sys *ast.RecursiveSystem, q ast.Query, snap *stora
 }
 
 func (pl *Planner) answerEpoch(sys *ast.RecursiveSystem, q ast.Query, db *storage.Database, epoch uint64, opts Opts) (*storage.Relation, Stats, error) {
-	p, hit, err := pl.planFor(sys, q, epoch, opts)
+	p, hit, err := pl.planFor(sys, q, epoch, db, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -202,7 +250,7 @@ func (pl *Planner) answerEpoch(sys *ast.RecursiveSystem, q ast.Query, db *storag
 // answerSnapAux is AnswerSnap additionally returning the plan's maintenance
 // state (see Plan.answerAux) for the result cache to store with the entry.
 func (pl *Planner) answerSnapAux(sys *ast.RecursiveSystem, q ast.Query, snap *storage.Snapshot, opts Opts) (*storage.Relation, any, Stats, error) {
-	p, hit, err := pl.planFor(sys, q, snap.Epoch(), opts)
+	p, hit, err := pl.planFor(sys, q, snap.Epoch(), snap.DB(), opts)
 	if err != nil {
 		return nil, nil, Stats{}, err
 	}

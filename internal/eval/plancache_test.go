@@ -123,10 +123,10 @@ func TestPlannerEpochKeying(t *testing.T) {
 		t.Fatalf("epochless first lookup: hit=%v err=%v, want miss", hit, err)
 	}
 	// Epoch 1 keys separately from epochless.
-	if _, hit, err := pl.PlanForEpoch(sys, q, 1, Opts{}); err != nil || hit {
+	if _, hit, err := pl.PlanForEpoch(sys, q, 1, nil, Opts{}); err != nil || hit {
 		t.Fatalf("epoch 1 first lookup: hit=%v err=%v, want miss", hit, err)
 	}
-	if _, hit, err := pl.PlanForEpoch(sys, q, 1, Opts{}); err != nil || !hit {
+	if _, hit, err := pl.PlanForEpoch(sys, q, 1, nil, Opts{}); err != nil || !hit {
 		t.Fatalf("epoch 1 repeat: hit=%v err=%v, want hit", hit, err)
 	}
 	if pl.Len() != 2 {
@@ -135,13 +135,13 @@ func TestPlannerEpochKeying(t *testing.T) {
 
 	// Advancing far past the window prunes epoch 1 but keeps epoch 0.
 	far := uint64(1 + planEpochWindow)
-	if _, hit, err := pl.PlanForEpoch(sys, q, far, Opts{}); err != nil || hit {
+	if _, hit, err := pl.PlanForEpoch(sys, q, far, nil, Opts{}); err != nil || hit {
 		t.Fatalf("epoch %d lookup: hit=%v err=%v, want miss", far, hit, err)
 	}
 	if pl.Len() != 2 {
 		t.Errorf("cache size after prune = %d, want 2 (epochless + epoch %d)", pl.Len(), far)
 	}
-	if _, hit, err := pl.PlanForEpoch(sys, q, 1, Opts{}); err != nil || hit {
+	if _, hit, err := pl.PlanForEpoch(sys, q, 1, nil, Opts{}); err != nil || hit {
 		t.Errorf("pruned epoch 1 must recompile: hit=%v err=%v", hit, err)
 	}
 	if got := pl.Invalidations(); got != 1 {
@@ -265,10 +265,10 @@ func TestPlannerRegistryCounters(t *testing.T) {
 	}
 	// Epoch pruning feeds the invalidations counter: fill an epoch, then
 	// advance past the window.
-	if _, _, err := pl.PlanForEpoch(sys, q, 1, Opts{}); err != nil {
+	if _, _, err := pl.PlanForEpoch(sys, q, 1, nil, Opts{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := pl.PlanForEpoch(sys, q, 2+planEpochWindow, Opts{}); err != nil {
+	if _, _, err := pl.PlanForEpoch(sys, q, 2+planEpochWindow, nil, Opts{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg.Counter("dl_plancache_invalidations_total").Value(); got != 1 {

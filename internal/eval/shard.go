@@ -42,7 +42,11 @@ const (
 // that many shards); 0 is the auto policy: GOMAXPROCS-many shards (or
 // Opts.Workers when set) unless the body relations are too small to be
 // worth exchanging, capped by the largest body relation's column
-// cardinality so shards are never guaranteed empty.
+// cardinality so shards are never guaranteed empty. When a compiled order
+// book is attached, its estimated enumeration cost raises the work estimate
+// above the raw input size — a small input whose joins the cost model
+// predicts to be expensive is still worth sharding (the estimate only ever
+// widens the sharded regime, so bookless behavior is unchanged).
 func chooseShards(opts Opts, db *storage.Database, prog *ast.Program) int {
 	if opts.Shards == 1 {
 		return 1
@@ -76,7 +80,15 @@ func chooseShards(opts Opts, db *storage.Database, prog *ast.Program) int {
 			}
 		}
 	}
-	if total < shardMinTuples || largest == nil {
+	workEst := total
+	if opts.book != nil && opts.book.cost > float64(workEst) {
+		if opts.book.cost > 1e9 {
+			workEst = 1 << 30
+		} else {
+			workEst = int(opts.book.cost)
+		}
+	}
+	if workEst < shardMinTuples || largest == nil {
 		return 1
 	}
 	return capShards(n, relCardinality(largest))
@@ -126,6 +138,9 @@ func ShardedSemiNaiveOpts(prog *ast.Program, db *storage.Database, opts Opts) (*
 // It delegates to the parallel engine when chooseShards says sharding is not
 // worth it, so every auto-path caller can use it unconditionally.
 func shardedSemiNaive(prog *ast.Program, db *storage.Database, opts Opts, streamPred string, emit func(storage.Tuple) bool) (*storage.Database, Stats, error) {
+	// Compile the order book (when requested and not already attached by a
+	// Plan) before the shard decision: chooseShards uses its cost estimate.
+	opts = opts.withAutoBook(db.Syms, prog.Rules, db)
 	shards := chooseShards(opts, db, prog)
 	if shards < 2 {
 		return parallelSemiNaive(prog, db, opts, streamPred, emit)
@@ -165,7 +180,7 @@ func shardedSemiNaive(prog *ast.Program, db *storage.Database, opts Opts, stream
 	sink := newRoundSink(&st, opts, fix)
 	round := 0
 	for si, group := range strata {
-		rules, err := compileRules(db.Syms, group)
+		rules, err := compileRules(db.Syms, group, opts.book)
 		if err != nil {
 			return nil, st, err
 		}
@@ -197,22 +212,25 @@ func flushSharded(opts Opts, st *Stats, work *storage.Database, idb map[string]b
 }
 
 // shardCols picks, for each of the stratum's local predicates, the column
-// its frontier is hash-partitioned by: the first argument position of the
-// predicate's first positive body occurrence whose variable is shared with
-// another body literal — the frontier join column, so the tuples a join
-// brings together tend to live in the same shard. Predicates that never
-// occur positively in a body (or share no variable) default to column 0.
-// The choice only affects locality and exchange volume, never answers: any
-// exhaustive disjoint partition of the frontier yields the same fixpoint.
-func shardCols(rules []compiledRule, local map[string]bool) map[string]int {
-	cols := make(map[string]int, len(local))
+// its frontier is hash-partitioned by. Candidates are the argument
+// positions of the predicate's positive body occurrences whose variable is
+// shared with another body literal — frontier join columns, so the tuples a
+// join brings together tend to live in the same shard. Among multiple
+// candidates the pick minimizes expected skew: the column whose current
+// relation statistics show the smallest max-bucket fan-out (a hot key in
+// the partition column funnels its whole bucket into one shard and
+// serializes the round). Predicates that never occur positively in a body
+// (or share no variable) default to column 0. The choice only affects
+// locality and exchange volume, never answers: any exhaustive disjoint
+// partition of the frontier yields the same fixpoint. work is read for
+// statistics only; callers pass it after the seed round so IDB frontiers
+// have representative contents.
+func shardCols(rules []compiledRule, local map[string]bool, work *storage.Database) map[string]int {
+	cand := make(map[string][]int, len(local))
 	for i := range rules {
 		r := rules[i].rule
 		for bi, a := range r.Body {
 			if a.Neg || !local[a.Pred] {
-				continue
-			}
-			if _, done := cols[a.Pred]; done {
 				continue
 			}
 			for ai, t := range a.Args {
@@ -235,16 +253,40 @@ func shardCols(rules []compiledRule, local map[string]bool) map[string]int {
 					}
 				}
 				if shared {
-					cols[a.Pred] = ai
-					break
+					dup := false
+					for _, c := range cand[a.Pred] {
+						if c == ai {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						cand[a.Pred] = append(cand[a.Pred], ai)
+					}
 				}
 			}
 		}
 	}
+	cols := make(map[string]int, len(local))
 	for pred := range local {
-		if _, ok := cols[pred]; !ok {
+		cs := cand[pred]
+		if len(cs) == 0 {
 			cols[pred] = 0
+			continue
 		}
+		best := cs[0]
+		if len(cs) > 1 && work != nil {
+			if rel := work.Rel(pred); rel != nil && rel.Len() > 0 {
+				bestBucket := -1
+				for _, c := range cs {
+					b := rel.ColStats(c).MaxBucket
+					if bestBucket == -1 || b < bestBucket || (b == bestBucket && c < best) {
+						best, bestBucket = c, b
+					}
+				}
+			}
+		}
+		cols[pred] = best
 	}
 	return cols
 }
@@ -258,7 +300,7 @@ func shardCols(rules []compiledRule, local map[string]bool) map[string]int {
 // Stats.Exchanged.
 func shardedFixpoint(work *storage.Database, rules []compiledRule, local map[string]bool, workers, shards, stratum int, round *int, sink *roundSink, st *Stats, opts Opts, streamPred string, emit func(storage.Tuple) bool) error {
 	full := DBRels(work)
-	cols := shardCols(rules, local)
+	cols := shardCols(rules, local, work)
 	pool := &relPool{}
 	stopped := false
 
@@ -268,6 +310,7 @@ func shardedFixpoint(work *storage.Database, rules []compiledRule, local map[str
 	merge := func(tasks []parTask, results []parResult, next []map[string][]storage.Tuple) (added, attempted, exchanged int) {
 		for i, res := range results {
 			attempted += res.attempted
+			st.Visited += res.visits
 			pred := tasks[i].cr.rule.Head.Pred
 			head := work.Rel(pred)
 			if !stopped {
@@ -325,13 +368,18 @@ func shardedFixpoint(work *storage.Database, rules []compiledRule, local map[str
 		start := time.Now()
 		sink.begin()
 		var seedTasks []parTask
+		var est int64
 		for i := range rules {
 			cr := &rules[i]
 			if hasLocal(cr) {
 				continue
 			}
+			if cr.ord != nil && cr.ord.full != nil {
+				est += int64(cr.ord.fullCost)
+			}
 			seedTasks = append(seedTasks, parTask{cr: cr, seedIdx: -1, head: work.Rel(cr.rule.Head.Pred), span: sink.span})
 		}
+		visited0 := st.Visited
 		results, busy, err := runTasks(seedTasks, workers, full, pool)
 		if err != nil {
 			return err
@@ -343,6 +391,7 @@ func shardedFixpoint(work *storage.Database, rules []compiledRule, local map[str
 			Round: *round, Stratum: stratum, Tasks: len(seedTasks),
 			Derived: added, Attempted: attempted, Workers: workers, Shards: shards,
 			Duration: time.Since(start), Busy: busy,
+			Estimated: est, Visited: st.Visited - visited0,
 		})
 		if stopped {
 			return errStreamStop
@@ -373,6 +422,7 @@ func shardedFixpoint(work *storage.Database, rules []compiledRule, local map[str
 		sink.begin()
 		deltaSize := 0
 		var tasks []parTask
+		var est int64
 		for s := 0; s < shards; s++ {
 			for i := range rules {
 				cr := &rules[i]
@@ -383,6 +433,9 @@ func shardedFixpoint(work *storage.Database, rules []compiledRule, local map[str
 					d := fr[s][a.Pred]
 					if len(d) == 0 {
 						continue
+					}
+					if _, perTuple := cr.seededOrder(bi); perTuple > 0 {
+						est += int64(perTuple * float64(len(d)))
 					}
 					tasks = append(tasks, parTask{cr: cr, seedIdx: bi, chunk: d, head: work.Rel(cr.rule.Head.Pred), span: sink.span, shard: s + 1})
 				}
@@ -397,6 +450,7 @@ func shardedFixpoint(work *storage.Database, rules []compiledRule, local map[str
 		}
 		added, attempted, exchanged := 0, 0, 0
 		var busy time.Duration
+		visited0 := st.Visited
 		if len(tasks) > 0 {
 			results, b, err := runTasks(tasks, workers, full, pool)
 			if err != nil {
@@ -413,6 +467,7 @@ func shardedFixpoint(work *storage.Database, rules []compiledRule, local map[str
 			Derived: added, Attempted: attempted, Workers: workers,
 			Shards: shards, Exchanged: exchanged,
 			Duration: time.Since(start), Busy: busy,
+			Estimated: est, Visited: st.Visited - visited0,
 		})
 		if stopped {
 			return errStreamStop

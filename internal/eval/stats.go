@@ -42,10 +42,18 @@ type Stats struct {
 	// derived in one shard, owned (by join-column hash) by another. Always 0
 	// for unsharded evaluations.
 	Exchanged int
+	// Visited counts the intermediate tuples the conjunction enumerations
+	// pulled from index postings or scans — the join-order work measure the
+	// cost planner estimates (Facts counts only completed derivations; a bad
+	// join order does its damage before the head is ever reached).
+	Visited int64
 }
 
 func (s Stats) String() string {
 	base := fmt.Sprintf("rounds=%d derived=%d attempted=%d", s.Rounds, s.Derived, s.Facts)
+	if s.Visited > 0 {
+		base += fmt.Sprintf(" visited=%d", s.Visited)
+	}
 	if s.Shards > 1 {
 		// The plan line repeats the shard count (PlanInfo.Shards); only the
 		// exchange volume is unique to the stats.
@@ -72,11 +80,13 @@ func (s Stats) FillJournal(rec *obs.QueryRecord) {
 	rec.Derived = s.Derived
 	rec.Shards = s.Shards
 	rec.Exchanged = s.Exchanged
+	rec.Visited = s.Visited
 	rec.Maintained = s.Maintained
 	rec.Truncated = s.Truncated
 	if s.Plan != nil {
 		rec.Class = s.Plan.Class
 		rec.Strategy = s.Plan.Strategy
+		rec.Cost = s.Plan.Cost
 	}
 }
 
@@ -96,6 +106,14 @@ type PlanInfo struct {
 	// database-independent — so it is recorded here at answer time, not
 	// compile time.
 	Shards int
+	// Cost is the plan's estimated full-evaluation cost in tuples visited,
+	// summed over the compiled rule orders (0 when the plan carries no order
+	// book — the TC frontier kernel never enumerates conjunctions).
+	Cost int64
+	// Orders lists the compiled join orders, one human-readable line per
+	// rule ("head[i]: pred,pred,... cost=…"), sorted; nil when no order book
+	// was compiled.
+	Orders []string
 }
 
 func (p PlanInfo) String() string {
@@ -106,6 +124,9 @@ func (p PlanInfo) String() string {
 	s := fmt.Sprintf("class=%s strategy=%s cache=%s", p.Class, p.Strategy, cache)
 	if p.Shards > 1 {
 		s += fmt.Sprintf(" shards=%d", p.Shards)
+	}
+	if p.Cost > 0 {
+		s += fmt.Sprintf(" cost=%d", p.Cost)
 	}
 	return s
 }
@@ -144,6 +165,14 @@ type RoundStats struct {
 	// Busy is the summed execution time of the round's tasks across all
 	// workers; Busy/(Workers·Duration) is the pool utilization.
 	Busy time.Duration
+	// Estimated is the cost model's prediction of the round's enumeration
+	// work (tuples visited) under the compiled join orders; it stays 0 when
+	// the round ran on the dynamic greedy ordering. Visited is what the
+	// enumerations actually walked, counted under either ordering —
+	// comparing the two per round is how a misestimate is debugged from
+	// dlrun -trace or the query journal.
+	Estimated int64
+	Visited   int64
 }
 
 // Utilization returns the fraction of the round's worker capacity that was
@@ -169,6 +198,9 @@ func (r RoundStats) String() string {
 	}
 	if r.Shards > 0 {
 		s += fmt.Sprintf(" shards=%d exchanged=%d", r.Shards, r.Exchanged)
+	}
+	if r.Estimated > 0 || r.Visited > 0 {
+		s += fmt.Sprintf(" est=%d visited=%d", r.Estimated, r.Visited)
 	}
 	return s + fmt.Sprintf(" wall=%v", r.Duration)
 }

@@ -242,6 +242,9 @@ func (p *Plan) streamInto(q ast.Query, db *storage.Database, opts Opts, emit fun
 		st  Stats
 		err error
 	)
+	if opts.book == nil {
+		opts.book = p.book
+	}
 	switch p.Kind {
 	case PlanTC:
 		st, err = tcStream(p.sys, p.tc, q, db, opts, emit)
@@ -255,7 +258,7 @@ func (p *Plan) streamInto(q ast.Query, db *storage.Database, opts Opts, emit fun
 	if err != nil && err != errStreamStop {
 		return st, err
 	}
-	st.Plan = &PlanInfo{Class: p.Class, Strategy: p.Kind.String()}
+	st.Plan = p.planInfo(&st)
 	return st, err
 }
 
@@ -350,8 +353,17 @@ func streamNonRecursive(sys *ast.RecursiveSystem, rules []ast.Rule, q ast.Query,
 		}
 		d0 := st.Derived
 		stopped := false
+		var est int64
+		visited0 := st.Visited
 		if ok {
-			c.Eval(rels, binding, func(b []storage.Value) bool {
+			// Same order application as evalNonRecursive: the plan's book was
+			// compiled per adornment, matching the constants bindHead pushed.
+			var order []int
+			if ord := opts.book.orderFor(r); ord != nil && ord.full != nil {
+				order = ord.full
+				est = int64(ord.fullCost)
+			}
+			c.EvalWith(rels, binding, order, &st.Visited, func(b []storage.Value) bool {
 				for i, s := range slots {
 					if s >= 0 {
 						buf[i] = b[s]
@@ -372,7 +384,7 @@ func streamNonRecursive(sys *ast.RecursiveSystem, rules []ast.Rule, q ast.Query,
 			})
 		}
 		rsp.SetInt("derived", int64(st.Derived-d0)).End()
-		sink.end(RoundStats{Round: st.Rounds, Derived: st.Derived - d0})
+		sink.end(RoundStats{Round: st.Rounds, Derived: st.Derived - d0, Estimated: est, Visited: st.Visited - visited0})
 		if stopped {
 			return st, errStreamStop
 		}

@@ -43,8 +43,13 @@ type QueryRecord struct {
 	Rounds     int    `json:"rounds"`
 	Derived    int    `json:"derived"`
 	Exchanged  int    `json:"exchanged,omitempty"`
-	Rows       int    `json:"rows"`
-	Truncated  bool   `json:"truncated,omitempty"`
+	// Cost is the plan's estimated enumeration cost (tuples visited) under
+	// its compiled join orders; Visited is the actual count. Both 0 when the
+	// evaluation ran on the dynamic greedy ordering.
+	Cost      int64 `json:"cost,omitempty"`
+	Visited   int64 `json:"visited,omitempty"`
+	Rows      int   `json:"rows"`
+	Truncated bool  `json:"truncated,omitempty"`
 	// Error classifies a failed request: "client" (the request was wrong),
 	// "canceled" (the client left), "engine" (the evaluation failed).
 	// Empty on success.

@@ -418,6 +418,10 @@ type QueryResult struct {
 	Strategy   string `json:"strategy,omitempty"`
 	Rounds     int    `json:"rounds"`
 	Derived    int    `json:"derived"`
+	// Cost is the compiled plan's estimated enumeration cost (tuples
+	// visited) under its statistics-driven join orders; omitted when the
+	// plan carries no order book (e.g. the TC kernel).
+	Cost int64 `json:"cost,omitempty"`
 	// Limit echoes the request's answer cap (0 = none); Truncated reports
 	// that the evaluation stopped early because the cap was reached before
 	// the answer set was exhausted.
@@ -507,6 +511,7 @@ func (s *Server) newResult(q ast.Query, snap *storage.Snapshot, st eval.Stats, c
 	if st.Plan != nil {
 		res.Class = st.Plan.Class
 		res.Strategy = st.Plan.Strategy
+		res.Cost = st.Plan.Cost
 	} else if s.sys == nil {
 		res.Strategy = "parallel"
 	}
@@ -551,7 +556,7 @@ func (s *Server) openStream(ctx context.Context, qs string, limit int, tracer *o
 		return qst, nil
 	}
 	if s.sys != nil {
-		plan, _, err := s.planner.PlanForEpoch(s.sys, q, snap.Epoch(), opts)
+		plan, _, err := s.planner.PlanForEpoch(s.sys, q, snap.Epoch(), snap.DB(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -1115,7 +1120,8 @@ func (s *Server) warmPlan() {
 		args[i] = ast.V(fmt.Sprintf("Warm%d", i))
 	}
 	q := ast.Query{Atom: ast.NewAtom(s.sys.Pred(), args...)}
-	_, _, err := s.planner.PlanForEpoch(s.sys, q, s.snap.Load().Epoch(), eval.Opts{Workers: s.workers, Metrics: s.reg})
+	snap := s.snap.Load()
+	_, _, err := s.planner.PlanForEpoch(s.sys, q, snap.Epoch(), snap.DB(), eval.Opts{Workers: s.workers, Metrics: s.reg})
 	s.warmErr = err
 }
 

@@ -26,6 +26,13 @@ type colIndex struct {
 	// Overflow for positions >= built, merged back on rebuild.
 	extra  map[Value][]int32
 	nextra int
+	// Column statistics over the built prefix, computed during the build's
+	// counting pass so they are free to read afterwards: distinct is the
+	// number of non-empty buckets, maxBucket the largest bucket (the
+	// worst-case fan-out of a bound probe on this column). Overflow inserts
+	// are accounted for by the readers (ColStats), not here.
+	distinct  int32
+	maxBucket int32
 }
 
 // buildColIndex builds the CSR index of column col over the tuples.
@@ -65,6 +72,14 @@ func buildColIndex(tuples []Tuple, col int) *colIndex {
 			ci.positions[cur[k]] = int32(pos)
 			cur[k]++
 		}
+		for i := int64(0); i < span; i++ {
+			if sz := ci.offsets[i+1] - ci.offsets[i]; sz > 0 {
+				ci.distinct++
+				if sz > ci.maxBucket {
+					ci.maxBucket = sz
+				}
+			}
+		}
 		return ci
 	}
 	// Sparse: assign dense key ids in first-seen order, then the same
@@ -82,8 +97,12 @@ func buildColIndex(tuples []Tuple, col int) *colIndex {
 		counts[k]++
 	}
 	ci.offsets = make([]int32, len(counts)+1)
+	ci.distinct = int32(len(counts))
 	for i, c := range counts {
 		ci.offsets[i+1] = ci.offsets[i] + c
+		if c > ci.maxBucket {
+			ci.maxBucket = c
+		}
 	}
 	cur := make([]int32, len(counts))
 	copy(cur, ci.offsets[:len(counts)])

@@ -167,6 +167,14 @@ type Relation struct {
 	// relies on it: two headers with equal lineage differ exactly by the
 	// tuples past the shorter header's length.
 	lineage uint64
+	// statsVer is the relation's statistics version: a globally unique stamp
+	// taken whenever the column statistics materially change (BuildIndexes
+	// publishing, CompactIndexes or staleness rebuilds folding overflow back
+	// into the CSR body). Plan caches fold it into their keys so compiled
+	// join orders computed against stale statistics are never served after
+	// an index rebuild. Copy-on-write clones inherit it (their stats are the
+	// same until their own rebuild). Zero means "never stamped".
+	statsVer uint64
 	// hashFn overrides hashWords in tests (collision handling coverage).
 	hashFn func(Tuple) uint64
 	// stats counts write-path work (see RelStats). Only writer-exclusive
@@ -367,6 +375,7 @@ func (r *Relation) Insert(t Tuple) bool {
 		if ci.stale() {
 			r.stats.IndexBuilds++
 			r.colIdx[col] = buildColIndex(r.tuples, col)
+			r.statsVer = statsVersion.Add(1)
 		}
 	}
 	return true
@@ -469,6 +478,7 @@ func (r *Relation) BuildIndexes() {
 		}
 	}
 	r.published = true
+	r.statsVer = statsVersion.Add(1)
 }
 
 // CompactIndexes rebuilds every column index carrying overflow postings so
@@ -479,11 +489,16 @@ func (r *Relation) BuildIndexes() {
 // Requires exclusive access (the maintenance kernels call it on relations
 // they built this round, before any reader can hold them).
 func (r *Relation) CompactIndexes() {
+	rebuilt := false
 	for col, ci := range r.colIdx {
 		if ci != nil && ci.nextra > 0 {
 			r.stats.IndexBuilds++
 			r.colIdx[col] = buildColIndex(r.tuples, col)
+			rebuilt = true
 		}
+	}
+	if rebuilt {
+		r.statsVer = statsVersion.Add(1)
 	}
 }
 
@@ -631,6 +646,7 @@ func (r *Relation) cowClone() *Relation {
 		table:     append([]uint32(nil), r.table...),
 		colIdx:    make([]*colIndex, r.arity),
 		published: r.published,
+		statsVer:  r.statsVer,
 		hashFn:    r.hashFn,
 		stats:     r.stats,
 		lineage:   r.lineage,
